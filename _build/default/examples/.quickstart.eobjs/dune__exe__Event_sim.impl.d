@@ -1,0 +1,1 @@
+examples/event_sim.ml: Array Atomic Domain List Printf Zmsq Zmsq_pq Zmsq_util

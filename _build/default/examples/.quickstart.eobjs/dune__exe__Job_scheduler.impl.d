@@ -1,0 +1,1 @@
+examples/job_scheduler.ml: Array Atomic Domain List Printf Unix Zmsq Zmsq_pq Zmsq_sync Zmsq_util

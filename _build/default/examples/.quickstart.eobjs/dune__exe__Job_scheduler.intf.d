@@ -1,0 +1,1 @@
+examples/job_scheduler.mli:

@@ -1,0 +1,1 @@
+examples/knapsack.ml: Array List Printf Sys Zmsq Zmsq_apps Zmsq_harness Zmsq_util

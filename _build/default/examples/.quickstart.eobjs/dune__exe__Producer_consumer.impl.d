@@ -1,0 +1,1 @@
+examples/producer_consumer.ml: Atomic Domain Float List Printf Unix Zmsq Zmsq_pq Zmsq_sync Zmsq_util

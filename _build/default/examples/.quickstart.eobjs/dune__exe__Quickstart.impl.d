@@ -1,0 +1,1 @@
+examples/quickstart.ml: Domain List Printf Zmsq Zmsq_pq Zmsq_util

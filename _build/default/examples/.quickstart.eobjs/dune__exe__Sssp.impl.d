@@ -1,0 +1,1 @@
+examples/sssp.ml: Array List Printf Sys Zmsq Zmsq_graph Zmsq_harness Zmsq_util

@@ -1,0 +1,1 @@
+examples/topk.ml: Array Atomic Domain Fun List Printf Sys Zmsq_pq Zmsq_util

@@ -1,0 +1,38 @@
+(* Parallel branch-and-bound knapsack over different priority queues.
+
+   Best-first search is the second classic relaxed-queue application (after
+   SSSP): extraction order only shifts how much of the search tree gets
+   explored before the optimum is proven — the answer is always exact. We
+   solve one instance with several queues and report the exploration
+   overhead relaxation causes.
+
+   Run with: dune exec examples/knapsack.exe -- [items] [threads] *)
+
+module K = Zmsq_apps.Knapsack
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 36 in
+  let threads = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 4 in
+  let rng = Zmsq_util.Rng.create ~seed:0xCAFE () in
+  let inst = K.generate rng ~n ~tightness:0.35 () in
+  Printf.printf "knapsack: %d items, capacity %d\n" n inst.K.capacity;
+  let opt, dp_s = Zmsq_util.Timing.time_it (fun () -> K.solve_dp inst) in
+  Printf.printf "dp oracle: optimum %d (%.3f s)\ngreedy lower bound: %d\n\n" opt dp_s
+    (K.solve_greedy inst);
+  Printf.printf "%-14s %9s %10s %10s %8s\n" "queue" "time(s)" "explored" "pruned" "exact";
+  List.iter
+    (fun (name, factory) ->
+      let v, st = K.solve_bb (factory ()) inst ~threads in
+      Printf.printf "%-14s %9.3f %10d %10d %8b\n%!" name st.K.wall_seconds st.K.explored
+        st.K.pruned (v = opt))
+    [
+      ("zmsq-strict", Zmsq_harness.Instances.zmsq ~params:Zmsq.Params.strict ());
+      ("zmsq b=16", Zmsq_harness.Instances.zmsq ~params:(Zmsq.Params.static 16) ());
+      ("zmsq b=64", Zmsq_harness.Instances.zmsq ~params:(Zmsq.Params.static 64) ());
+      ("spraylist", Zmsq_harness.Instances.spraylist);
+      ("multiqueue", Zmsq_harness.Instances.multiqueue ~queues:(2 * threads) ());
+      ("locked-heap", Zmsq_harness.Instances.locked_heap);
+    ];
+  print_endline
+    "\nEvery row returns the exact optimum: relaxation only perturbs the\n\
+     explored/pruned balance, trading search discipline for queue scalability."

@@ -1,0 +1,103 @@
+(* Producer/consumer pipeline: spinning vs blocking consumers.
+
+   A small event-processing pipeline: producers publish prioritized events
+   in bursts with idle gaps (the "indeterminate arrival" pattern of
+   Section 4.4); consumers drain them. We run the same pipeline twice —
+   spinning consumers vs consumers blocked on the futex eventcount — and
+   report the CPU cost of each strategy.
+
+   Run with: dune exec examples/producer_consumer.exe *)
+
+module Q = Zmsq.Default
+module Elt = Zmsq_pq.Elt
+module Timing = Zmsq_util.Timing
+
+let events = 20_000
+let bursts = 40
+let producers = 2
+let consumers = 3
+let poison = Elt.pack ~priority:0 ~payload:((1 lsl Elt.payload_bits) - 1)
+
+let run_pipeline ~blocking =
+  let params = { (Zmsq.Params.static 16) with Zmsq.Params.blocking } in
+  let q = Q.create ~params () in
+  let produced = Atomic.make 0 and consumed = Atomic.make 0 in
+  let cpu0 = Timing.cpu_seconds () in
+  let t0 = Timing.now_ns () in
+  let cons =
+    List.init consumers (fun _ ->
+        Domain.spawn (fun () ->
+            let h = Q.register q in
+            let next () =
+              if blocking then Q.extract_blocking h
+              else begin
+                let rec spin () =
+                  let e = Q.extract h in
+                  if Elt.is_none e then begin
+                    Domain.cpu_relax ();
+                    spin ()
+                  end
+                  else e
+                in
+                spin ()
+              end
+            in
+            let rec loop n =
+              let e = next () in
+              if Elt.payload e = (1 lsl Elt.payload_bits) - 1 then n
+              else begin
+                Atomic.incr consumed;
+                loop (n + 1)
+              end
+            in
+            let n = loop 0 in
+            Q.unregister h;
+            n))
+  in
+  let prods =
+    List.init producers (fun p ->
+        Domain.spawn (fun () ->
+            let h = Q.register q in
+            let rng = Zmsq_util.Rng.create ~seed:(p * 17) () in
+            let per_burst = events / producers / bursts in
+            for _ = 1 to bursts do
+              for _ = 1 to per_burst do
+                Q.insert h (Elt.pack ~priority:(Zmsq_util.Rng.int rng 100_000) ~payload:p);
+                Atomic.incr produced
+              done;
+              (* idle gap between bursts: this is where blocking pays off *)
+              Unix.sleepf 0.002
+            done;
+            Q.unregister h))
+  in
+  List.iter Domain.join prods;
+  let h = Q.register q in
+  while Atomic.get consumed < Atomic.get produced do
+    Domain.cpu_relax ()
+  done;
+  for _ = 1 to consumers do
+    Q.insert h poison
+  done;
+  let total = List.fold_left (fun a d -> a + Domain.join d) 0 cons in
+  Q.unregister h;
+  let wall = float_of_int (Timing.now_ns () - t0) /. 1e9 in
+  let cpu = Timing.cpu_seconds () -. cpu0 in
+  let sleeps =
+    match Q.Debug.eventcount q with
+    | Some ec -> Zmsq_sync.Eventcount.sleeps ec
+    | None -> 0
+  in
+  (total, wall, cpu, sleeps)
+
+let () =
+  Printf.printf "pipeline: %d events, %d producers, %d consumers, bursty arrivals\n\n" events
+    producers consumers;
+  let n_spin, wall_spin, cpu_spin, _ = run_pipeline ~blocking:false in
+  Printf.printf "spinning: %5d events in %.2f s wall, %.2f s CPU\n" n_spin wall_spin cpu_spin;
+  let n_blk, wall_blk, cpu_blk, sleeps = run_pipeline ~blocking:true in
+  Printf.printf "blocking: %5d events in %.2f s wall, %.2f s CPU (%d futex sleeps)\n" n_blk
+    wall_blk cpu_blk sleeps;
+  if cpu_blk < cpu_spin then
+    Printf.printf "\nblocking consumers used %.1fx less CPU for the same work —\n\
+                   the savings Section 4.4 calls 'unbounded' under indeterminate arrival.\n"
+      (cpu_spin /. Float.max 0.001 cpu_blk)

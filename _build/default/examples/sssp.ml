@@ -1,0 +1,50 @@
+(* Parallel single-source shortest paths with a relaxed priority queue —
+   the paper's application study (Section 4.6).
+
+   Generates a social-network-like graph, runs concurrent SSSP with
+   several queues, validates every result against sequential Dijkstra, and
+   reports the relaxation trade-off: relaxed queues do more (wasted) work
+   per vertex but suffer less contention.
+
+   Run with: dune exec examples/sssp.exe -- [nodes] [threads] *)
+
+module Gen = Zmsq_graph.Gen
+module Csr = Zmsq_graph.Csr
+module Sssp = Zmsq_graph.Sssp_parallel
+
+let () =
+  let nodes = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 20_000 in
+  let threads = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 4 in
+  let rng = Zmsq_util.Rng.create ~seed:0x55 () in
+  Printf.printf "generating Barabasi-Albert graph: %d nodes...\n%!" nodes;
+  let graph = Gen.barabasi_albert rng ~n:nodes ~m:8 ~max_weight:100 in
+  let mean_deg, max_deg = Csr.degree_stats graph in
+  Printf.printf "graph: %d vertices, %d edges, mean degree %.1f, max degree %d\n%!"
+    (Csr.n_vertices graph) (Csr.n_edges graph) mean_deg max_deg;
+
+  let oracle, dijkstra_s =
+    Zmsq_util.Timing.time_it (fun () -> Zmsq_graph.Dijkstra.dijkstra graph ~source:0)
+  in
+  Printf.printf "sequential Dijkstra: %.3f s\n\n%!" dijkstra_s;
+
+  Printf.printf "%-14s %9s %9s %9s %9s %8s\n" "queue" "time(s)" "pops" "stale" "wasted%" "valid";
+  List.iter
+    (fun (name, factory) ->
+      let inst = factory () in
+      let dist, st = Sssp.run inst ~graph ~source:0 ~threads in
+      let wasted = float_of_int st.Sssp.stale /. float_of_int (max 1 st.Sssp.pops) *. 100.0 in
+      Printf.printf "%-14s %9.3f %9d %9d %8.1f%% %8b\n%!" name st.Sssp.wall_seconds st.Sssp.pops
+        st.Sssp.stale wasted (dist = oracle))
+    [
+      ("zmsq", Zmsq_harness.Instances.zmsq
+                 ~params:Zmsq.Params.(default |> with_batch 42 |> with_target_len 64) ());
+      ("zmsq-strict", Zmsq_harness.Instances.zmsq ~params:Zmsq.Params.strict ());
+      ("mound", Zmsq_harness.Instances.mound);
+      ("spraylist", Zmsq_harness.Instances.spraylist);
+      ("multiqueue", Zmsq_harness.Instances.multiqueue ~queues:(2 * threads) ());
+      ("locked-heap", Zmsq_harness.Instances.locked_heap);
+    ];
+  Printf.printf
+    "\nNote: out-of-order extraction shows up as 'stale' pops (re-expanded\n\
+     vertices). Relaxation trades that wasted work for reduced contention\n\
+     on the queue — the bet the paper's Section 4.6 validates.\n"

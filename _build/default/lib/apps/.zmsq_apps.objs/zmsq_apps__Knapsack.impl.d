@@ -1,0 +1,1 @@
+lib/apps/knapsack.ml: Array Atomic Domain Fun Mutex Zmsq_pq Zmsq_util

@@ -1,0 +1,1 @@
+lib/apps/knapsack.mli: Zmsq_pq Zmsq_util

@@ -1,0 +1,43 @@
+(** Parallel best-first branch-and-bound for 0/1 knapsack — a second
+    application domain for relaxed priority queues (besides SSSP).
+
+    Best-first B&B keeps open subproblems in a max-priority queue ordered
+    by their fractional upper bound. Extraction order affects only how
+    much of the tree is explored before the optimum is proven, never the
+    answer — precisely the "out-of-order work still contributes" property
+    (paper Section 1) that justifies relaxation. A relaxed queue spreads
+    contending workers across near-best subproblems.
+
+    Includes a dynamic-programming oracle for validation. *)
+
+type instance = { values : int array; weights : int array; capacity : int }
+
+val generate :
+  Zmsq_util.Rng.t ->
+  n:int ->
+  ?max_value:int ->
+  ?max_weight:int ->
+  ?tightness:float ->
+  unit ->
+  instance
+(** Random instance; [tightness] (default 0.5) sets capacity as a fraction
+    of total weight. Weakly correlated values/weights, the classic hard-ish
+    family. *)
+
+val solve_dp : instance -> int
+(** Exact optimum by dynamic programming over weights — O(n * capacity).
+    The oracle. *)
+
+val solve_greedy : instance -> int
+(** Density-greedy lower bound (not optimal). *)
+
+type stats = {
+  explored : int;  (** subproblems expanded *)
+  pruned : int;  (** subproblems discarded by bound *)
+  wall_seconds : float;
+}
+
+val solve_bb : Zmsq_pq.Intf.instance -> instance -> threads:int -> int * stats
+(** Best-first branch and bound over the given concurrent queue. Returns
+    the optimal value (always exact, whatever the queue's relaxation) and
+    search statistics. *)

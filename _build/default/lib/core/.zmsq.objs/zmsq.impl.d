@@ -1,0 +1,1 @@
+lib/core/zmsq.ml: Array Array_set Atomic Domain Lazy_set List List_set Mutex Option Params Printf Set_intf Zmsq_hp Zmsq_pq Zmsq_sync Zmsq_util

@@ -1,0 +1,1 @@
+lib/core/zmsq.mli: Array_set Lazy_set List_set Params Set_intf Zmsq_pq Zmsq_sync

@@ -1,0 +1,1 @@
+lib/core/array_set.ml: Array Zmsq_pq

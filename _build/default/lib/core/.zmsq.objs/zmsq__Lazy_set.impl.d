@@ -1,0 +1,1 @@
+lib/core/lazy_set.ml: Array List Zmsq_pq

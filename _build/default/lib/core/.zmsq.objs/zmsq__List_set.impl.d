@@ -1,0 +1,1 @@
+lib/core/list_set.ml: Array Zmsq_pq

@@ -1,0 +1,1 @@
+lib/core/set_intf.ml: Zmsq_pq

@@ -1,0 +1,115 @@
+(** Unsorted array set — the paper's "(array)" TNode set variant. Constant
+    cache footprint and no per-element allocation; ordered operations pay a
+    scan (or a sort in [take_top]), which is cheap for the small sets ZMSQ
+    maintains (at most 2 * target_len elements). *)
+
+module Elt = Zmsq_pq.Elt
+
+type t = { mutable data : Elt.t array; mutable len : int }
+
+let name = "array"
+
+let create () = { data = Array.make 16 Elt.none; len = 0 }
+
+let size t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.data) Elt.none in
+  Array.blit t.data 0 bigger 0 t.len;
+  t.data <- bigger
+
+let insert t e =
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- e;
+  t.len <- t.len + 1
+
+let max_index t =
+  if t.len = 0 then -1
+  else begin
+    let best = ref 0 in
+    for i = 1 to t.len - 1 do
+      if t.data.(i) > t.data.(!best) then best := i
+    done;
+    !best
+  end
+
+let min_index t =
+  if t.len = 0 then -1
+  else begin
+    let best = ref 0 in
+    for i = 1 to t.len - 1 do
+      if t.data.(i) < t.data.(!best) then best := i
+    done;
+    !best
+  end
+
+let max_elt t =
+  let i = max_index t in
+  if i < 0 then Elt.none else t.data.(i)
+
+let min_elt t =
+  let i = min_index t in
+  if i < 0 then Elt.none else t.data.(i)
+
+let remove_at t i =
+  let e = t.data.(i) in
+  t.len <- t.len - 1;
+  t.data.(i) <- t.data.(t.len);
+  t.data.(t.len) <- Elt.none;
+  e
+
+let remove_max t =
+  let i = max_index t in
+  if i < 0 then Elt.none else remove_at t i
+
+let remove_min t =
+  let i = min_index t in
+  if i < 0 then Elt.none else remove_at t i
+
+let replace_min t e =
+  let i = min_index t in
+  if i < 0 then invalid_arg "Array_set.replace_min: empty";
+  let dropped = t.data.(i) in
+  t.data.(i) <- e;
+  (dropped, min_elt t)
+
+(* Sort the used prefix descending, detach the top [n]. *)
+let sort_desc t =
+  let used = Array.sub t.data 0 t.len in
+  Array.sort (fun a b -> compare b a) used;
+  Array.blit used 0 t.data 0 t.len
+
+let take_top t n =
+  let n = min n t.len in
+  if n = 0 then [||]
+  else begin
+    sort_desc t;
+    let top = Array.sub t.data 0 n in
+    let remaining = t.len - n in
+    Array.blit t.data n t.data 0 remaining;
+    Array.fill t.data remaining n Elt.none;
+    t.len <- remaining;
+    top
+  end
+
+let split_lower t =
+  let n = t.len / 2 in
+  if n = 0 then [||]
+  else begin
+    sort_desc t;
+    let keep = t.len - n in
+    let lower = Array.sub t.data keep n in
+    Array.fill t.data keep n Elt.none;
+    t.len <- keep;
+    lower
+  end
+
+let swap_contents a b =
+  let data = a.data and len = a.len in
+  a.data <- b.data;
+  a.len <- b.len;
+  b.data <- data;
+  b.len <- len
+
+let to_list t = Array.to_list (Array.sub t.data 0 t.len)

@@ -1,0 +1,114 @@
+(** Unordered singly-linked list set — a third TNode set variant isolating
+    where the sorted list's cost comes from.
+
+    The paper's default set is a sorted list (mound heritage); its
+    "(array)" variant is unsorted with a fixed footprint. This variant
+    keeps the list representation but drops the ordering: insertion is an
+    O(1) cons, and order is recovered only when a batch needs it
+    ([take_top] at pool refills, [split_lower] at splits) — amortizing the
+    sort over [batch] extractions exactly as the array variant does.
+    Benchmarked as "zmsq-lazy" in the ablation suite. *)
+
+module Elt = Zmsq_pq.Elt
+
+type t = { mutable items : Elt.t list; mutable len : int }
+
+let name = "lazy-list"
+
+let create () = { items = []; len = 0 }
+
+let size t = t.len
+let is_empty t = t.len = 0
+
+let insert t e =
+  t.items <- e :: t.items;
+  t.len <- t.len + 1
+
+let max_elt t = List.fold_left (fun acc x -> if x > acc then x else acc) Elt.none t.items
+
+let min_elt t =
+  match t.items with
+  | [] -> Elt.none
+  | x :: rest -> List.fold_left (fun acc y -> if y < acc then y else acc) x rest
+
+let remove_one t v =
+  let rec go = function
+    | [] -> []
+    | x :: rest -> if x = v then rest else x :: go rest
+  in
+  t.items <- go t.items;
+  t.len <- t.len - 1
+
+let remove_max t =
+  if t.len = 0 then Elt.none
+  else begin
+    let v = max_elt t in
+    remove_one t v;
+    v
+  end
+
+let remove_min t =
+  if t.len = 0 then Elt.none
+  else begin
+    let v = min_elt t in
+    remove_one t v;
+    v
+  end
+
+let replace_min t e =
+  if t.len = 0 then invalid_arg "Lazy_set.replace_min: empty";
+  let dropped = min_elt t in
+  let rec swap = function
+    | [] -> []
+    | x :: rest -> if x = dropped then e :: rest else x :: swap rest
+  in
+  t.items <- swap t.items;
+  (dropped, min_elt t)
+
+let sorted_desc t = List.sort (fun a b -> compare b a) t.items
+
+let take_top t n =
+  let n = min n t.len in
+  if n = 0 then [||]
+  else begin
+    let sorted = sorted_desc t in
+    let rec split i = function
+      | rest when i = n -> ([], rest)
+      | x :: rest ->
+          let top, keep = split (i + 1) rest in
+          (x :: top, keep)
+      | [] -> assert false
+    in
+    let top, keep = split 0 sorted in
+    t.items <- keep;
+    t.len <- t.len - n;
+    Array.of_list top
+  end
+
+let split_lower t =
+  let n = t.len / 2 in
+  if n = 0 then [||]
+  else begin
+    let sorted = sorted_desc t in
+    let keep_n = t.len - n in
+    let rec split i = function
+      | rest when i = keep_n -> ([], rest)
+      | x :: rest ->
+          let keep, lower = split (i + 1) rest in
+          (x :: keep, lower)
+      | [] -> assert false
+    in
+    let keep, lower = split 0 sorted in
+    t.items <- keep;
+    t.len <- keep_n;
+    Array.of_list lower
+  end
+
+let swap_contents a b =
+  let items = a.items and len = a.len in
+  a.items <- b.items;
+  a.len <- b.len;
+  b.items <- items;
+  b.len <- len
+
+let to_list t = t.items

@@ -1,0 +1,59 @@
+type lock_policy = Trylock | Blocking
+
+type t = {
+  batch : int;
+  target_len : int;
+  lock_policy : lock_policy;
+  blocking : bool;
+  leaky : bool;
+  forced_insert : bool;
+  min_swap : bool;
+  split : bool;
+  pool_insert : bool;
+  initial_levels : int;
+  forced_min_level : int;
+}
+
+let default =
+  {
+    batch = 48;
+    target_len = 72;
+    lock_policy = Trylock;
+    blocking = false;
+    leaky = false;
+    forced_insert = true;
+    min_swap = true;
+    split = true;
+    pool_insert = false;
+    initial_levels = 5;
+    forced_min_level = 3;
+  }
+
+let validate p =
+  if p.batch < 0 then invalid_arg "Params: batch must be >= 0";
+  if p.target_len < 1 then invalid_arg "Params: target_len must be >= 1";
+  if p.initial_levels < 1 || p.initial_levels > 28 then
+    invalid_arg "Params: initial_levels out of range";
+  if p.forced_min_level < 0 then invalid_arg "Params: forced_min_level must be >= 0";
+  p
+
+let strict = { default with batch = 0 }
+
+let static n = validate { default with batch = n; target_len = n }
+
+let dynamic ~ratio_num ~ratio_den ~threads =
+  if ratio_num <= 0 || ratio_den <= 0 || threads <= 0 then invalid_arg "Params.dynamic";
+  let batch, target_len =
+    if ratio_num <= ratio_den then (threads, threads * ratio_den / ratio_num)
+    else (threads * ratio_num / ratio_den, threads)
+  in
+  validate { default with batch; target_len }
+
+let with_batch batch p = validate { p with batch }
+let with_target_len target_len p = validate { p with target_len }
+
+let pp fmt p =
+  Format.fprintf fmt "batch=%d target_len=%d lock=%s%s%s" p.batch p.target_len
+    (match p.lock_policy with Trylock -> "try" | Blocking -> "block")
+    (if p.blocking then " +blocking" else "")
+    (if p.leaky then " +leaky" else "")

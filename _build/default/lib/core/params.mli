@@ -1,0 +1,61 @@
+(** Tuning parameters for ZMSQ (Sections 3.1, 4.2 of the paper).
+
+    [batch] bounds how many elements beyond the maximum one call to
+    extractPool may stage in the shared pool: relaxation accuracy depends
+    only on it (the true maximum returns at least once every [batch]+1
+    extractions). [batch = 0] makes ZMSQ a strict priority queue.
+
+    [target_len] is the number of elements each tree node tries to hold; a
+    set may grow to at most [2 * target_len] before it is split. *)
+
+type lock_policy =
+  | Trylock  (** fail fast and restart the operation (the paper's winner) *)
+  | Blocking  (** spin/block on the node lock *)
+
+type t = {
+  batch : int;
+  target_len : int;
+  lock_policy : lock_policy;
+  blocking : bool;  (** enable the futex eventcount of Section 3.6 *)
+  leaky : bool;  (** skip hazard-pointer protection (the paper's "leak" mode) *)
+  forced_insert : bool;  (** ablation: non-head leaf insertion (Section 3.2) *)
+  min_swap : bool;  (** ablation: parent-min swap optimization (Section 3.2) *)
+  split : bool;  (** ablation: split oversized sets *)
+  pool_insert : bool;
+      (** extension (the paper's Section 5 future work): an insertion whose
+          key beats the pool's weakest staged element displaces it into the
+          tree and takes its slot, making fresh high-priority items
+          immediately extractable. Weakens the pool's internal ordering but
+          not the batch relaxation bound. Off by default. *)
+  initial_levels : int;  (** tree levels allocated up front *)
+  forced_min_level : int;
+      (** forced insert / min-swap are forbidden above this level; the paper
+          excludes the top three levels, i.e. 3. *)
+}
+
+val default : t
+(** The paper's recommended static configuration:
+    [batch = 48], [target_len = 72], trylocks, no blocking, hazard pointers
+    on, every insertion enhancement enabled. *)
+
+val validate : t -> t
+(** Returns the record unchanged or raises [Invalid_argument]. *)
+
+val strict : t
+(** [batch = 0]: exact extract-max (mound-equivalent semantics). *)
+
+val static : int -> t
+(** [static n] sets [batch = target_len = n] (the paper's "static"
+    configurations of Figure 3). *)
+
+val dynamic : ratio_num:int -> ratio_den:int -> threads:int -> t
+(** The paper's "dynamic" configurations: the smaller of [batch] and
+    [target_len] equals [threads] and their ratio is
+    [ratio_num:ratio_den] — e.g. [dynamic ~ratio_num:2 ~ratio_den:3
+    ~threads:8] is the paper's "dynamic (1:1.5)" at 8 threads, i.e.
+    batch 8, target_len 12. *)
+
+val with_batch : int -> t -> t
+val with_target_len : int -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,699 @@
+module Params = Params
+module Set_intf = Set_intf
+module List_set = List_set
+module Array_set = Array_set
+module Lazy_set = Lazy_set
+module Rng = Zmsq_util.Rng
+module Elt = Zmsq_pq.Elt
+module Eventcount = Zmsq_sync.Eventcount
+module Hazard = Zmsq_hp.Hazard
+
+type counters = {
+  refills : int;
+  splits : int;
+  forced_inserts : int;
+  min_swaps : int;
+  insert_retries : int;
+  expands : int;
+  swap_downs : int;
+  pool_inserts : int;
+  helper_moves : int;
+}
+
+module type S = sig
+  type t
+  type handle
+
+  val create : ?params:Params.t -> unit -> t
+  val params : t -> Params.t
+
+  include Zmsq_pq.Intf.CONC with type t := t and type handle := handle
+
+  val extract_blocking : handle -> Zmsq_pq.Elt.t
+  val extract_timeout : handle -> timeout_ns:int -> Zmsq_pq.Elt.t
+  val is_empty : t -> bool
+  val peek : t -> Zmsq_pq.Elt.t
+  val helper_pass : ?visits:int -> handle -> int
+
+  module Debug : sig
+    val check_invariant : t -> bool
+    val leaf_level : t -> int
+    val node_counts : t -> int array
+    val elements : t -> Zmsq_pq.Elt.t list
+    val pool_level : t -> int
+    val counters : t -> counters
+    val eventcount : t -> Zmsq_sync.Eventcount.t option
+    val hazard_domain_stats : t -> (int * int * int) option
+  end
+end
+
+let max_levels = 28
+
+module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
+  type tnode = {
+    lock : L.t;
+    set : Set.t; (* guarded by [lock] *)
+    max : Elt.t Atomic.t; (* caches, written under [lock], read anywhere *)
+    min : Elt.t Atomic.t;
+    count : int Atomic.t;
+  }
+
+  let fresh_tnode () =
+    {
+      lock = L.create ();
+      set = Set.create ();
+      max = Atomic.make Elt.none;
+      min = Atomic.make Elt.none;
+      count = Atomic.make 0;
+    }
+
+  (* Refresh the cached fields from the set (under the node's lock). *)
+  let refresh n =
+    Atomic.set n.max (Set.max_elt n.set);
+    Atomic.set n.min (Set.min_elt n.set);
+    Atomic.set n.count (Set.size n.set)
+
+  type t = {
+    params : Params.t;
+    levels : tnode array Atomic.t array;
+    leaf_level : int Atomic.t;
+    expand_mu : Mutex.t;
+    size : int Atomic.t; (* global element count: exact emptiness *)
+    pool : Elt.t Atomic.t array;
+    pool_next : int Atomic.t;
+    mutable pool_fill : int; (* last refill size; guarded by the root lock *)
+    ec : Eventcount.t option;
+    hp : tnode Hazard.t option; (* None in leaky mode *)
+    c_refills : int Atomic.t;
+    c_splits : int Atomic.t;
+    c_forced : int Atomic.t;
+    c_min_swaps : int Atomic.t;
+    c_retries : int Atomic.t;
+    c_expands : int Atomic.t;
+    c_swap_downs : int Atomic.t;
+    c_pool_inserts : int Atomic.t;
+    c_helper_moves : int Atomic.t;
+  }
+
+  type handle = { q : t; rng : Rng.t; hp_thread : tnode Hazard.thread option }
+
+  let name = Printf.sprintf "zmsq(%s,%s)" Set.name L.name
+  let exact_emptiness = true
+
+  let handle_seed = Atomic.make 0x2A5C
+
+  let create ?(params = Params.default) () =
+    let params = Params.validate params in
+    let levels = Array.init max_levels (fun _ -> Atomic.make [||]) in
+    for l = 0 to params.initial_levels - 1 do
+      Atomic.set levels.(l) (Array.init (1 lsl l) (fun _ -> fresh_tnode ()))
+    done;
+    {
+      params;
+      levels;
+      leaf_level = Atomic.make (params.initial_levels - 1);
+      expand_mu = Mutex.create ();
+      size = Atomic.make 0;
+      pool = Array.init (max params.batch 1) (fun _ -> Atomic.make Elt.none);
+      pool_next = Atomic.make (-1);
+      pool_fill = 0;
+      ec = (if params.blocking then Some (Eventcount.create ~initial:0 ()) else None);
+      hp =
+        (if params.leaky then None
+         else Some (Hazard.create ~slots_per_thread:3 ~recycle:(fun (_ : tnode) -> ()) ()));
+      c_refills = Atomic.make 0;
+      c_splits = Atomic.make 0;
+      c_forced = Atomic.make 0;
+      c_min_swaps = Atomic.make 0;
+      c_retries = Atomic.make 0;
+      c_expands = Atomic.make 0;
+      c_swap_downs = Atomic.make 0;
+      c_pool_inserts = Atomic.make 0;
+      c_helper_moves = Atomic.make 0;
+    }
+
+  let params t = t.params
+
+  let register q =
+    {
+      q;
+      rng = Rng.create ~seed:(Atomic.fetch_and_add handle_seed 0x9E3779B9) ();
+      hp_thread = Option.map Hazard.register q.hp;
+    }
+
+  let unregister h = Option.iter Hazard.unregister h.hp_thread
+
+  let length q = Atomic.get q.size
+
+  let node_at q level slot = (Atomic.get q.levels.(level)).(slot)
+
+  (* Optimistic access to a node: publish a hazard pointer and re-validate,
+     exactly the acquire pattern a non-GC runtime needs (Section 3.5). In
+     leaky mode this collapses to a plain read. *)
+  let protect_node h ~hpslot level slot =
+    match h.hp_thread with
+    | None -> node_at h.q level slot
+    | Some th ->
+        let rec go () =
+          let n = node_at h.q level slot in
+          Hazard.set th ~slot:hpslot n;
+          if node_at h.q level slot == n then n else go ()
+        in
+        go ()
+
+  let expand q observed_leaf =
+    Mutex.lock q.expand_mu;
+    if Atomic.get q.leaf_level = observed_leaf then begin
+      let next = observed_leaf + 1 in
+      if next >= max_levels then begin
+        Mutex.unlock q.expand_mu;
+        failwith "Zmsq: tree height limit reached"
+      end;
+      Atomic.set q.levels.(next) (Array.init (1 lsl next) (fun _ -> fresh_tnode ()));
+      Atomic.set q.leaf_level next;
+      Atomic.incr q.c_expands
+    end;
+    Mutex.unlock q.expand_mu
+
+  (* {2 Locking helpers} *)
+
+  let acquire_policy q lock =
+    match q.params.lock_policy with
+    | Params.Blocking ->
+        L.acquire lock;
+        true
+    | Params.Trylock -> L.try_acquire lock
+
+  (* {2 Insertion (Listing 1)} *)
+
+  (* Probe random leaves for a starting position: either a leaf whose max
+     is <= e (then binary-search the root path), or — below the top
+     [forced_min_level] levels — a non-full leaf that can absorb e in a
+     non-head position. *)
+  let rec select_position h e =
+    let q = h.q in
+    let leaf = Atomic.get q.leaf_level in
+    let width = 1 lsl leaf in
+    let attempts = max leaf 1 in
+    let rec probe i =
+      if i >= attempts then None
+      else begin
+        let slot = Rng.int h.rng width in
+        let node = protect_node h ~hpslot:0 leaf slot in
+        if Atomic.get node.max <= e then Some (slot, false)
+        else if
+          q.params.forced_insert
+          && leaf > q.params.forced_min_level
+          && Atomic.get node.count < q.params.target_len
+        then Some (slot, true)
+        else probe (i + 1)
+      end
+    in
+    match probe 0 with
+    | Some (slot, force) -> (leaf, slot, force)
+    | None ->
+        expand q leaf;
+        select_position h e
+
+  (* Binary search over the path from [(leaf, slot)] to the root for the
+     shallowest ancestor whose max is <= e; its parent's max exceeds e.
+     Reads are optimistic; the caller re-validates under locks. *)
+  let search_position h leaf slot e =
+    let anc l = slot lsr (leaf - l) in
+    let lo = ref 0 and hi = ref leaf in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let n = protect_node h ~hpslot:0 mid (anc mid) in
+      if Atomic.get n.max <= e then hi := mid else lo := mid + 1
+    done;
+    (!hi, anc !hi)
+
+  let forced_insert_at q node e =
+    if not (acquire_policy q node.lock) then false
+    else begin
+      let ok = e <= Atomic.get node.max && Atomic.get node.count < q.params.target_len in
+      if ok then begin
+        Set.insert node.set e;
+        if e < Atomic.get node.min then Atomic.set node.min e;
+        Atomic.incr node.count;
+        Atomic.incr q.c_forced
+      end;
+      L.release node.lock;
+      ok
+    end
+
+  (* Split an oversized set: keep the upper half in [node], push the lower
+     half to the children. Children are locked before [node] is released so
+     no extraction can observe the pre-split children with the post-split
+     parent (Section 3.4). Recurses if a child overflows in turn.
+
+     Splits never run at the leaf level: forcing expansion from inside a
+     split cascade can blow the tree up under tiny target_len (each deep
+     split would add a level). A temporarily oversized leaf is harmless —
+     the next failed leaf probes expand the tree and it becomes internal. *)
+  let rec split_node q level slot node =
+    let left = node_at q (level + 1) (2 * slot) in
+    let right = node_at q (level + 1) ((2 * slot) + 1) in
+    L.acquire left.lock;
+    L.acquire right.lock;
+    let lower = Set.split_lower node.set in
+    refresh node;
+    L.release node.lock;
+    Array.iteri
+      (fun i e -> Set.insert (if i land 1 = 0 then left else right).set e)
+      lower;
+    refresh left;
+    refresh right;
+    Atomic.incr q.c_splits;
+    let limit = 2 * q.params.target_len in
+    let splittable l = l + 1 < Atomic.get q.leaf_level in
+    (* Release (or recurse into) the right child first so lock order stays
+       parent-before-child. *)
+    if Set.size right.set > limit && splittable (level + 1) then
+      split_node q (level + 1) ((2 * slot) + 1) right
+    else L.release right.lock;
+    if Set.size left.set > limit && splittable (level + 1) then
+      split_node q (level + 1) (2 * slot) left
+    else L.release left.lock
+
+  let insert_as_max q level slot node e =
+    Set.insert node.set e;
+    Atomic.set node.max e;
+    if Elt.is_none (Atomic.get node.min) then Atomic.set node.min e;
+    Atomic.incr node.count;
+    if
+      q.params.split
+      && Set.size node.set > 2 * q.params.target_len
+      && level < Atomic.get q.leaf_level
+    then begin
+      split_node q level slot node;
+      true
+    end
+    else false (* caller must release the node lock *)
+
+  let regular_insert h level slot e =
+    let q = h.q in
+    if level = 0 then begin
+      let root = protect_node h ~hpslot:0 0 0 in
+      if not (acquire_policy q root.lock) then false
+      else if Atomic.get root.max > e then begin
+        L.release root.lock;
+        false
+      end
+      else begin
+        if not (insert_as_max q 0 0 root e) then L.release root.lock;
+        true
+      end
+    end
+    else begin
+      let parent = protect_node h ~hpslot:1 (level - 1) (slot / 2) in
+      let node = protect_node h ~hpslot:0 level slot in
+      if not (acquire_policy q parent.lock) then false
+      else if not (acquire_policy q node.lock) then begin
+        L.release parent.lock;
+        false
+      end
+      else if e < Atomic.get node.max || e >= Atomic.get parent.max then begin
+        L.release node.lock;
+        L.release parent.lock;
+        false
+      end
+      else begin
+        let pmin = Atomic.get parent.min in
+        if
+          q.params.min_swap
+          && level - 1 > q.params.forced_min_level
+          && (not (Elt.is_none pmin))
+          && pmin < e
+        then begin
+          (* Quality enhancement (Section 3.2): e joins the parent's set as
+             a non-max element; the parent's old minimum drops into [node].
+             Both nodes are already locked, so no extra synchronization. *)
+          let moved, new_min = Set.replace_min parent.set e in
+          Atomic.set parent.min new_min;
+          Set.insert node.set moved;
+          if moved > Atomic.get node.max then Atomic.set node.max moved;
+          let nmin = Atomic.get node.min in
+          if Elt.is_none nmin || moved < nmin then Atomic.set node.min moved;
+          Atomic.incr node.count;
+          Atomic.incr q.c_min_swaps;
+          L.release parent.lock;
+          (* The dropped minimum can also overflow [node]: split exactly as
+             an insert-as-max would (split_node releases the node lock). *)
+          if
+            q.params.split
+            && Set.size node.set > 2 * q.params.target_len
+            && level < Atomic.get q.leaf_level
+          then split_node q level slot node
+          else L.release node.lock;
+          true
+        end
+        else begin
+          L.release parent.lock;
+          if not (insert_as_max q level slot node e) then L.release node.lock;
+          true
+        end
+      end
+    end
+
+  (* Section 5 extension: a fresh key that beats the weakest unclaimed pool
+     element takes its slot; the displaced element is re-inserted into the
+     tree by the caller. The CAS can only replace a value a consumer has
+     not yet claimed (claims exchange in [none], which never matches), and
+     a racing refill generation changes the slot value, failing the CAS. *)
+  let try_pool_displace q e =
+    if (not q.params.pool_insert) || q.params.batch = 0 || Atomic.get q.pool_next < 0 then
+      Elt.none
+    else begin
+      let slot = q.pool.(0) in
+      let weakest = Atomic.get slot in
+      if (not (Elt.is_none weakest)) && weakest < e && Atomic.compare_and_set slot weakest e
+      then begin
+        Atomic.incr q.c_pool_inserts;
+        weakest
+      end
+      else Elt.none
+    end
+
+  let insert h e =
+    if Elt.is_none e then invalid_arg "Zmsq.insert: none";
+    let q = h.q in
+    (* Count the element before it lands: extraction spins rather than
+       reporting a false empty while an insert is in flight. *)
+    Atomic.incr q.size;
+    let e = match try_pool_displace q e with v when Elt.is_none v -> e | displaced -> displaced in
+    let rec attempt () =
+      let leaf, slot, force = select_position h e in
+      if force then begin
+        let node = protect_node h ~hpslot:0 leaf slot in
+        if not (forced_insert_at q node e) then begin
+          Atomic.incr q.c_retries;
+          attempt ()
+        end
+      end
+      else begin
+        let ilevel, islot = search_position h leaf slot e in
+        if not (regular_insert h ilevel islot e) then begin
+          Atomic.incr q.c_retries;
+          attempt ()
+        end
+      end
+    in
+    attempt ();
+    match q.ec with None -> () | Some ec -> Eventcount.signal_after_insert ec
+
+  (* {2 Extraction (Listing 2)} *)
+
+  let extract_from_pool q =
+    if q.params.batch = 0 || Atomic.get q.pool_next < 0 then Elt.none
+    else begin
+      let idx = Atomic.fetch_and_add q.pool_next (-1) in
+      if idx >= 0 then
+        (* Slots are written before pool_next is published, so the value is
+           there; the exchange marks it consumed for the refiller's
+           lagging-consumer wait. *)
+        Atomic.exchange q.pool.(idx) Elt.none
+      else Elt.none
+    end
+
+  (* Mound-style invariant repair from [(level, slot)] downward; the node's
+     lock is held and released here. *)
+  let rec swap_down q level slot node =
+    if level >= Atomic.get q.leaf_level then L.release node.lock
+    else begin
+      let left = node_at q (level + 1) (2 * slot) in
+      let right = node_at q (level + 1) ((2 * slot) + 1) in
+      L.acquire left.lock;
+      L.acquire right.lock;
+      let my = Atomic.get node.max in
+      let lmax = Atomic.get left.max and rmax = Atomic.get right.max in
+      if my >= lmax && my >= rmax then begin
+        L.release right.lock;
+        L.release left.lock;
+        L.release node.lock
+      end
+      else begin
+        let child, child_slot, other =
+          if lmax >= rmax then (left, 2 * slot, right) else (right, (2 * slot) + 1, left)
+        in
+        L.release other.lock;
+        Set.swap_contents node.set child.set;
+        refresh node;
+        refresh child;
+        Atomic.incr q.c_swap_downs;
+        L.release node.lock;
+        swap_down q (level + 1) child_slot child
+      end
+    end
+
+  (* Refill the pool from the root (batch > 0) or do a strict extraction
+     (batch = 0). Returns the element reserved for the caller, or [none]
+     when the root was contended / already refilled / empty. *)
+  let extract_pool h =
+    let q = h.q in
+    let root = protect_node h ~hpslot:0 0 0 in
+    if not (L.try_acquire root.lock) then Elt.none
+    else if q.params.batch > 0 && Atomic.get q.pool_next >= 0 then begin
+      L.release root.lock;
+      Elt.none
+    end
+    else if Set.is_empty root.set then begin
+      L.release root.lock;
+      Elt.none
+    end
+    else begin
+      (* Wait for lagging consumers holding indexes into the old pool. *)
+      for i = 0 to q.pool_fill - 1 do
+        while not (Elt.is_none (Atomic.get q.pool.(i))) do
+          Domain.cpu_relax ()
+        done
+      done;
+      let count = Set.size root.set in
+      let n = if q.params.batch = 0 then 0 else min q.params.batch (count - 1) in
+      let top = Set.take_top root.set (n + 1) in
+      let reserved = top.(0) in
+      for i = 0 to n - 1 do
+        (* pool.(i) ascending: the highest index is claimed first. *)
+        Atomic.set q.pool.(i) top.(n - i)
+      done;
+      q.pool_fill <- n;
+      refresh root;
+      Atomic.incr q.c_refills;
+      if n > 0 then Atomic.set q.pool_next (n - 1);
+      swap_down q 0 0 root;
+      reserved
+    end
+
+  let extract h =
+    let q = h.q in
+    let rec loop () =
+      let v = extract_from_pool q in
+      if not (Elt.is_none v) then finish v
+      else begin
+        let v = extract_pool h in
+        if not (Elt.is_none v) then finish v
+        else if Atomic.get q.size = 0 then Elt.none
+        else begin
+          Domain.cpu_relax ();
+          loop ()
+        end
+      end
+    and finish v =
+      Atomic.decr q.size;
+      v
+    in
+    loop ()
+
+  let extract_timeout h ~timeout_ns =
+    match h.q.ec with
+    | None -> invalid_arg "Zmsq.extract_timeout: queue created without blocking"
+    | Some ec ->
+        let deadline = Zmsq_util.Timing.now_ns () + timeout_ns in
+        let rec loop () =
+          let remaining = deadline - Zmsq_util.Timing.now_ns () in
+          if remaining <= 0 then Elt.none
+          else if Eventcount.wait_before_extract_for ec ~timeout_ns:remaining then begin
+            let v = extract h in
+            if Elt.is_none v then loop () else v
+          end
+          else Elt.none
+        in
+        loop ()
+
+  (* Section 5 extension: helper passes improve set quality in the
+     background. One pass visits random non-leaf nodes; when a node's set
+     is below target_len, it pulls the larger child's maximum up into the
+     node's set (safe: that key is <= the node's max by the invariant) and
+     repairs the child's own invariant downward. Returns elements moved. *)
+  let helper_pass ?(visits = 8) h =
+    let q = h.q in
+    let moved = ref 0 in
+    let leaf = Atomic.get q.leaf_level in
+    if leaf > 0 then
+      for _ = 1 to visits do
+        let level = Rng.int h.rng leaf in
+        let slot = Rng.int h.rng (1 lsl level) in
+        let node = protect_node h ~hpslot:0 level slot in
+        if
+          Atomic.get node.count < q.params.target_len
+          && level < Atomic.get q.leaf_level
+          && L.try_acquire node.lock
+        then begin
+          if Atomic.get node.count < q.params.target_len then begin
+            let left = node_at q (level + 1) (2 * slot) in
+            let right = node_at q (level + 1) ((2 * slot) + 1) in
+            L.acquire left.lock;
+            L.acquire right.lock;
+            let child, child_slot, other =
+              if Atomic.get left.max >= Atomic.get right.max then (left, 2 * slot, right)
+              else (right, (2 * slot) + 1, left)
+            in
+            L.release other.lock;
+            if Set.size child.set > 1 then begin
+              let top = Set.remove_max child.set in
+              Set.insert node.set top;
+              refresh node;
+              refresh child;
+              incr moved;
+              Atomic.incr q.c_helper_moves;
+              L.release node.lock;
+              (* The child lost its max; restore its subtree invariant. *)
+              swap_down q (level + 1) child_slot child
+            end
+            else begin
+              L.release child.lock;
+              L.release node.lock
+            end
+          end
+          else L.release node.lock
+        end
+      done;
+    !moved
+
+  let is_empty q = Atomic.get q.size = 0
+
+  (* Best element currently *staged*: the pool's next claim if the pool is
+     live, else the root's cached max. An estimate — concurrent operations
+     may move it — but never smaller than what a subsequent extract from a
+     quiescent queue returns. *)
+  let peek q =
+    let next = Atomic.get q.pool_next in
+    let from_pool =
+      if q.params.batch > 0 && next >= 0 && next < Array.length q.pool then
+        Atomic.get q.pool.(next)
+      else Elt.none
+    in
+    if not (Elt.is_none from_pool) then from_pool
+    else Atomic.get (node_at q 0 0).max
+
+  let extract_blocking h =
+    match h.q.ec with
+    | None -> invalid_arg "Zmsq.extract_blocking: queue created without blocking"
+    | Some ec ->
+        let rec loop () =
+          Eventcount.wait_before_extract ec;
+          let v = extract h in
+          if Elt.is_none v then loop () else v
+        in
+        loop ()
+
+  (* {2 Debug} *)
+
+  module Debug = struct
+    let leaf_level q = Atomic.get q.leaf_level
+
+    let fold_nodes q f init =
+      let acc = ref init in
+      for level = 0 to Atomic.get q.leaf_level do
+        let nodes = Atomic.get q.levels.(level) in
+        for slot = 0 to Array.length nodes - 1 do
+          acc := f !acc level slot nodes.(slot)
+        done
+      done;
+      !acc
+
+    let pool_level q =
+      let n = Atomic.get q.pool_next in
+      if q.params.batch = 0 || n < 0 then 0 else n + 1
+
+    let pool_elements q =
+      let acc = ref [] in
+      for i = 0 to q.pool_fill - 1 do
+        let v = Atomic.get q.pool.(i) in
+        if not (Elt.is_none v) then acc := v :: !acc
+      done;
+      !acc
+
+    let elements q =
+      fold_nodes q (fun acc _ _ n -> List.rev_append (Set.to_list n.set) acc) (pool_elements q)
+
+    let node_counts q =
+      List.rev (fold_nodes q (fun acc _ _ n -> Set.size n.set :: acc) []) |> Array.of_list
+
+    let check_invariant q =
+      let caches_ok =
+        fold_nodes q
+          (fun ok _ _ n ->
+            ok
+            && Atomic.get n.max = Set.max_elt n.set
+            && Atomic.get n.min = Set.min_elt n.set
+            && Atomic.get n.count = Set.size n.set)
+          true
+      in
+      let heap_ok =
+        fold_nodes q
+          (fun ok level slot n ->
+            ok
+            &&
+            if level = 0 then true
+            else Atomic.get (node_at q (level - 1) (slot / 2)).max >= Atomic.get n.max)
+          true
+      in
+      let pool_ok =
+        let next = Atomic.get q.pool_next in
+        if q.params.batch = 0 then next < 0
+        else begin
+          let ok = ref (next < q.pool_fill) in
+          for i = 0 to min next (Array.length q.pool - 1) do
+            if Elt.is_none (Atomic.get q.pool.(i)) then ok := false
+          done;
+          (* Claimable slots ascend: the next claim is the current best.
+             Direct pool insertion deliberately breaks this ordering (it
+             overwrites slot 0 with a better element). *)
+          if not q.params.pool_insert then
+            for i = 1 to min next (Array.length q.pool - 1) do
+              if Atomic.get q.pool.(i) < Atomic.get q.pool.(i - 1) then ok := false
+            done;
+          !ok
+        end
+      in
+      let size_ok = List.length (elements q) = Atomic.get q.size in
+      caches_ok && heap_ok && pool_ok && size_ok
+
+    let counters q =
+      {
+        refills = Atomic.get q.c_refills;
+        splits = Atomic.get q.c_splits;
+        forced_inserts = Atomic.get q.c_forced;
+        min_swaps = Atomic.get q.c_min_swaps;
+        insert_retries = Atomic.get q.c_retries;
+        expands = Atomic.get q.c_expands;
+        swap_downs = Atomic.get q.c_swap_downs;
+        pool_inserts = Atomic.get q.c_pool_inserts;
+        helper_moves = Atomic.get q.c_helper_moves;
+      }
+
+    let eventcount q = q.ec
+
+    let hazard_domain_stats q =
+      Option.map
+        (fun hp -> (Hazard.retired_count hp, Hazard.recycled_count hp, Hazard.scan_count hp))
+        q.hp
+  end
+end
+
+module Default = Make (Zmsq_sync.Lock.Tatas) (List_set)
+module Array_q = Make (Zmsq_sync.Lock.Tatas) (Array_set)
+module Lazy_q = Make (Zmsq_sync.Lock.Tatas) (Lazy_set)
+module Tas_q = Make (Zmsq_sync.Lock.Tas) (List_set)
+module Mutex_q = Make (Zmsq_sync.Lock.Mutex_lock) (List_set)

@@ -1,0 +1,135 @@
+(** ZMSQ — the paper's relaxed concurrent priority queue (Section 3).
+
+    The structure is a binary tree of TNodes (each holding a small set of
+    elements plus cached atomic [min]/[max]/[count]) with the mound
+    invariant [parent.max >= child.max], improved by three insertion
+    techniques that keep every set near [target_len] elements of similar
+    priority, and by a shared pool of up to [batch] high-priority elements
+    that amortizes root contention in [extract].
+
+    Guarantees (Section 3.7):
+    - [extract] returns {!Zmsq_pq.Elt.none} only when the queue is truly
+      empty at that instant ([exact_emptiness = true]);
+    - with [batch = b], the true maximum is returned at least once in any
+      [b + 1] consecutive extractions, and [k * (b + 1)] consecutive
+      extractions return a superset of the top [k] elements — independent
+      of the thread count;
+    - [batch = 0] degrades to a strict (exact) priority queue;
+    - consumers may block on an empty queue ({!S.extract_blocking}) via the
+      futex-style eventcount of Section 3.6;
+    - optimistic accesses are protected by hazard pointers unless
+      [params.leaky] is set (the paper's "leak" comparison mode).
+
+    The functor is parameterized by the per-node lock (Section 4.1 compares
+    mutex/TAS/TATAS) and the per-node set representation (sorted list vs
+    unsorted array — the "(array)" curves). *)
+
+(** Re-exports: the library's entry module is [Zmsq], so sibling modules
+    are reached as [Zmsq.Params] etc. *)
+
+module Params = Params
+module Set_intf = Set_intf
+module List_set = List_set
+module Array_set = Array_set
+module Lazy_set = Lazy_set
+
+(** Low-frequency event counters exposed for benchmarks and tests. *)
+type counters = {
+  refills : int;  (** extractPool calls that touched the root *)
+  splits : int;  (** oversized sets split toward children *)
+  forced_inserts : int;  (** non-max leaf insertions (Section 3.2) *)
+  min_swaps : int;  (** parent-min swap optimizations (Section 3.2) *)
+  insert_retries : int;  (** optimistic insertion restarts *)
+  expands : int;  (** tree level expansions *)
+  swap_downs : int;  (** set exchanges during invariant repair *)
+  pool_inserts : int;  (** direct pool displacements (Section 5 extension) *)
+  helper_moves : int;  (** elements promoted by helper passes (Section 5 extension) *)
+}
+
+module type S = sig
+  type t
+  type handle
+
+  val create : ?params:Params.t -> unit -> t
+  (** Defaults to {!Params.default}. *)
+
+  val params : t -> Params.t
+
+  include Zmsq_pq.Intf.CONC with type t := t and type handle := handle
+
+  val extract_blocking : handle -> Zmsq_pq.Elt.t
+  (** Like [extract], but sleeps on the eventcount while the queue is
+      empty; never returns {!Zmsq_pq.Elt.none}. Requires the queue to have
+      been created with [params.blocking = true] (raises
+      [Invalid_argument] otherwise). *)
+
+  val extract_timeout : handle -> timeout_ns:int -> Zmsq_pq.Elt.t
+  (** Deadline-bounded {!extract_blocking}: waits at most [timeout_ns]
+      nanoseconds for an element, returning {!Zmsq_pq.Elt.none} on
+      timeout. Same [params.blocking] requirement. Mirrors the timed pops
+      production queues expose (e.g. Folly's
+      [RelaxedConcurrentPriorityQueue::try_pop_until]). *)
+
+  val is_empty : t -> bool
+  (** Exact at any instant (the global element count is zero). *)
+
+  val peek : t -> Zmsq_pq.Elt.t
+  (** The best currently staged element (next pool claim, or the root's
+      cached maximum) without removing it; {!Zmsq_pq.Elt.none} when empty.
+      An O(1) estimate: concurrent operations may change it before an
+      extract. *)
+
+  val helper_pass : ?visits:int -> handle -> int
+  (** One quality-improvement pass (the paper's Section 5 "helper threads"
+      future work): visit [visits] (default 8) random non-leaf nodes and,
+      where a set is under [target_len], promote the larger child's
+      maximum into it, repairing the child's subtree afterwards. Safe to
+      run concurrently with any other operation; intended to be called in
+      a loop from a dedicated background domain. Returns the number of
+      elements moved. *)
+
+  (** Introspection for tests, the accuracy harness and the set-quality
+      experiments. Quiescent-only unless noted. *)
+  module Debug : sig
+    val check_invariant : t -> bool
+    (** Parent/child max ordering, cache coherence with the underlying
+        sets, pool consistency, size accounting. *)
+
+    val leaf_level : t -> int
+
+    val node_counts : t -> int array
+    (** Set size of every populated node, breadth-first from the root —
+        the statistic behind the paper's set-stability claim. *)
+
+    val elements : t -> Zmsq_pq.Elt.t list
+    (** Every element currently in the queue (tree + pool), unordered. *)
+
+    val pool_level : t -> int
+    (** Elements currently claimable from the pool (0 if empty). *)
+
+    val counters : t -> counters
+
+    val eventcount : t -> Zmsq_sync.Eventcount.t option
+
+    val hazard_domain_stats : t -> (int * int * int) option
+    (** (retired, recycled, scans) when hazard pointers are active. *)
+  end
+end
+
+module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S
+
+module Default : S
+(** TATAS trylocks + sorted-list sets — the paper's default configuration. *)
+
+module Array_q : S
+(** TATAS trylocks + unsorted-array sets — the "(array)" curves. *)
+
+module Lazy_q : S
+(** TATAS trylocks + unordered-list sets — an ablation separating the cost
+    of the list *representation* from the cost of keeping it sorted. *)
+
+module Tas_q : S
+(** TAS trylocks + list sets (Figure 2). *)
+
+module Mutex_q : S
+(** OS mutex + list sets (Figure 2's std::mutex baseline). *)

@@ -1,0 +1,1 @@
+lib/dist/keys.ml: Array Float Format Hashtbl Zmsq_util

@@ -1,0 +1,1 @@
+lib/dist/keys.mli: Format Zmsq_util

@@ -1,0 +1,1 @@
+lib/dist/workload.ml: Array Keys Zmsq_util

@@ -1,0 +1,1 @@
+lib/dist/workload.mli: Keys Zmsq_util

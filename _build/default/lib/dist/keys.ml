@@ -1,0 +1,106 @@
+module Rng = Zmsq_util.Rng
+
+type spec =
+  | Uniform of { bits : int }
+  | Normal of { mean : float; stddev : float; max_key : int }
+  | Exponential of { rate : float; max_key : int }
+  | Zipf of { n : int; theta : float }
+  | Ascending of { start : int }
+  | Descending of { start : int }
+
+let default_bits = 20
+
+type state = Plain | Counter of int ref | Zipf_tables of { alias : int array; prob : float array }
+
+type gen = { rng : Rng.t; spec : spec; state : state }
+
+(* Walker alias method over the (truncated) zipf pmf: O(1) sampling after
+   O(n) setup, good enough for the modest n used in workloads. *)
+let zipf_tables n theta =
+  let w = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) theta) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let scaled = Array.map (fun x -> x /. total *. float_of_int n) w in
+  let alias = Array.make n 0 and prob = Array.make n 1.0 in
+  let small = ref [] and large = ref [] in
+  Array.iteri (fun i p -> if p < 1.0 then small := i :: !small else large := i :: !large) scaled;
+  let rec pair () =
+    match (!small, !large) with
+    | s :: srest, l :: lrest ->
+        prob.(s) <- scaled.(s);
+        alias.(s) <- l;
+        scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.0;
+        small := srest;
+        if scaled.(l) < 1.0 then begin
+          large := lrest;
+          small := l :: !small
+        end;
+        pair ()
+    | _ -> ()
+  in
+  pair ();
+  Zipf_tables { alias; prob }
+
+let make rng spec =
+  let state =
+    match spec with
+    | Ascending { start } | Descending { start } -> Counter (ref start)
+    | Zipf { n; theta } ->
+        if n <= 0 then invalid_arg "Keys: Zipf n must be positive";
+        zipf_tables n theta
+    | Uniform { bits } ->
+        if bits <= 0 || bits > 61 then invalid_arg "Keys: Uniform bits in [1,61]";
+        Plain
+    | Normal _ | Exponential _ -> Plain
+  in
+  { rng; spec; state }
+
+let next g =
+  match (g.spec, g.state) with
+  | Uniform { bits }, _ -> Rng.int g.rng (1 lsl bits)
+  | Normal { mean; stddev; max_key }, _ ->
+      let v = int_of_float (Rng.normal g.rng ~mean ~stddev) in
+      if v < 0 then 0 else if v > max_key then max_key else v
+  | Exponential { rate; max_key }, _ ->
+      let v = int_of_float (Rng.exponential g.rng ~rate) in
+      if v > max_key then max_key else v
+  | Zipf { n; _ }, Zipf_tables { alias; prob } ->
+      let i = Rng.int g.rng n in
+      if Rng.float g.rng 1.0 < prob.(i) then i else alias.(i)
+  | Ascending _, Counter r ->
+      let v = !r in
+      incr r;
+      v
+  | Descending _, Counter r ->
+      let v = !r in
+      decr r;
+      if v <= 0 then 0 else v
+  | (Zipf _ | Ascending _ | Descending _), _ -> assert false
+
+let stream rng spec n =
+  let g = make rng spec in
+  Array.init n (fun _ -> next g)
+
+let unique rng n =
+  (* Dense distinct keys in a 4n range, shuffled: keeps priorities within
+     the packable width while guaranteeing no duplicates. *)
+  let range = 4 * n in
+  let a = Array.make n 0 in
+  let seen = Hashtbl.create (2 * n) in
+  let i = ref 0 in
+  while !i < n do
+    let k = Rng.int rng range in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      a.(!i) <- k;
+      incr i
+    end
+  done;
+  a
+
+let pp_spec fmt = function
+  | Uniform { bits } -> Format.fprintf fmt "uniform(%d-bit)" bits
+  | Normal { mean; stddev; max_key } -> Format.fprintf fmt "normal(mu=%g,sd=%g,max=%d)" mean stddev max_key
+  | Exponential { rate; max_key } -> Format.fprintf fmt "exp(rate=%g,max=%d)" rate max_key
+  | Zipf { n; theta } -> Format.fprintf fmt "zipf(n=%d,theta=%g)" n theta
+  | Ascending { start } -> Format.fprintf fmt "ascending(from=%d)" start
+  | Descending { start } -> Format.fprintf fmt "descending(from=%d)" start

@@ -1,0 +1,36 @@
+(** Key streams for priority-queue workloads.
+
+    The paper draws insert keys from a normal distribution for the lock and
+    parameter studies (Section 4.1–4.2), uses uniform 20-bit and 7-bit keys
+    for the microbenchmarks (Section 4.5), and unique random keys for the
+    accuracy tables. Monotone streams exercise the mound's pathological
+    input patterns (Section 3.7). *)
+
+type spec =
+  | Uniform of { bits : int }  (** uniform in [0, 2^bits) *)
+  | Normal of { mean : float; stddev : float; max_key : int }
+      (** Gaussian, clamped to [0, max_key] *)
+  | Exponential of { rate : float; max_key : int }
+  | Zipf of { n : int; theta : float }
+      (** Zipfian rank in [0, n); theta in (0,1) controls skew *)
+  | Ascending of { start : int }  (** start, start+1, ... (worst case for some queues) *)
+  | Descending of { start : int }
+      (** start, start-1, ... — the mound's worst case (sets of size 1) *)
+
+val default_bits : int
+(** 20, the paper's default key width. *)
+
+type gen
+(** A stateful key generator (owned by one thread). *)
+
+val make : Zmsq_util.Rng.t -> spec -> gen
+val next : gen -> int
+
+val stream : Zmsq_util.Rng.t -> spec -> int -> int array
+(** [stream rng spec n] materializes [n] keys. *)
+
+val unique : Zmsq_util.Rng.t -> int -> int array
+(** [unique rng n] draws [n] distinct non-negative keys (for accuracy
+    experiments, which require no duplicates), in random order. *)
+
+val pp_spec : Format.formatter -> spec -> unit

@@ -1,0 +1,19 @@
+module Rng = Zmsq_util.Rng
+
+type op = Insert of int | Extract
+
+let mixed rng ~keys ~insert_permil n =
+  if insert_permil < 0 || insert_permil > 1000 then invalid_arg "Workload.mixed";
+  let g = Keys.make rng keys in
+  Array.init n (fun _ ->
+      if Rng.int rng 1000 < insert_permil then Insert (Keys.next g) else Extract)
+
+let per_thread rng ~threads ~keys ~insert_permil n =
+  if threads <= 0 then invalid_arg "Workload.per_thread";
+  let rngs = Rng.split_n rng threads in
+  Array.init threads (fun t ->
+      let share = (n / threads) + if t < n mod threads then 1 else 0 in
+      mixed rngs.(t) ~keys ~insert_permil share)
+
+let count_inserts ops =
+  Array.fold_left (fun acc -> function Insert _ -> acc + 1 | Extract -> acc) 0 ops

@@ -1,0 +1,22 @@
+(** Pre-materialized operation sequences for throughput benchmarks.
+
+    Generating the operation stream ahead of time keeps RNG cost out of the
+    measured region and makes runs reproducible across queue
+    implementations. *)
+
+type op =
+  | Insert of int  (** key to insert *)
+  | Extract
+
+val mixed :
+  Zmsq_util.Rng.t -> keys:Keys.spec -> insert_permil:int -> int -> op array
+(** [mixed rng ~keys ~insert_permil n] draws [n] operations where each is an
+    insert with probability [insert_permil]/1000 (e.g. 660 for the paper's
+    66% insert workload). *)
+
+val per_thread :
+  Zmsq_util.Rng.t -> threads:int -> keys:Keys.spec -> insert_permil:int -> int -> op array array
+(** Split [n] total operations into [threads] independent streams (sizes
+    differ by at most one). *)
+
+val count_inserts : op array -> int

@@ -1,0 +1,1 @@
+lib/graph/csr.ml: Array

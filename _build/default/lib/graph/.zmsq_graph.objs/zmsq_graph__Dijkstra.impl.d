@@ -1,0 +1,1 @@
+lib/graph/dijkstra.ml: Array Csr Zmsq_pq

@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Csr Hashtbl Zmsq_util

@@ -1,0 +1,1 @@
+lib/graph/sssp_parallel.ml: Array Atomic Csr Dijkstra Domain Zmsq_pq Zmsq_sync Zmsq_util

@@ -1,0 +1,1 @@
+lib/graph/sssp_parallel.mli: Csr Zmsq_pq

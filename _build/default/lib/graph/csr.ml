@@ -1,0 +1,63 @@
+type t = { n : int; row : int array; col : int array; w : int array }
+
+let of_edges ~n edges =
+  if n <= 0 then invalid_arg "Csr.of_edges: n must be positive";
+  let m = Array.length edges in
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (s, d, wt) ->
+      if s < 0 || s >= n || d < 0 || d >= n then invalid_arg "Csr.of_edges: vertex out of range";
+      if wt < 0 then invalid_arg "Csr.of_edges: negative weight";
+      deg.(s) <- deg.(s) + 1)
+    edges;
+  let row = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    row.(v + 1) <- row.(v) + deg.(v)
+  done;
+  let col = Array.make m 0 and w = Array.make m 0 in
+  let cursor = Array.copy row in
+  Array.iter
+    (fun (s, d, wt) ->
+      let i = cursor.(s) in
+      cursor.(s) <- i + 1;
+      col.(i) <- d;
+      w.(i) <- wt)
+    edges;
+  { n; row; col; w }
+
+let n_vertices g = g.n
+let n_edges g = Array.length g.col
+let out_degree g v = g.row.(v + 1) - g.row.(v)
+
+let iter_succ g v f =
+  for i = g.row.(v) to g.row.(v + 1) - 1 do
+    f g.col.(i) g.w.(i)
+  done
+
+let fold_succ g v f init =
+  let acc = ref init in
+  for i = g.row.(v) to g.row.(v + 1) - 1 do
+    acc := f !acc g.col.(i) g.w.(i)
+  done;
+  !acc
+
+let symmetrize g =
+  let m = n_edges g in
+  let edges = Array.make (2 * m) (0, 0, 0) in
+  let k = ref 0 in
+  for v = 0 to g.n - 1 do
+    iter_succ g v (fun d wt ->
+        edges.(!k) <- (v, d, wt);
+        edges.(!k + 1) <- (d, v, wt);
+        k := !k + 2)
+  done;
+  of_edges ~n:g.n edges
+
+let max_weight g = Array.fold_left max 0 g.w
+
+let degree_stats g =
+  let maxd = ref 0 in
+  for v = 0 to g.n - 1 do
+    maxd := max !maxd (out_degree g v)
+  done;
+  (float_of_int (n_edges g) /. float_of_int g.n, !maxd)

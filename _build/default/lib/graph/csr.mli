@@ -1,0 +1,26 @@
+(** Immutable weighted digraph in compressed sparse row form — the substrate
+    for the paper's SSSP experiments (Sections 4.6–4.7). *)
+
+type t
+
+val of_edges : n:int -> (int * int * int) array -> t
+(** [of_edges ~n edges] with edges [(src, dst, weight)]; weights must be
+    non-negative. Self-loops are allowed; duplicates kept. *)
+
+val symmetrize : t -> t
+(** Add the reverse of every edge (social graphs are undirected). *)
+
+val n_vertices : t -> int
+val n_edges : t -> int
+val out_degree : t -> int -> int
+
+val iter_succ : t -> int -> (int -> int -> unit) -> unit
+(** [iter_succ g v f] calls [f dst weight] for every out-edge of [v]. *)
+
+val fold_succ : t -> int -> ('a -> int -> int -> 'a) -> 'a -> 'a
+
+val max_weight : t -> int
+
+val degree_stats : t -> float * int
+(** (mean degree, max degree) — used to sanity-check generated social
+    graphs. *)

@@ -1,0 +1,55 @@
+module Heap = Zmsq_pq.Binary_heap
+module Elt = Zmsq_pq.Elt
+
+let infinity_dist = max_int / 4
+
+(* Max-queue with priority = max_priority - dist gives min-dist-first
+   order; distances stay well inside the 31-bit priority space for the
+   graphs we generate. *)
+let encode dist v = Elt.pack ~priority:(Elt.max_priority - dist) ~payload:v
+let dist_of e = Elt.max_priority - Elt.priority e
+
+let dijkstra g ~source =
+  let n = Csr.n_vertices g in
+  if source < 0 || source >= n then invalid_arg "Dijkstra: bad source";
+  let dist = Array.make n infinity_dist in
+  let heap = Heap.create () in
+  dist.(source) <- 0;
+  Heap.insert heap (encode 0 source);
+  let rec loop () =
+    let e = Heap.extract_max heap in
+    if not (Elt.is_none e) then begin
+      let d = dist_of e and v = Elt.payload e in
+      if d <= dist.(v) then
+        Csr.iter_succ g v (fun u w ->
+            let nd = d + w in
+            if nd < dist.(u) then begin
+              dist.(u) <- nd;
+              Heap.insert heap (encode nd u)
+            end);
+      loop ()
+    end
+  in
+  loop ();
+  dist
+
+let bellman_ford g ~source =
+  let n = Csr.n_vertices g in
+  if source < 0 || source >= n then invalid_arg "Bellman_ford: bad source";
+  let dist = Array.make n infinity_dist in
+  dist.(source) <- 0;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= n do
+    changed := false;
+    incr rounds;
+    for v = 0 to n - 1 do
+      if dist.(v) < infinity_dist then
+        Csr.iter_succ g v (fun u w ->
+            if dist.(v) + w < dist.(u) then begin
+              dist.(u) <- dist.(v) + w;
+              changed := true
+            end)
+    done
+  done;
+  dist

@@ -1,0 +1,11 @@
+(** Sequential shortest-path oracles. *)
+
+val infinity_dist : int
+(** Distance assigned to unreachable vertices. *)
+
+val dijkstra : Csr.t -> source:int -> int array
+(** Classic Dijkstra with a binary heap; the correctness oracle for the
+    parallel relaxed solver. *)
+
+val bellman_ford : Csr.t -> source:int -> int array
+(** O(n·m); cross-checks Dijkstra in property tests (small graphs only). *)

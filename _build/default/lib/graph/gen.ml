@@ -1,0 +1,105 @@
+module Rng = Zmsq_util.Rng
+
+let weight rng max_weight = 1 + Rng.int rng max_weight
+
+(* Barabási–Albert via the repeated-endpoints trick: every edge endpoint is
+   appended to [targets]; sampling uniformly from it is sampling
+   proportionally to degree. *)
+let barabasi_albert rng ~n ~m ~max_weight =
+  if n < 2 || m < 1 then invalid_arg "Gen.barabasi_albert";
+  let m = min m (n - 1) in
+  let targets = Array.make (2 * n * m) 0 in
+  let tlen = ref 0 in
+  let push v =
+    targets.(!tlen) <- v;
+    incr tlen
+  in
+  let edges = ref [] in
+  (* Seed: a small clique over the first m+1 vertices. *)
+  for v = 0 to m do
+    for u = 0 to v - 1 do
+      edges := (v, u, weight rng max_weight) :: !edges;
+      push v;
+      push u
+    done
+  done;
+  for v = m + 1 to n - 1 do
+    let chosen = Hashtbl.create m in
+    while Hashtbl.length chosen < m do
+      let u = targets.(Rng.int rng !tlen) in
+      if u <> v then Hashtbl.replace chosen u ()
+    done;
+    Hashtbl.iter
+      (fun u () ->
+        edges := (v, u, weight rng max_weight) :: !edges;
+        push v;
+        push u)
+      chosen
+  done;
+  Csr.symmetrize (Csr.of_edges ~n (Array.of_list !edges))
+
+let erdos_renyi rng ~n ~avg_degree ~max_weight =
+  if n < 2 || avg_degree <= 0.0 then invalid_arg "Gen.erdos_renyi";
+  let m = int_of_float (float_of_int n *. avg_degree) in
+  let edges =
+    Array.init m (fun _ ->
+        let s = Rng.int rng n in
+        let rec other () =
+          let d = Rng.int rng n in
+          if d = s then other () else d
+        in
+        (s, other (), weight rng max_weight))
+  in
+  Csr.of_edges ~n edges
+
+let rmat rng ~scale ~edge_factor ?(a = 0.57) ?(b = 0.19) ?(c = 0.19) ~max_weight () =
+  if scale < 1 || scale > 30 || edge_factor < 1 then invalid_arg "Gen.rmat";
+  if a +. b +. c >= 1.0 then invalid_arg "Gen.rmat: a+b+c must be < 1";
+  let n = 1 lsl scale in
+  let m = edge_factor * n in
+  let edge () =
+    let s = ref 0 and d = ref 0 in
+    for _ = 1 to scale do
+      let r = Rng.float rng 1.0 in
+      let sbit, dbit =
+        if r < a then (0, 0)
+        else if r < a +. b then (0, 1)
+        else if r < a +. b +. c then (1, 0)
+        else (1, 1)
+      in
+      s := (!s lsl 1) lor sbit;
+      d := (!d lsl 1) lor dbit
+    done;
+    (!s, !d, weight rng max_weight)
+  in
+  Csr.of_edges ~n (Array.init m (fun _ -> edge ()))
+
+let grid ~n_side ~max_weight rng =
+  if n_side < 2 then invalid_arg "Gen.grid";
+  let n = n_side * n_side in
+  let id r c = (r * n_side) + c in
+  let edges = ref [] in
+  for r = 0 to n_side - 1 do
+    for c = 0 to n_side - 1 do
+      if c + 1 < n_side then begin
+        let wt = weight rng max_weight in
+        edges := (id r c, id r (c + 1), wt) :: (id r (c + 1), id r c, wt) :: !edges
+      end;
+      if r + 1 < n_side then begin
+        let wt = weight rng max_weight in
+        edges := (id r c, id (r + 1) c, wt) :: (id (r + 1) c, id r c, wt) :: !edges
+      end
+    done
+  done;
+  Csr.of_edges ~n (Array.of_list !edges)
+
+(* Stand-ins for the paper's datasets; see DESIGN.md. Weights in [1,100]
+   emulate the SprayList harness's random edge weights. *)
+let artist rng = barabasi_albert rng ~n:50_000 ~m:10 ~max_weight:100
+let politician rng = barabasi_albert rng ~n:6_000 ~m:8 ~max_weight:100
+
+let livejournal ?nodes rng =
+  let n =
+    match nodes with Some n -> n | None -> Zmsq_util.Env.int "ZMSQ_LJ_NODES" ~default:400_000
+  in
+  barabasi_albert rng ~n ~m:12 ~max_weight:100

@@ -1,0 +1,50 @@
+(** Synthetic graph generators.
+
+    The paper runs SSSP on Facebook social graphs (Artist: 50K nodes,
+    Politician: 6K nodes) and the LiveJournal network (3.8M nodes). Those
+    datasets are not redistributable, so we substitute preferential-
+    attachment (Barabási–Albert) graphs with matching node counts: they
+    reproduce the heavy-tailed degree distribution and small diameter that
+    determine priority-queue pressure in SSSP (see DESIGN.md,
+    "Substitutions"). *)
+
+val barabasi_albert :
+  Zmsq_util.Rng.t -> n:int -> m:int -> max_weight:int -> Csr.t
+(** [barabasi_albert rng ~n ~m ~max_weight]: each new vertex attaches to
+    [m] existing vertices chosen proportionally to degree; uniform integer
+    weights in [1, max_weight]. Undirected (symmetrized). *)
+
+val erdos_renyi :
+  Zmsq_util.Rng.t -> n:int -> avg_degree:float -> max_weight:int -> Csr.t
+(** Uniform random digraph via the G(n, M) model with [M = n * avg_degree]
+    directed edges. *)
+
+val rmat :
+  Zmsq_util.Rng.t ->
+  scale:int ->
+  edge_factor:int ->
+  ?a:float ->
+  ?b:float ->
+  ?c:float ->
+  max_weight:int ->
+  unit ->
+  Csr.t
+(** Recursive-matrix generator (Graph500 style): [2^scale] vertices,
+    [edge_factor * 2^scale] directed edges, quadrant probabilities
+    [a], [b], [c] (d = 1-a-b-c), defaults (0.57, 0.19, 0.19). *)
+
+val grid : n_side:int -> max_weight:int -> Zmsq_util.Rng.t -> Csr.t
+(** 4-connected [n_side x n_side] grid — a high-diameter contrast workload
+    for SSSP (road-network-like). *)
+
+(** {2 Paper stand-ins} *)
+
+val artist : Zmsq_util.Rng.t -> Csr.t
+(** BA stand-in for the Facebook "Artist" graph: 50K nodes. *)
+
+val politician : Zmsq_util.Rng.t -> Csr.t
+(** BA stand-in for the Facebook "Politician" graph: 6K nodes. *)
+
+val livejournal : ?nodes:int -> Zmsq_util.Rng.t -> Csr.t
+(** BA stand-in for LiveJournal (3.8M nodes in the paper). Defaults to
+    [$ZMSQ_LJ_NODES] or 400_000 — see DESIGN.md on scaling. *)

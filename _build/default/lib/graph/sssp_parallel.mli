@@ -1,0 +1,33 @@
+(** Concurrent single-source shortest paths over any relaxed (or strict)
+    priority queue — the application benchmark of Sections 4.6–4.7.
+
+    Workers repeatedly extract the (approximately) closest unsettled vertex
+    and relax its edges, publishing improvements with CAS on a shared
+    distance array. Out-of-order extraction is safe — a vertex processed
+    with a stale distance is simply re-processed — which is exactly the
+    workload relaxed queues are designed for: wasted work grows with
+    relaxation, contention falls.
+
+    Termination uses a global in-flight counter (queued + being processed);
+    a worker exits once the counter reaches zero, so queues with inexact
+    emptiness (SprayList) terminate correctly too. *)
+
+type stats = {
+  pops : int;  (** successful extractions *)
+  empty_pops : int;  (** extraction attempts that returned nothing *)
+  stale : int;  (** extractions carrying an out-of-date distance *)
+  relaxations : int;  (** successful distance improvements *)
+  wall_seconds : float;
+}
+
+val run :
+  Zmsq_pq.Intf.instance ->
+  graph:Csr.t ->
+  source:int ->
+  threads:int ->
+  int array * stats
+(** [run inst ~graph ~source ~threads] returns the distance array and
+    execution statistics. Spawns [threads] domains. *)
+
+val check_against_dijkstra : Csr.t -> source:int -> int array -> bool
+(** Validate a parallel result against the sequential oracle. *)

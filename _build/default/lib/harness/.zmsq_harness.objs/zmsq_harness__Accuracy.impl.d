@@ -1,0 +1,1 @@
+lib/harness/accuracy.ml: Array Hashtbl Runner Zmsq_dist Zmsq_pq Zmsq_util

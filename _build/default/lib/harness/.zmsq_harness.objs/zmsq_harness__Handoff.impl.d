@@ -1,0 +1,1 @@
+lib/harness/handoff.ml: Array Atomic Domain Runner Zmsq Zmsq_pq Zmsq_sync Zmsq_util

@@ -1,0 +1,1 @@
+lib/harness/instances.ml: Printf Zmsq Zmsq_klsm Zmsq_mound Zmsq_multiqueue Zmsq_pq Zmsq_spraylist

@@ -1,0 +1,1 @@
+lib/harness/instances.mli: Zmsq Zmsq_pq

@@ -1,0 +1,1 @@
+lib/harness/linearize.ml: Array Domain Hashtbl List Zmsq_pq Zmsq_util

@@ -1,0 +1,1 @@
+lib/harness/linearize.mli: Zmsq_pq

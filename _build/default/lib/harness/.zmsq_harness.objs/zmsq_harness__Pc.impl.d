@@ -1,0 +1,1 @@
+lib/harness/pc.ml: Array Atomic Domain Runner Zmsq_pq Zmsq_util

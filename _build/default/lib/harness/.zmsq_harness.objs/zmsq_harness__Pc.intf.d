@@ -1,0 +1,1 @@
+lib/harness/pc.mli: Instances

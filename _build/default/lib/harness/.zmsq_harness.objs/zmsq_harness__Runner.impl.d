@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Domain Zmsq_sync Zmsq_util

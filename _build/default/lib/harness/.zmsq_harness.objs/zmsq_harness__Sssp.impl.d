@@ -1,0 +1,1 @@
+lib/harness/sssp.ml: Hashtbl Obj Zmsq_graph

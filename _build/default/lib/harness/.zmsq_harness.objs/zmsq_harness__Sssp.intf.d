@@ -1,0 +1,1 @@
+lib/harness/sssp.mli: Instances Zmsq_graph

@@ -1,0 +1,1 @@
+lib/harness/throughput.ml: Array Runner Zmsq_dist Zmsq_pq Zmsq_util

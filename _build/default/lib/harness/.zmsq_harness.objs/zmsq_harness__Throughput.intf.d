@@ -1,0 +1,1 @@
+lib/harness/throughput.mli: Instances Zmsq_dist

@@ -1,0 +1,77 @@
+module Rng = Zmsq_util.Rng
+module Elt = Zmsq_pq.Elt
+module Keys = Zmsq_dist.Keys
+module Intf = Zmsq_pq.Intf
+
+type spec = { qsize : int; extracts : int; threads : int; seed : int }
+
+let validate spec =
+  if spec.qsize <= 0 || spec.extracts <= 0 || spec.extracts > spec.qsize || spec.threads <= 0
+  then invalid_arg "Accuracy: bad spec"
+
+let top_k_set keys k =
+  let sorted = Array.copy keys in
+  Array.sort (fun a b -> compare b a) sorted;
+  let tbl = Hashtbl.create k in
+  for i = 0 to k - 1 do
+    Hashtbl.replace tbl sorted.(i) ()
+  done;
+  tbl
+
+let run factory spec =
+  validate spec;
+  let inst = factory () in
+  let module I = (val inst : Intf.INSTANCE) in
+  let rng = Rng.create ~seed:spec.seed () in
+  let keys = Keys.unique rng spec.qsize in
+  let h0 = I.Q.register I.q in
+  Array.iter (fun k -> I.Q.insert h0 (Elt.of_priority k)) keys;
+  I.Q.unregister h0;
+  let topk = top_k_set keys spec.extracts in
+  let share t = (spec.extracts / spec.threads) + if t < spec.extracts mod spec.threads then 1 else 0 in
+  let results, _ =
+    Runner.timed_parallel_pre ~threads:spec.threads
+      ~setup:(fun tid -> (I.Q.register I.q, share tid))
+      ~run:(fun _ (h, quota) ->
+        let hits = ref 0 in
+        let got = ref 0 in
+        (* Relaxed queues may spuriously fail; the queue cannot actually be
+           empty here since extracts <= qsize. *)
+        while !got < quota do
+          let e = I.Q.extract h in
+          if not (Elt.is_none e) then begin
+            incr got;
+            if Hashtbl.mem topk (Elt.priority e) then incr hits
+          end
+        done;
+        I.Q.unregister h;
+        !hits)
+  in
+  let hits = Array.fold_left ( + ) 0 results in
+  float_of_int hits /. float_of_int spec.extracts *. 100.0
+
+let run_avg ?repeats factory spec =
+  let repeats =
+    match repeats with Some r -> r | None -> Zmsq_util.Env.int "ZMSQ_BENCH_RUNS" ~default:3
+  in
+  let acc = ref 0.0 in
+  for i = 1 to repeats do
+    acc := !acc +. run factory { spec with seed = spec.seed + (i * 7919) }
+  done;
+  !acc /. float_of_int repeats
+
+(* A FIFO is sequential; measure it on one thread regardless of the spec's
+   thread count. *)
+let fifo_baseline spec =
+  validate spec;
+  let rng = Rng.create ~seed:spec.seed () in
+  let keys = Keys.unique rng spec.qsize in
+  let fifo = Zmsq_pq.Fifo.create () in
+  Array.iter (fun k -> Zmsq_pq.Fifo.insert fifo (Elt.of_priority k)) keys;
+  let topk = top_k_set keys spec.extracts in
+  let hits = ref 0 in
+  for _ = 1 to spec.extracts do
+    let e = Zmsq_pq.Fifo.extract_max fifo in
+    if Hashtbl.mem topk (Elt.priority e) then incr hits
+  done;
+  float_of_int !hits /. float_of_int spec.extracts *. 100.0

@@ -1,0 +1,19 @@
+(** Accuracy measurement — the paper's Table 1.
+
+    The queue is initialized with [qsize] distinct random keys; [extracts]
+    extraction operations then run on [threads] threads. The score is the
+    percentage of returned keys that belong to the true top-[extracts] of
+    the initial contents (100% = a strict priority queue). *)
+
+type spec = { qsize : int; extracts : int; threads : int; seed : int }
+
+val run : Instances.factory -> spec -> float
+(** Percentage in [0, 100]. Retries around relaxed queues' spurious empty
+    answers so exactly [extracts] elements are obtained. *)
+
+val run_avg : ?repeats:int -> Instances.factory -> spec -> float
+
+val fifo_baseline : spec -> float
+(** The accuracy floor discussed in Section 4.3: a FIFO returns the oldest
+    key regardless of priority; with uniformly shuffled insertions its
+    expected score is [extracts/qsize * 100]. Measured, not computed. *)

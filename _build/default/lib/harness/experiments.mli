@@ -1,0 +1,25 @@
+(** The experiment registry: one entry per table/figure of the paper's
+    evaluation (plus ablations). [bench/main.exe] and [bin/zmsq_cli] both
+    drive this.
+
+    Scaling: op counts are multiplied by [$ZMSQ_BENCH_SCALE] ("quick" =
+    0.05 default, "full" = 1.0 = paper-size); thread sweeps come from
+    [$ZMSQ_BENCH_THREADS] (default "1,2,4,8" — the container is
+    single-core, so higher counts exercise oversubscription, not
+    parallel speedup; see DESIGN.md). *)
+
+type t = {
+  id : string;
+  title : string;
+  paper : string;  (** which figure/table of the paper this regenerates *)
+  run : unit -> Table.t list;
+}
+
+val all : t list
+(** Registry in presentation order: fig2a..fig8, stable, ablations. *)
+
+val find : string -> t option
+
+val run_one : ?csv_dir:string -> t -> unit
+(** Run, print every produced table, and save CSVs (default directory
+    [results/]). *)

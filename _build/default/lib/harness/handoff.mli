@@ -1,0 +1,23 @@
+(** Producer/consumer handoff latency and CPU cost — the paper's Figure 4
+    blocking study (Section 4.4).
+
+    Dedicated producers insert timestamped items into an initially empty
+    ZMSQ; consumers extract them, either spinning on the queue or sleeping
+    on the futex eventcount. We report mean handoff latency (insert to
+    successful extract) and total process CPU time, the paper's two
+    metrics. *)
+
+type mode = Spin | Block
+
+type spec = { producers : int; consumers : int; handoffs : int; batch : int; seed : int }
+
+type result = {
+  mean_latency_ns : float;
+  p99_latency_ns : float;
+  wall_seconds : float;
+  cpu_seconds : float;
+  sleeps : int;  (** futex waits (Block mode) *)
+  wakes : int;
+}
+
+val run : mode -> spec -> result

@@ -1,0 +1,53 @@
+module Intf = Zmsq_pq.Intf
+
+type factory = unit -> Intf.instance
+
+let zmsq ?(params = Zmsq.Params.default) () () =
+  Intf.pack (module Zmsq.Default) (Zmsq.Default.create ~params ())
+
+let zmsq_array ?(params = Zmsq.Params.default) () () =
+  Intf.pack (module Zmsq.Array_q) (Zmsq.Array_q.create ~params ())
+
+let zmsq_lazy ?(params = Zmsq.Params.default) () () =
+  Intf.pack (module Zmsq.Lazy_q) (Zmsq.Lazy_q.create ~params ())
+
+let zmsq_leak ?(params = Zmsq.Params.default) () () =
+  let params = { params with Zmsq.Params.leaky = true } in
+  Intf.pack (module Zmsq.Default) (Zmsq.Default.create ~params ())
+
+let zmsq_tas ?(params = Zmsq.Params.default) () () =
+  Intf.pack (module Zmsq.Tas_q) (Zmsq.Tas_q.create ~params ())
+
+let zmsq_mutex ?(params = Zmsq.Params.default) () () =
+  let params = { params with Zmsq.Params.lock_policy = Zmsq.Params.Blocking } in
+  Intf.pack (module Zmsq.Mutex_q) (Zmsq.Mutex_q.create ~params ())
+
+let mound () = Intf.pack (module Zmsq_mound.Mound) (Zmsq_mound.Mound.create ())
+
+let spraylist () =
+  Intf.pack (module Zmsq_spraylist.Spraylist) (Zmsq_spraylist.Spraylist.create ())
+
+let multiqueue ?(queues = 8) () () =
+  Intf.pack (module Zmsq_multiqueue.Multiqueue) (Zmsq_multiqueue.Multiqueue.create ~queues ())
+
+let klsm ?(k = 256) () () = Intf.pack (module Zmsq_klsm.Klsm) (Zmsq_klsm.Klsm.create ~k ())
+
+let locked_heap () = Intf.pack (module Zmsq_pq.Locked_heap) (Zmsq_pq.Locked_heap.create ())
+
+let names =
+  [ "zmsq"; "zmsq-array"; "zmsq-lazy"; "zmsq-leak"; "zmsq-tas"; "zmsq-mutex"; "mound";
+    "spraylist"; "multiqueue"; "klsm"; "locked-heap" ]
+
+let by_name = function
+  | "zmsq" -> zmsq ()
+  | "zmsq-array" -> zmsq_array ()
+  | "zmsq-lazy" -> zmsq_lazy ()
+  | "zmsq-leak" -> zmsq_leak ()
+  | "zmsq-tas" -> zmsq_tas ()
+  | "zmsq-mutex" -> zmsq_mutex ()
+  | "mound" -> mound
+  | "spraylist" -> spraylist
+  | "multiqueue" -> multiqueue ()
+  | "klsm" -> klsm ()
+  | "locked-heap" -> locked_heap
+  | other -> invalid_arg (Printf.sprintf "Instances.by_name: unknown queue %S" other)

@@ -1,0 +1,34 @@
+(** Factories packaging every queue in the repository as a
+    {!Zmsq_pq.Intf.instance}, so harness code is generic over them.
+
+    Each call creates a fresh queue. *)
+
+type factory = unit -> Zmsq_pq.Intf.instance
+
+val zmsq : ?params:Zmsq.Params.t -> unit -> factory
+(** Default ZMSQ (TATAS trylocks, list sets). *)
+
+val zmsq_array : ?params:Zmsq.Params.t -> unit -> factory
+(** The "(array)" variant. *)
+
+val zmsq_lazy : ?params:Zmsq.Params.t -> unit -> factory
+(** Unordered-list sets (sortedness ablation). *)
+
+val zmsq_leak : ?params:Zmsq.Params.t -> unit -> factory
+(** Hazard pointers disabled — the paper's "ZMSQ (leak)" curves. *)
+
+val zmsq_tas : ?params:Zmsq.Params.t -> unit -> factory
+val zmsq_mutex : ?params:Zmsq.Params.t -> unit -> factory
+
+val mound : factory
+val spraylist : factory
+val multiqueue : ?queues:int -> unit -> factory
+val klsm : ?k:int -> unit -> factory
+val locked_heap : factory
+
+val by_name : string -> factory
+(** Resolve "zmsq" | "zmsq-array" | "zmsq-leak" | "mound" | "spraylist" |
+    "multiqueue" | "klsm" | "locked-heap" (CLI use). Raises
+    [Invalid_argument] on unknown names. *)
+
+val names : string list

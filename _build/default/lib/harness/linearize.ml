@@ -1,0 +1,96 @@
+module Elt = Zmsq_pq.Elt
+
+type event = Insert of int | Extract of int option
+
+type timed_op = { event : event; start_ns : int; finish_ns : int }
+
+(* Sequential max-queue model: a sorted multiset as a descending list. *)
+module Model = struct
+  type t = int list
+
+  let empty : t = []
+
+  let insert v (m : t) : t =
+    let rec go = function
+      | [] -> [ v ]
+      | x :: _ as rest when v >= x -> v :: rest
+      | x :: rest -> x :: go rest
+    in
+    go m
+
+  let step (m : t) = function
+    | Insert v -> Some (insert v m)
+    | Extract None -> if m = [] then Some m else None
+    | Extract (Some v) -> ( match m with x :: rest when x = v -> Some rest | _ -> None)
+end
+
+(* DFS over linearization prefixes. An operation may be linearized next iff
+   no other *remaining* operation finished strictly before it started
+   (real-time order must be respected). Memoizes visited (remaining-set,
+   model) states to tame the blowup on overlapping histories. *)
+let check ops =
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  if n > 62 then invalid_arg "Linearize.check: history too long";
+  let seen = Hashtbl.create 4096 in
+  let rec dfs remaining model =
+    if remaining = 0 then true
+    else begin
+      let key = (remaining, model) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        let ok = ref false in
+        let i = ref 0 in
+        while (not !ok) && !i < n do
+          let bit = 1 lsl !i in
+          if remaining land bit <> 0 then begin
+            (* minimal in real-time order among remaining? *)
+            let minimal = ref true in
+            for j = 0 to n - 1 do
+              if j <> !i && remaining land (1 lsl j) <> 0 then
+                if arr.(j).finish_ns < arr.(!i).start_ns then minimal := false
+            done;
+            if !minimal then begin
+              match Model.step model arr.(!i).event with
+              | Some model' -> if dfs (remaining land lnot bit) model' then ok := true
+              | None -> ()
+            end
+          end;
+          incr i
+        done;
+        !ok
+      end
+    end
+  in
+  dfs ((1 lsl n) - 1) Model.empty
+
+let record (module I : Zmsq_pq.Intf.INSTANCE) ~threads ~ops_per_thread ~seed =
+  let results =
+    Array.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            let h = I.Q.register I.q in
+            let rng = Zmsq_util.Rng.create ~seed:(seed + (tid * 7919)) () in
+            let log = ref [] in
+            for _ = 1 to ops_per_thread do
+              if Zmsq_util.Rng.int rng 5 < 3 then begin
+                (* Distinct values across threads keep extract matching
+                   unambiguous without losing generality. *)
+                let v = (Zmsq_util.Rng.int rng 10_000 * threads) + tid in
+                let start_ns = Zmsq_util.Timing.now_ns () in
+                I.Q.insert h (Elt.of_priority v);
+                let finish_ns = Zmsq_util.Timing.now_ns () in
+                log := { event = Insert v; start_ns; finish_ns } :: !log
+              end
+              else begin
+                let start_ns = Zmsq_util.Timing.now_ns () in
+                let e = I.Q.extract h in
+                let finish_ns = Zmsq_util.Timing.now_ns () in
+                let v = if Elt.is_none e then None else Some (Elt.priority e) in
+                log := { event = Extract v; start_ns; finish_ns } :: !log
+              end
+            done;
+            I.Q.unregister h;
+            !log))
+  in
+  Array.fold_left (fun acc d -> List.rev_append (Domain.join d) acc) [] results

@@ -1,0 +1,33 @@
+(** Linearizability checking for *strict* priority queues.
+
+    ZMSQ with [batch = 0], the mound and the locked heap all claim strict
+    linearizable max-queue semantics. This module records timed concurrent
+    histories and searches for a witness linearization (Wing & Gong style
+    DFS with real-time-order pruning) against the sequential max-queue
+    specification:
+
+    - [insert v] adds [v] to the multiset;
+    - [extract = v] requires [v] to be the current maximum;
+    - [extract = none] requires the multiset to be empty.
+
+    Exponential in the worst case — use small histories (tens of
+    operations, a few threads), many repetitions. *)
+
+type event =
+  | Insert of int  (** value inserted *)
+  | Extract of int option  (** value returned, [None] for empty *)
+
+type timed_op = { event : event; start_ns : int; finish_ns : int }
+
+val check : timed_op list -> bool
+(** True iff some linearization of the history satisfies the sequential
+    max-queue specification. *)
+
+val record :
+  (module Zmsq_pq.Intf.INSTANCE) ->
+  threads:int ->
+  ops_per_thread:int ->
+  seed:int ->
+  timed_op list
+(** Drive a concurrent workload against the instance, recording invocation
+    and response timestamps around every operation. *)

@@ -1,0 +1,18 @@
+(** Producer/consumer transfer benchmark — the paper's Figure 6.
+
+    [items] elements travel from dedicated producers to dedicated consumers
+    through an initially empty queue; we time the full transfer. Blocking
+    is disabled (the SprayList comparator has none), so consumers that find
+    the queue momentarily empty retry. *)
+
+type spec = { producers : int; consumers : int; items : int; seed : int }
+
+type result = {
+  wall_seconds : float;
+  transfers_per_sec : float;
+  failed_extracts : int;  (** extraction attempts that came back empty *)
+}
+
+val run : Instances.factory -> spec -> result
+val run_avg : ?repeats:int -> Instances.factory -> spec -> result
+(** Averages wall time over repeats; failed_extracts summed. *)

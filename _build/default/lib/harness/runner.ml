@@ -1,0 +1,24 @@
+module Barrier = Zmsq_sync.Barrier
+module Timing = Zmsq_util.Timing
+
+let timed_parallel_pre ~threads ~setup ~run =
+  if threads < 1 then invalid_arg "Runner: threads must be >= 1";
+  let barrier = Barrier.create (threads + 1) in
+  let domains =
+    Array.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            let st = setup tid in
+            Barrier.wait barrier;
+            run tid st))
+  in
+  Barrier.wait barrier;
+  let t0 = Timing.now_ns () in
+  let results = Array.map Domain.join domains in
+  let t1 = Timing.now_ns () in
+  (results, float_of_int (t1 - t0) /. 1e9)
+
+let timed_parallel ~threads f = timed_parallel_pre ~threads ~setup:(fun _ -> ()) ~run:(fun tid () -> f tid)
+
+let repeat n f =
+  if n < 1 then invalid_arg "Runner.repeat";
+  Zmsq_util.Stats.summarize (Array.init n (fun _ -> f ()))

@@ -1,0 +1,19 @@
+(** Domain fan-out with aligned measurement windows. *)
+
+val timed_parallel : threads:int -> (int -> 'a) -> 'a array * float
+(** [timed_parallel ~threads f] spawns [threads] domains running [f tid].
+    Every domain (and the measuring parent) synchronizes on a barrier
+    before [f] starts; returns the per-thread results and the wall-clock
+    seconds from barrier release to the last join. Per-thread setup should
+    happen inside [f] before it needs timing — use {!timed_parallel_pre}
+    when setup must be excluded. *)
+
+val timed_parallel_pre :
+  threads:int -> setup:(int -> 's) -> run:(int -> 's -> 'a) -> 'a array * float
+(** Like {!timed_parallel} but [setup tid] executes before the barrier, so
+    registration/workload materialization stays out of the measured
+    window. *)
+
+val repeat : int -> (unit -> float) -> Zmsq_util.Stats.summary
+(** [repeat n f] runs the measurement [f] n times (the paper averages 15
+    runs) and summarizes. *)

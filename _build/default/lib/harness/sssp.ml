@@ -1,0 +1,18 @@
+(* Oracle cache keyed by graph identity + source. *)
+let oracles : (Obj.t * int, int array) Hashtbl.t = Hashtbl.create 8
+
+let oracle graph source =
+  let key = (Obj.repr graph, source) in
+  match Hashtbl.find_opt oracles key with
+  | Some d -> d
+  | None ->
+      let d = Zmsq_graph.Dijkstra.dijkstra graph ~source in
+      Hashtbl.replace oracles key d;
+      d
+
+let run_checked ?(check = true) ?(source = 0) factory ~graph ~threads =
+  let inst = factory () in
+  let dist, stats = Zmsq_graph.Sssp_parallel.run inst ~graph ~source ~threads in
+  if check && dist <> oracle graph source then
+    failwith "Sssp.run_checked: parallel result disagrees with Dijkstra";
+  (dist, stats)

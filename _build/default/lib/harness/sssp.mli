@@ -1,0 +1,14 @@
+(** Thin wrapper around {!Zmsq_graph.Sssp_parallel} that validates results
+    against a memoized sequential Dijkstra oracle. *)
+
+val run_checked :
+  ?check:bool ->
+  ?source:int ->
+  Instances.factory ->
+  graph:Zmsq_graph.Csr.t ->
+  threads:int ->
+  int array * Zmsq_graph.Sssp_parallel.stats
+(** Runs parallel SSSP on a fresh queue. With [check] (default true) the
+    distance array is compared to Dijkstra's — the oracle is computed once
+    per graph and cached — and a mismatch raises [Failure] (a relaxed queue
+    must not change the fixpoint, only the work order). *)

@@ -1,0 +1,78 @@
+type t = {
+  id : string;
+  title : string;
+  notes : string list;
+  header : string list;
+  rows : string list list;
+}
+
+let make ~id ~title ?(notes = []) ~header rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length header then
+        invalid_arg (Printf.sprintf "Table %s: row width mismatch" id))
+    rows;
+  { id; title; notes; header; rows }
+
+let print t =
+  let all = t.header :: t.rows in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let line ch =
+    print_string "+";
+    Array.iter
+      (fun w ->
+        print_string (String.make (w + 2) ch);
+        print_string "+")
+      widths;
+    print_newline ()
+  in
+  let row cells =
+    print_string "|";
+    List.iteri
+      (fun i cell -> Printf.printf " %-*s |" widths.(i) cell)
+      cells;
+    print_newline ()
+  in
+  Printf.printf "\n== %s: %s ==\n" t.id t.title;
+  List.iter (fun n -> Printf.printf "   %s\n" n) t.notes;
+  line '-';
+  row t.header;
+  line '=';
+  List.iter row t.rows;
+  line '-';
+  flush stdout
+
+let quote_csv s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let row cells =
+    Buffer.add_string buf (String.concat "," (List.map quote_csv cells));
+    Buffer.add_char buf '\n'
+  in
+  row t.header;
+  List.iter row t.rows;
+  Buffer.contents buf
+
+let save_csv ~dir t =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (t.id ^ ".csv") in
+  let oc = open_out path in
+  output_string oc (to_csv t);
+  close_out oc;
+  path
+
+let cell_f v =
+  if Float.is_integer v && Float.abs v < 1e6 then Printf.sprintf "%.0f" v
+  else if Float.abs v >= 100.0 then Printf.sprintf "%.1f" v
+  else if Float.abs v >= 1.0 then Printf.sprintf "%.3g" v
+  else Printf.sprintf "%.3g" v
+
+let cell_i = string_of_int

@@ -1,0 +1,19 @@
+(** ASCII tables mirroring the paper's figures/tables, plus CSV export. *)
+
+type t = { id : string; title : string; notes : string list; header : string list; rows : string list list }
+
+val make :
+  id:string -> title:string -> ?notes:string list -> header:string list -> string list list -> t
+
+val print : t -> unit
+(** Render to stdout with aligned columns. *)
+
+val to_csv : t -> string
+
+val save_csv : dir:string -> t -> string
+(** Writes [<dir>/<id>.csv], creating [dir] if needed; returns the path. *)
+
+val cell_f : float -> string
+(** Numeric cell with 3 significant digits. *)
+
+val cell_i : int -> string

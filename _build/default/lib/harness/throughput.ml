@@ -1,0 +1,63 @@
+module Rng = Zmsq_util.Rng
+module Elt = Zmsq_pq.Elt
+module Keys = Zmsq_dist.Keys
+module Workload = Zmsq_dist.Workload
+module Intf = Zmsq_pq.Intf
+
+type spec = {
+  total_ops : int;
+  insert_permil : int;
+  preload : int;
+  keys : Keys.spec;
+  threads : int;
+  seed : int;
+}
+
+let default_spec =
+  {
+    total_ops = 100_000;
+    insert_permil = 500;
+    preload = 0;
+    keys = Keys.Uniform { bits = Keys.default_bits };
+    threads = 1;
+    seed = 0xBEEF;
+  }
+
+let run factory spec =
+  if spec.total_ops <= 0 || spec.threads <= 0 then invalid_arg "Throughput.run";
+  let inst = factory () in
+  let module I = (val inst : Intf.INSTANCE) in
+  let rng = Rng.create ~seed:spec.seed () in
+  (* Preload outside the measured window. *)
+  if spec.preload > 0 then begin
+    let h = I.Q.register I.q in
+    let g = Keys.make (Rng.split rng) spec.keys in
+    for _ = 1 to spec.preload do
+      I.Q.insert h (Elt.of_priority (Keys.next g))
+    done;
+    I.Q.unregister h
+  end;
+  let streams =
+    Workload.per_thread rng ~threads:spec.threads ~keys:spec.keys
+      ~insert_permil:spec.insert_permil spec.total_ops
+  in
+  let _, seconds =
+    Runner.timed_parallel_pre ~threads:spec.threads
+      ~setup:(fun tid -> (I.Q.register I.q, streams.(tid)))
+      ~run:(fun _ (h, ops) ->
+        Array.iter
+          (fun op ->
+            match op with
+            | Workload.Insert k -> I.Q.insert h (Elt.of_priority k)
+            | Workload.Extract -> ignore (I.Q.extract h))
+          ops;
+        I.Q.unregister h)
+  in
+  float_of_int spec.total_ops /. seconds /. 1e6
+
+let run_avg ?repeats factory spec =
+  let repeats =
+    match repeats with Some r -> r | None -> Zmsq_util.Env.int "ZMSQ_BENCH_RUNS" ~default:3
+  in
+  let s = Runner.repeat repeats (fun () -> run factory spec) in
+  s.Zmsq_util.Stats.mean

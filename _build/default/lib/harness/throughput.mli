@@ -1,0 +1,21 @@
+(** Mixed insert/extract throughput measurement (the paper's Sections 4.1,
+    4.2, 4.5 microbenchmarks). *)
+
+type spec = {
+  total_ops : int;  (** operations across all threads *)
+  insert_permil : int;  (** 1000 = 100% inserts, 500 = the 50/50 mix *)
+  preload : int;  (** elements inserted before the measured window *)
+  keys : Zmsq_dist.Keys.spec;
+  threads : int;
+  seed : int;
+}
+
+val default_spec : spec
+(** 100k ops, 50/50 mix, no preload, 20-bit uniform keys, 1 thread. *)
+
+val run : Instances.factory -> spec -> float
+(** One measured run; returns throughput in Mops/s. The workload arrays and
+    queue preload are materialized outside the measured window. *)
+
+val run_avg : ?repeats:int -> Instances.factory -> spec -> float
+(** Average of [repeats] runs (default [$ZMSQ_BENCH_RUNS] or 3). *)

@@ -1,0 +1,1 @@
+lib/hp/hazard.ml: Array Atomic List Mutex

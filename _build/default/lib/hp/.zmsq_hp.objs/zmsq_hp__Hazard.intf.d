@@ -1,0 +1,1 @@
+lib/hp/hazard.mli: Atomic

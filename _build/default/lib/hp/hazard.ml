@@ -1,0 +1,155 @@
+type 'a record = {
+  active : bool Atomic.t;
+  slots : 'a option Atomic.t array;
+  mutable retired : 'a list;
+  mutable retired_len : int;
+}
+
+type 'a t = {
+  records : 'a record array;
+  slots_per_thread : int;
+  scan_threshold : int;
+  recycle : 'a -> unit;
+  (* Retired nodes inherited from unregistered threads. *)
+  orphans_mu : Mutex.t;
+  mutable orphans : 'a list;
+  mutable orphans_len : int;
+  retired_total : int Atomic.t;
+  recycled_total : int Atomic.t;
+  scans : int Atomic.t;
+}
+
+type 'a thread = { dom : 'a t; record : 'a record }
+
+let create ?(slots_per_thread = 3) ?(max_threads = 128) ?scan_threshold ~recycle () =
+  if slots_per_thread <= 0 || max_threads <= 0 then invalid_arg "Hazard.create";
+  let scan_threshold =
+    match scan_threshold with
+    | Some v -> max 1 v
+    | None -> 2 * max_threads * slots_per_thread
+  in
+  {
+    records =
+      Array.init max_threads (fun _ ->
+          {
+            active = Atomic.make false;
+            slots = Array.init slots_per_thread (fun _ -> Atomic.make None);
+            retired = [];
+            retired_len = 0;
+          });
+    slots_per_thread;
+    scan_threshold;
+    recycle;
+    orphans_mu = Mutex.create ();
+    orphans = [];
+    orphans_len = 0;
+    retired_total = Atomic.make 0;
+    recycled_total = Atomic.make 0;
+    scans = Atomic.make 0;
+  }
+
+let register dom =
+  let n = Array.length dom.records in
+  let rec find i =
+    if i >= n then failwith "Hazard.register: max_threads exceeded"
+    else begin
+      let r = dom.records.(i) in
+      if (not (Atomic.get r.active)) && Atomic.compare_and_set r.active false true then r
+      else find (i + 1)
+    end
+  in
+  { dom; record = find 0 }
+
+let set th ~slot v = Atomic.set th.record.slots.(slot) (Some v)
+
+let clear th ~slot = Atomic.set th.record.slots.(slot) None
+
+let clear_all th = Array.iter (fun s -> Atomic.set s None) th.record.slots
+
+let protect th ~slot src =
+  let rec go () =
+    let v = Atomic.get src in
+    Atomic.set th.record.slots.(slot) (Some v);
+    (* Re-validate: once the publication is visible, either [src] still
+       points at [v] (so [v] cannot have been recycled) or we retry. *)
+    if Atomic.get src == v then v else go ()
+  in
+  go ()
+
+(* A scan: collect every published pointer, recycle retired nodes that no
+   slot protects, keep the rest for the next scan. *)
+let scan_list dom candidates =
+  Atomic.incr dom.scans;
+  let protected_ = ref [] in
+  Array.iter
+    (fun r ->
+      if Atomic.get r.active then
+        Array.iter
+          (fun s -> match Atomic.get s with Some v -> protected_ := v :: !protected_ | None -> ())
+          r.slots)
+    dom.records;
+  let guarded v = List.exists (fun p -> p == v) !protected_ in
+  let survivors = ref [] in
+  let survivors_len = ref 0 in
+  List.iter
+    (fun v ->
+      if guarded v then begin
+        survivors := v :: !survivors;
+        incr survivors_len
+      end
+      else begin
+        dom.recycle v;
+        Atomic.incr dom.recycled_total
+      end)
+    candidates;
+  (!survivors, !survivors_len)
+
+let take_orphans dom =
+  Mutex.lock dom.orphans_mu;
+  let o = dom.orphans and n = dom.orphans_len in
+  dom.orphans <- [];
+  dom.orphans_len <- 0;
+  Mutex.unlock dom.orphans_mu;
+  (o, n)
+
+let scan th =
+  let dom = th.dom in
+  let orphans, _ = take_orphans dom in
+  let survivors, len = scan_list dom (List.rev_append orphans th.record.retired) in
+  th.record.retired <- survivors;
+  th.record.retired_len <- len
+
+let retire th v =
+  let r = th.record in
+  r.retired <- v :: r.retired;
+  r.retired_len <- r.retired_len + 1;
+  Atomic.incr th.dom.retired_total;
+  if r.retired_len >= th.dom.scan_threshold then scan th
+
+let flush th = scan th
+
+let unregister th =
+  clear_all th;
+  scan th;
+  let r = th.record in
+  if r.retired_len > 0 then begin
+    let dom = th.dom in
+    Mutex.lock dom.orphans_mu;
+    dom.orphans <- List.rev_append r.retired dom.orphans;
+    dom.orphans_len <- dom.orphans_len + r.retired_len;
+    Mutex.unlock dom.orphans_mu;
+    r.retired <- [];
+    r.retired_len <- 0
+  end;
+  Atomic.set r.active false
+
+let retired_count dom = Atomic.get dom.retired_total
+let recycled_count dom = Atomic.get dom.recycled_total
+let scan_count dom = Atomic.get dom.scans
+
+let live_retired dom =
+  let local = Array.fold_left (fun acc r -> acc + r.retired_len) 0 dom.records in
+  Mutex.lock dom.orphans_mu;
+  let o = dom.orphans_len in
+  Mutex.unlock dom.orphans_mu;
+  local + o

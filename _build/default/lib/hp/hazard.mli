@@ -1,0 +1,66 @@
+(** Hazard pointers (Michael, 2004) — the paper's safe-memory-reclamation
+    substrate (Section 3.5).
+
+    OCaml's GC already guarantees safety, so this implementation exists to
+    reproduce the *cost* of memory safety: protected reads publish to shared
+    slots and retirement scans all published pointers before recycling a
+    node into its free pool, exactly the work a C++ implementation performs.
+    ZMSQ's "leak" benchmark mode bypasses this module, mirroring the paper's
+    leaky comparators.
+
+    ZMSQ needs at most two hazard pointers per thread (three with a
+    list-based set); the default [slots_per_thread] is 3. *)
+
+type 'a t
+(** A reclamation domain managing nodes of type ['a]. *)
+
+type 'a thread
+(** A registered participant. Thread records are single-owner: each domain
+    (or systhread) must register for itself. *)
+
+val create :
+  ?slots_per_thread:int ->
+  ?max_threads:int ->
+  ?scan_threshold:int ->
+  recycle:('a -> unit) ->
+  unit ->
+  'a t
+(** [create ~recycle ()] builds a domain. [recycle] is invoked on a retired
+    node once no hazard pointer can reach it (e.g. push it onto a free
+    list). [scan_threshold] bounds the retire-list length before a scan
+    (default [2 * max_threads * slots_per_thread]). *)
+
+val register : 'a t -> 'a thread
+(** Claim a thread record. Raises [Failure] when [max_threads] records are
+    already live. *)
+
+val unregister : 'a thread -> unit
+(** Release the record (clears its slots, flushes its retire list into the
+    shared pool for later scans). *)
+
+val protect : 'a thread -> slot:int -> 'a Atomic.t -> 'a
+(** [protect th ~slot src] reads [src], publishes the value in [slot], and
+    re-validates until the published value equals the current content of
+    [src] — the standard acquire loop. *)
+
+val set : 'a thread -> slot:int -> 'a -> unit
+(** Publish a value already known to be reachable (e.g. read under a lock). *)
+
+val clear : 'a thread -> slot:int -> unit
+
+val clear_all : 'a thread -> unit
+
+val retire : 'a thread -> 'a -> unit
+(** Mark a node logically removed; it is recycled after some later scan
+    finds no slot holding it. *)
+
+val flush : 'a thread -> unit
+(** Force a scan of this thread's retire list now (tests/teardown). *)
+
+(** {2 Instrumentation} *)
+
+val retired_count : 'a t -> int
+val recycled_count : 'a t -> int
+val scan_count : 'a t -> int
+val live_retired : 'a t -> int
+(** Nodes retired but not yet recycled. *)

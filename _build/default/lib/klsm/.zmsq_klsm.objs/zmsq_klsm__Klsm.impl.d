@@ -1,0 +1,1 @@
+lib/klsm/klsm.ml: Array Atomic List Zmsq_pq Zmsq_sync

@@ -1,0 +1,1 @@
+lib/klsm/klsm.mli: Zmsq_pq

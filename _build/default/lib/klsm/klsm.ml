@@ -1,0 +1,164 @@
+module Lock = Zmsq_sync.Lock.Tatas
+module Elt = Zmsq_pq.Elt
+
+(* A run is a sorted (descending) array consumed from [head]. *)
+type run = { data : Elt.t array; mutable head : int }
+
+let run_len r = Array.length r.data - r.head
+let run_top r = if run_len r = 0 then Elt.none else r.data.(r.head)
+
+let merge_runs a b =
+  let la = run_len a and lb = run_len b in
+  let out = Array.make (la + lb) Elt.none in
+  let i = ref a.head and j = ref b.head and k = ref 0 in
+  while !i < Array.length a.data && !j < Array.length b.data do
+    if a.data.(!i) >= b.data.(!j) then begin
+      out.(!k) <- a.data.(!i);
+      incr i
+    end
+    else begin
+      out.(!k) <- b.data.(!j);
+      incr j
+    end;
+    incr k
+  done;
+  while !i < Array.length a.data do
+    out.(!k) <- a.data.(!i);
+    incr i;
+    incr k
+  done;
+  while !j < Array.length b.data do
+    out.(!k) <- b.data.(!j);
+    incr j;
+    incr k
+  done;
+  { data = out; head = 0 }
+
+(* An LSM: runs kept smallest-first; inserting a singleton merges runs of
+   similar size upward, keeping O(log n) runs. *)
+type lsm = { mutable runs : run list; mutable total : int }
+
+let lsm_create () = { runs = []; total = 0 }
+
+let lsm_insert l e =
+  let rec absorb r = function
+    | [] -> [ r ]
+    | r2 :: rest when run_len r2 <= 2 * run_len r -> absorb (merge_runs r r2) rest
+    | rest -> r :: rest
+  in
+  l.runs <- absorb { data = [| e |]; head = 0 } l.runs;
+  l.total <- l.total + 1
+
+let lsm_peek l =
+  List.fold_left (fun best r -> if run_top r > best then run_top r else best) Elt.none l.runs
+
+let lsm_extract l =
+  let best =
+    List.fold_left
+      (fun best r -> match best with Some b when run_top b >= run_top r -> best | _ -> Some r)
+      None l.runs
+  in
+  match best with
+  | None -> Elt.none
+  | Some r ->
+      if run_len r = 0 then Elt.none
+      else begin
+        let e = r.data.(r.head) in
+        r.head <- r.head + 1;
+        if run_len r = 0 then l.runs <- List.filter (fun r2 -> r2 != r) l.runs;
+        l.total <- l.total - 1;
+        e
+      end
+
+let lsm_merge_into dst src =
+  List.iter
+    (fun r ->
+      if run_len r > 0 then begin
+        let rec absorb r = function
+          | [] -> [ r ]
+          | r2 :: rest when run_len r2 <= 2 * run_len r -> absorb (merge_runs r r2) rest
+          | rest -> r :: rest
+        in
+        dst.runs <- absorb r dst.runs
+      end)
+    src.runs;
+  dst.total <- dst.total + src.total;
+  src.runs <- [];
+  src.total <- 0
+
+type t = { k : int; glock : Lock.t; global : lsm; gtop : Elt.t Atomic.t; len : int Atomic.t }
+
+type handle = { q : t; local : lsm }
+
+let name = "klsm"
+let exact_emptiness = false
+
+let create ?(k = 256) () =
+  if k <= 0 then invalid_arg "Klsm.create";
+  {
+    k;
+    glock = Lock.create ();
+    global = lsm_create ();
+    gtop = Atomic.make Elt.none;
+    len = Atomic.make 0;
+  }
+
+let register q = { q; local = lsm_create () }
+
+let flush_local h =
+  if h.local.total > 0 then begin
+    let q = h.q in
+    Lock.acquire q.glock;
+    lsm_merge_into q.global h.local;
+    Atomic.set q.gtop (lsm_peek q.global);
+    Lock.release q.glock
+  end
+
+let unregister h = flush_local h
+
+let length q = Atomic.get q.len
+let local_size h = h.local.total
+let global_size q = q.global.total
+
+let insert h e =
+  if Elt.is_none e then invalid_arg "Klsm.insert: none";
+  lsm_insert h.local e;
+  Atomic.incr h.q.len;
+  if h.local.total > h.q.k then flush_local h
+
+let extract h =
+  let q = h.q in
+  let local_top = lsm_peek h.local in
+  let global_top = Atomic.get q.gtop in
+  let e =
+    if Elt.is_none local_top && Elt.is_none global_top then Elt.none
+    else if local_top >= global_top then lsm_extract h.local
+    else begin
+      Lock.acquire q.glock;
+      let e = lsm_extract q.global in
+      Atomic.set q.gtop (lsm_peek q.global);
+      Lock.release q.glock;
+      (* The global may have drained between peek and lock. *)
+      if Elt.is_none e then lsm_extract h.local else e
+    end
+  in
+  if not (Elt.is_none e) then Atomic.decr q.len;
+  e
+
+let check_invariant h =
+  let lsm_ok l =
+    List.for_all
+      (fun r ->
+        let ok = ref true in
+        for i = r.head to Array.length r.data - 2 do
+          if r.data.(i) < r.data.(i + 1) then ok := false
+        done;
+        !ok)
+      l.runs
+  in
+  lsm_ok h.local
+  &&
+  (Lock.acquire h.q.glock;
+   let ok = lsm_ok h.q.global && Atomic.get h.q.gtop = lsm_peek h.q.global in
+   Lock.release h.q.glock;
+   ok)

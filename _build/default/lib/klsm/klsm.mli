@@ -1,0 +1,35 @@
+(** Simplified k-LSM (Wimmer et al., 2015) — the third relaxed design in the
+    paper's related work (Section 2.1).
+
+    Each thread owns a private log-structured merge structure (sorted runs
+    merged by size class) holding at most [k] elements; when it overflows,
+    the whole local structure is merged into a shared global LSM.
+    [extract] returns the larger of the local maximum and the global
+    maximum.
+
+    Reproduced semantic warts the paper contrasts ZMSQ against:
+    - accuracy degrades with T (the true maximum may sit in any of the T
+      local LSMs, so it is found with frequency only ~1/(Tk));
+    - if the thread holding the maximum suspends, no other thread can
+      return it;
+    - [extract] can report emptiness while other threads' local LSMs are
+      full ([exact_emptiness = false]). *)
+
+type t
+
+val create : ?k:int -> unit -> t
+(** [k] bounds each thread-local LSM (default 256). *)
+
+include Zmsq_pq.Intf.CONC with type t := t
+
+val local_size : handle -> int
+(** Elements currently buffered in this handle's private LSM. *)
+
+val global_size : t -> int
+
+val flush_local : handle -> unit
+(** Merge this handle's local LSM into the global one (used on
+    unregister, and by tests). *)
+
+val check_invariant : handle -> bool
+(** Runs sorted descending, size classes monotone (quiescent only). *)

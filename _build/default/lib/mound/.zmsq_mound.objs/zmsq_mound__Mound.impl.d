@@ -1,0 +1,1 @@
+lib/mound/mound.ml: Array Atomic Domain List Mutex Zmsq_pq Zmsq_sync Zmsq_util

@@ -1,0 +1,1 @@
+lib/mound/mound.mli: Zmsq_pq

@@ -1,0 +1,34 @@
+(** The mound (Liu & Spear, 2012) — the structural ancestor of ZMSQ and one
+    of the paper's baselines (Section 2.2).
+
+    A binary tree of sorted lists with the invariant that every node's list
+    head is >= the heads of both children, so the root's head is the global
+    maximum. Insertion picks a random leaf and binary-searches the root
+    path for the unique node where the key can become the new list head;
+    extraction pops the root head and restores the invariant by swapping
+    lists downward.
+
+    This implementation is lock-based (one lock per node, parent before
+    child), matching the comparator used in the paper's evaluation. It is a
+    *strict* priority queue: [extract] always returns the true maximum.
+
+    The mound's known weakness — reproduced faithfully — is input
+    sensitivity: under random mixed workloads most lists shrink toward one
+    element and the mound degrades into a plain heap (Section 2.2), which is
+    precisely what ZMSQ's insertion changes repair. *)
+
+type t
+
+val create : ?initial_levels:int -> unit -> t
+
+include Zmsq_pq.Intf.CONC with type t := t
+
+(** {2 Introspection (tests, the paper's set-quality study)} *)
+
+val check_invariant : t -> bool
+(** Heap order between every parent/child list head (quiescent only). *)
+
+val leaf_level : t -> int
+
+val list_lengths : t -> int array
+(** Length of every node's list, root first (quiescent only). *)

@@ -1,0 +1,1 @@
+lib/multiqueue/multiqueue.ml: Array Atomic Zmsq_pq Zmsq_sync Zmsq_util

@@ -1,0 +1,1 @@
+lib/multiqueue/multiqueue.mli: Zmsq_pq

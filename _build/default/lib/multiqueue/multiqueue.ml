@@ -1,0 +1,92 @@
+module Rng = Zmsq_util.Rng
+module Lock = Zmsq_sync.Lock.Tatas
+module Elt = Zmsq_pq.Elt
+module Heap = Zmsq_pq.Pairing_heap
+
+type queue = { lock : Lock.t; heap : Heap.t; top : Elt.t Atomic.t }
+
+type t = { queues : queue array; len : int Atomic.t }
+
+type handle = { q : t; rng : Rng.t }
+
+let name = "multiqueue"
+let exact_emptiness = true
+
+let handle_seed = Atomic.make 0x30D1
+
+let create ?(queues = 8) () =
+  if queues <= 0 then invalid_arg "Multiqueue.create";
+  {
+    queues =
+      Array.init queues (fun _ ->
+          { lock = Lock.create (); heap = Heap.create (); top = Atomic.make Elt.none });
+    len = Atomic.make 0;
+  }
+
+let register q = { q; rng = Rng.create ~seed:(Atomic.fetch_and_add handle_seed 0x9E3779B9) () }
+let unregister _ = ()
+
+let length q = Atomic.get q.len
+let queue_count q = Array.length q.queues
+
+let insert h e =
+  if Elt.is_none e then invalid_arg "Multiqueue.insert: none";
+  let q = h.q in
+  let n = Array.length q.queues in
+  let rec go () =
+    let qu = q.queues.(Rng.int h.rng n) in
+    if Lock.try_acquire qu.lock then begin
+      Heap.insert qu.heap e;
+      Atomic.set qu.top (Heap.peek_max qu.heap);
+      Lock.release qu.lock;
+      Atomic.incr q.len
+    end
+    else go ()
+  in
+  go ()
+
+let pop_from q qu =
+  if Lock.try_acquire qu.lock then begin
+    let e = Heap.extract_max qu.heap in
+    Atomic.set qu.top (Heap.peek_max qu.heap);
+    Lock.release qu.lock;
+    if not (Elt.is_none e) then Atomic.decr q.len;
+    e
+  end
+  else Elt.none
+
+(* Power-of-two-choices pop, with a full sweep fallback so that a [none]
+   answer really means every queue was seen empty. *)
+let extract h =
+  let q = h.q in
+  let n = Array.length q.queues in
+  let rec attempt tries =
+    if tries = 0 then sweep 0
+    else begin
+      let a = q.queues.(Rng.int h.rng n) in
+      let b = q.queues.(Rng.int h.rng n) in
+      let best = if Atomic.get a.top >= Atomic.get b.top then a else b in
+      if Elt.is_none (Atomic.get best.top) then
+        if Atomic.get q.len = 0 then Elt.none else attempt (tries - 1)
+      else begin
+        let e = pop_from q best in
+        if Elt.is_none e then attempt (tries - 1) else e
+      end
+    end
+  and sweep i =
+    if i >= n then if Atomic.get q.len = 0 then Elt.none else attempt (2 * n)
+    else begin
+      let e = pop_from q q.queues.(i) in
+      if Elt.is_none e then sweep (i + 1) else e
+    end
+  in
+  attempt (2 * n)
+
+let check_invariant q =
+  Array.for_all
+    (fun qu ->
+      Lock.acquire qu.lock;
+      let ok = Atomic.get qu.top = Heap.peek_max qu.heap in
+      Lock.release qu.lock;
+      ok)
+    q.queues

@@ -1,0 +1,23 @@
+(** MultiQueue (Rihani, Sanders, Dementiev — 2015), the second relaxed
+    design discussed in the paper's related work (Section 2.1).
+
+    [c * T] sequential heaps, each guarded by a trylock and fronted by an
+    atomic cache of its maximum. Insertion picks a random heap; extraction
+    peeks two random heaps and pops the one with the larger maximum
+    ("power of two choices"). Accuracy degrades with the number of queues —
+    i.e. with T, the weakness the paper contrasts ZMSQ against.
+
+    Emptiness is imprecise in the original (elements can hide in queues the
+    scan misses); as with the paper's discussion, a full sweep is needed to
+    conclude emptiness, so [extract] falls back to a sweep before giving up
+    — making [exact_emptiness] true in quiescent states but costly. *)
+
+type t
+
+val create : ?queues:int -> unit -> t
+(** [queues] defaults to 8 (≈ c·T for c=2, T=4). *)
+
+include Zmsq_pq.Intf.CONC with type t := t
+
+val queue_count : t -> int
+val check_invariant : t -> bool

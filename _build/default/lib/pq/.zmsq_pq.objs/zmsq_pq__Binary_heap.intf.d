@@ -1,0 +1,1 @@
+lib/pq/binary_heap.mli: Elt Intf

@@ -1,0 +1,1 @@
+lib/pq/elt.ml: Float Format Int Int64

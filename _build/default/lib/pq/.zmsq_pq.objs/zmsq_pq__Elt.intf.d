@@ -1,0 +1,1 @@
+lib/pq/elt.mli: Format

@@ -1,0 +1,1 @@
+lib/pq/fifo.ml: Array Elt

@@ -1,0 +1,1 @@
+lib/pq/intf.ml: Elt

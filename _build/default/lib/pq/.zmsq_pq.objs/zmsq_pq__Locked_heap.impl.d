@@ -1,0 +1,1 @@
+lib/pq/locked_heap.ml: Atomic Binary_heap Elt Zmsq_sync

@@ -1,0 +1,1 @@
+lib/pq/locked_heap.mli: Intf

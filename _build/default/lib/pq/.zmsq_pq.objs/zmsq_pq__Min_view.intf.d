@@ -1,0 +1,1 @@
+lib/pq/min_view.mli: Intf

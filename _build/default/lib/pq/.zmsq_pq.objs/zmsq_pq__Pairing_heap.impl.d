@@ -1,0 +1,1 @@
+lib/pq/pairing_heap.ml: Elt

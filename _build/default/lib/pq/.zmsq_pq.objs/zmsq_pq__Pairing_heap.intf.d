@@ -1,0 +1,1 @@
+lib/pq/pairing_heap.mli: Intf

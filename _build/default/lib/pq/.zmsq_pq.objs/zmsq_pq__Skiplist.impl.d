@@ -1,0 +1,1 @@
+lib/pq/skiplist.ml: Array Elt List Zmsq_util

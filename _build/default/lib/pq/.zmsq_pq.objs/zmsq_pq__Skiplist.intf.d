@@ -1,0 +1,1 @@
+lib/pq/skiplist.mli: Elt Intf Zmsq_util

@@ -1,0 +1,77 @@
+type t = { mutable data : Elt.t array; mutable len : int }
+
+let name = "binary-heap"
+
+let create () = { data = Array.make 16 Elt.none; len = 0 }
+
+let size t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.data) Elt.none in
+  Array.blit t.data 0 bigger 0 t.len;
+  t.data <- bigger
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.data.(parent) < t.data.(i) then begin
+      let tmp = t.data.(parent) in
+      t.data.(parent) <- t.data.(i);
+      t.data.(i) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let largest = ref i in
+  if l < t.len && t.data.(l) > t.data.(!largest) then largest := l;
+  if r < t.len && t.data.(r) > t.data.(!largest) then largest := r;
+  if !largest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!largest);
+    t.data.(!largest) <- tmp;
+    sift_down t !largest
+  end
+
+let insert t e =
+  if Elt.is_none e then invalid_arg "Binary_heap.insert: none";
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- e;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let peek_max t = if t.len = 0 then Elt.none else t.data.(0)
+
+let extract_max t =
+  if t.len = 0 then Elt.none
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    t.data.(0) <- t.data.(t.len);
+    t.data.(t.len) <- Elt.none;
+    if t.len > 0 then sift_down t 0;
+    top
+  end
+
+let of_array a =
+  let len = Array.length a in
+  let data = Array.make (max 16 len) Elt.none in
+  Array.blit a 0 data 0 len;
+  let t = { data; len } in
+  for i = (len / 2) - 1 downto 0 do
+    sift_down t i
+  done;
+  t
+
+let to_sorted_array t =
+  let copy = { data = Array.copy t.data; len = t.len } in
+  Array.init t.len (fun _ -> extract_max copy)
+
+let check_invariant t =
+  let ok = ref true in
+  for i = 1 to t.len - 1 do
+    if t.data.((i - 1) / 2) < t.data.(i) then ok := false
+  done;
+  !ok

@@ -1,0 +1,13 @@
+(** Resizable array-backed binary max-heap — the sequential reference
+    implementation and the accuracy oracle's workhorse. *)
+
+include Intf.SEQ
+
+val of_array : Elt.t array -> t
+(** Heapify in O(n). *)
+
+val to_sorted_array : t -> Elt.t array
+(** Non-destructive; descending order. *)
+
+val check_invariant : t -> bool
+(** Every parent >= both children (tests). *)

@@ -1,0 +1,35 @@
+type t = int
+
+let priority_bits = 31
+let payload_bits = 31
+let max_priority = (1 lsl priority_bits) - 1
+let payload_mask = (1 lsl payload_bits) - 1
+
+let pack ~priority ~payload =
+  if priority < 0 || priority > max_priority then invalid_arg "Elt.pack: priority out of range";
+  if payload < 0 || payload > payload_mask then invalid_arg "Elt.pack: payload out of range";
+  (priority lsl payload_bits) lor payload
+
+let priority e = e lsr payload_bits
+let payload e = e land payload_mask
+
+let none = -1
+let is_none e = e < 0
+
+let of_priority p = pack ~priority:p ~payload:0
+
+let compare = Int.compare
+
+let priority_of_float f =
+  if Float.is_nan f || f < 0.0 || f = Float.infinity then
+    invalid_arg "Elt.priority_of_float: need a non-negative finite float";
+  (* For non-negative floats the IEEE bit pattern is monotone; keep the 31
+     most significant of its 63 meaningful bits. *)
+  Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float f) 32)
+
+let flip e =
+  if is_none e then e else pack ~priority:(max_priority - priority e) ~payload:(payload e)
+
+let pp fmt e =
+  if is_none e then Format.pp_print_string fmt "<none>"
+  else Format.fprintf fmt "%d@%d" (priority e) (payload e)

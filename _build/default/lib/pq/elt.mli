@@ -1,0 +1,53 @@
+(** Queue elements: a (priority, payload) pair packed into one immutable
+    OCaml [int].
+
+    Packing gives the property the paper highlights for ZMSQ — storing
+    arbitrary data "without extra indirection": the payload is an index or
+    handle into user data, and queue internals move plain integers, so no
+    allocation happens on the hot path and atomics can hold elements
+    directly. Plain integer comparison orders elements by priority first,
+    then payload (a deterministic tiebreak).
+
+    [none] is the ⊥ sentinel (negative, so no packed element collides). *)
+
+type t = int
+
+val priority_bits : int
+(** 31: priorities live in [0, 2^31). *)
+
+val payload_bits : int
+(** 31: payloads live in [0, 2^31). *)
+
+val pack : priority:int -> payload:int -> t
+(** Raises [Invalid_argument] if either field is out of range. *)
+
+val priority : t -> int
+val payload : t -> int
+
+val none : t
+(** The ⊥ sentinel; compares below every packed element. *)
+
+val is_none : t -> bool
+
+val of_priority : int -> t
+(** [of_priority p] = [pack ~priority:p ~payload:0] — convenient when the
+    workload only cares about keys. *)
+
+val compare : t -> t -> int
+(** Same order as [Int.compare]; exposed for clarity at call sites. *)
+
+val priority_of_float : float -> int
+(** Order-preserving map from non-negative finite floats to the integer
+    priority space (top bits of the IEEE-754 pattern, which is monotone for
+    non-negative values). Distinct floats may collide after truncation to
+    31 bits — ordering is preserved, strictness is not. Raises
+    [Invalid_argument] on negatives, NaN or infinities. *)
+
+val flip : t -> t
+(** Reverse the priority order ([priority] becomes [max_priority -
+    priority]), keeping the payload: the building block for min-queue
+    views. [flip] is an involution. *)
+
+val max_priority : int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+type t = { mutable data : Elt.t array; mutable head : int; mutable len : int }
+
+let name = "fifo"
+
+let create () = { data = Array.make 16 Elt.none; head = 0; len = 0 }
+
+let size t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = Array.length t.data in
+  let bigger = Array.make (2 * cap) Elt.none in
+  for i = 0 to t.len - 1 do
+    bigger.(i) <- t.data.((t.head + i) mod cap)
+  done;
+  t.data <- bigger;
+  t.head <- 0
+
+let insert t e =
+  if Elt.is_none e then invalid_arg "Fifo.insert: none";
+  if t.len = Array.length t.data then grow t;
+  t.data.((t.head + t.len) mod Array.length t.data) <- e;
+  t.len <- t.len + 1
+
+let peek_max t = if t.len = 0 then Elt.none else t.data.(t.head)
+
+let extract_max t =
+  if t.len = 0 then Elt.none
+  else begin
+    let e = t.data.(t.head) in
+    t.data.(t.head) <- Elt.none;
+    t.head <- (t.head + 1) mod Array.length t.data;
+    t.len <- t.len - 1;
+    e
+  end

@@ -1,0 +1,9 @@
+(** Growable ring-buffer FIFO.
+
+    Table 1's discussion uses a FIFO as the accuracy floor ("worse than a
+    FIFO queue"): extraction order is insertion order, ignoring priority.
+    Exposed through the same signature so the accuracy harness can run it
+    alongside the real priority queues. *)
+
+include Intf.SEQ
+(** [extract_max] dequeues in FIFO order — deliberately priority-blind. *)

@@ -1,0 +1,77 @@
+(** Shared signatures for the priority queues in this repository.
+
+    Elements are packed {!Elt.t} integers; all queues are max-queues. *)
+
+module type SEQ = sig
+  (** A sequential (single-owner) priority queue. *)
+
+  type t
+
+  val create : unit -> t
+  val insert : t -> Elt.t -> unit
+
+  val extract_max : t -> Elt.t
+  (** Returns {!Elt.none} when empty. *)
+
+  val peek_max : t -> Elt.t
+  (** Returns {!Elt.none} when empty; does not remove. *)
+
+  val size : t -> int
+  val is_empty : t -> bool
+
+  val name : string
+end
+
+module type CONC = sig
+  (** A concurrent priority queue. Threads first [register] to obtain a
+      handle carrying thread-local state (RNG stream, hazard-pointer record,
+      local buffers). Handles must not be shared between threads. *)
+
+  type t
+  type handle
+
+  val register : t -> handle
+
+  val unregister : handle -> unit
+  (** Release thread-local resources. Safe to skip for short-lived tests;
+      required before reusing the slot budget (hazard pointers, k-LSM local
+      structures). *)
+
+  val insert : handle -> Elt.t -> unit
+
+  val extract : handle -> Elt.t
+  (** One extraction attempt. Returns {!Elt.none} when no element was
+      obtained; whether that implies emptiness is given by
+      [exact_emptiness]. *)
+
+  val exact_emptiness : bool
+  (** When [true] (ZMSQ, locked heap, multiqueue-with-scan), [extract]
+      returning {!Elt.none} means the queue was momentarily truly empty.
+      When [false] (SprayList, k-LSM), a [none] result may be spurious and
+      callers must retry or consult an external element count. *)
+
+  val length : t -> int
+  (** Element count; may be approximate under concurrency but is exact in
+      quiescent states. *)
+
+  val name : string
+end
+
+module type INSTANCE = sig
+  (** A concurrent queue packaged with a live instance of itself — the
+      currency of the benchmark harness and the parallel SSSP solver, which
+      are generic over every queue in this repository. *)
+
+  module Q : CONC
+
+  val q : Q.t
+end
+
+type instance = (module INSTANCE)
+
+let pack (type a) (module Q : CONC with type t = a) (q : a) : instance =
+  (module struct
+    module Q = Q
+
+    let q = q
+  end)

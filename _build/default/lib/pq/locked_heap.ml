@@ -1,0 +1,34 @@
+module Lock = Zmsq_sync.Lock.Tatas
+
+type t = { lock : Lock.t; heap : Binary_heap.t; len : int Atomic.t }
+
+type handle = t
+
+let name = "locked-heap"
+let exact_emptiness = true
+
+let create () = { lock = Lock.create (); heap = Binary_heap.create (); len = Atomic.make 0 }
+
+let register t = t
+let unregister _ = ()
+
+let insert t e =
+  Lock.acquire t.lock;
+  Binary_heap.insert t.heap e;
+  Lock.release t.lock;
+  Atomic.incr t.len
+
+let extract t =
+  Lock.acquire t.lock;
+  let e = Binary_heap.extract_max t.heap in
+  Lock.release t.lock;
+  if not (Elt.is_none e) then Atomic.decr t.len;
+  e
+
+let length t = Atomic.get t.len
+
+let check_invariant t =
+  Lock.acquire t.lock;
+  let ok = Binary_heap.check_invariant t.heap in
+  Lock.release t.lock;
+  ok

@@ -1,0 +1,12 @@
+(** Strict concurrent priority queue: one global lock around a binary heap.
+
+    The simplest correct baseline — it is what relaxed queues must beat.
+    Exact [extract] semantics, exact emptiness, trivially linearizable. *)
+
+type t
+
+val create : unit -> t
+
+include Intf.CONC with type t := t
+
+val check_invariant : t -> bool

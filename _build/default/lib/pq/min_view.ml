@@ -1,0 +1,18 @@
+module Make (Q : Intf.CONC) = struct
+  type t = Q.t
+  type handle = Q.handle
+
+  let name = "min(" ^ Q.name ^ ")"
+  let exact_emptiness = Q.exact_emptiness
+
+  let wrap q = q
+  let register = Q.register
+  let unregister = Q.unregister
+  let length = Q.length
+
+  let insert h e =
+    if Elt.is_none e then invalid_arg "Min_view.insert: none";
+    Q.insert h (Elt.flip e)
+
+  let extract h = Elt.flip (Q.extract h)
+end

@@ -1,0 +1,15 @@
+(** Min-priority view over any concurrent max-queue.
+
+    Wraps a {!Intf.CONC} implementation, flipping element priorities on the
+    way in and out ({!Elt.flip}), so [extract] returns (approximately, for
+    relaxed queues) the *smallest* element. This is what Dijkstra-style
+    consumers want; the SSSP solver inlines the same trick. *)
+
+module Make (Q : Intf.CONC) : sig
+  include Intf.CONC
+
+  val wrap : Q.t -> t
+  (** View an existing max-queue as a min-queue. Elements already inside
+      are reinterpreted (their priorities read flipped), so wrap an empty
+      queue unless that is what you want. *)
+end

@@ -1,0 +1,51 @@
+type node = Empty | Node of { value : Elt.t; mutable children : node list }
+
+type t = { mutable root : node; mutable len : int }
+
+let name = "pairing-heap"
+
+let create () = { root = Empty; len = 0 }
+
+let size t = t.len
+let is_empty t = t.len = 0
+
+let merge_nodes a b =
+  match (a, b) with
+  | Empty, n | n, Empty -> n
+  | Node na, Node nb ->
+      if na.value >= nb.value then begin
+        na.children <- b :: na.children;
+        a
+      end
+      else begin
+        nb.children <- a :: nb.children;
+        b
+      end
+
+let insert t e =
+  if Elt.is_none e then invalid_arg "Pairing_heap.insert: none";
+  t.root <- merge_nodes t.root (Node { value = e; children = [] });
+  t.len <- t.len + 1
+
+let peek_max t = match t.root with Empty -> Elt.none | Node n -> n.value
+
+(* Two-pass pairing: merge adjacent pairs left-to-right, then fold
+   right-to-left. *)
+let rec merge_pairs = function
+  | [] -> Empty
+  | [ n ] -> n
+  | a :: b :: rest -> merge_nodes (merge_nodes a b) (merge_pairs rest)
+
+let extract_max t =
+  match t.root with
+  | Empty -> Elt.none
+  | Node n ->
+      t.root <- merge_pairs n.children;
+      t.len <- t.len - 1;
+      n.value
+
+let meld dst src =
+  dst.root <- merge_nodes dst.root src.root;
+  dst.len <- dst.len + src.len;
+  src.root <- Empty;
+  src.len <- 0

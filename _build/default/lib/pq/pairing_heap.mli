@@ -1,0 +1,9 @@
+(** Pairing max-heap (two-pass melding) — a second sequential reference
+    with O(1) insert, used to cross-check the binary heap in property
+    tests and as the per-queue structure inside the MultiQueue baseline. *)
+
+include Intf.SEQ
+
+val meld : t -> t -> unit
+(** [meld dst src] moves every element of [src] into [dst]; [src] becomes
+    empty. O(1). *)

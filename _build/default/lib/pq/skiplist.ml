@@ -1,0 +1,129 @@
+module Rng = Zmsq_util.Rng
+
+let max_level = 24
+
+(* Head sentinel holds Elt.none's predecessor role via [is_head]; [Nil] ends
+   every level. Descending order: node.key > successor.key (ties broken by
+   insertion, duplicates allowed and placed adjacent). *)
+type node = Nil | Node of { key : Elt.t; forward : node array; is_head : bool }
+
+type t = { head : node; rng : Rng.t; mutable len : int }
+
+let name = "skiplist"
+
+let make_head () = Node { key = Elt.none; forward = Array.make max_level Nil; is_head = true }
+
+let create_seeded rng = { head = make_head (); rng; len = 0 }
+let create () = create_seeded (Rng.create ~seed:0x51C1 ())
+
+let size t = t.len
+let is_empty t = t.len = 0
+
+let forward = function
+  | Node { forward; _ } -> forward
+  | Nil -> invalid_arg "Skiplist: Nil has no forward"
+
+let random_level t =
+  let lvl = ref 1 in
+  while !lvl < max_level && Rng.bool t.rng do
+    incr lvl
+  done;
+  !lvl
+
+(* Find, for each level, the last node whose key is strictly greater than
+   [e] (head counts as +infinity). *)
+let find_preds t e preds =
+  let cur = ref t.head in
+  for level = max_level - 1 downto 0 do
+    let rec advance () =
+      match (forward !cur).(level) with
+      | Node { key; _ } as next when key > e ->
+          cur := next;
+          advance ()
+      | _ -> ()
+    in
+    advance ();
+    preds.(level) <- !cur
+  done
+
+let insert t e =
+  if Elt.is_none e then invalid_arg "Skiplist.insert: none";
+  let preds = Array.make max_level t.head in
+  find_preds t e preds;
+  let lvl = random_level t in
+  let fresh = Array.make lvl Nil in
+  let node = Node { key = e; forward = fresh; is_head = false } in
+  for level = 0 to lvl - 1 do
+    fresh.(level) <- (forward preds.(level)).(level);
+    (forward preds.(level)).(level) <- node
+  done;
+  t.len <- t.len + 1
+
+let peek_max t =
+  match (forward t.head).(0) with Nil -> Elt.none | Node { key; _ } -> key
+
+let unlink t preds target =
+  match target with
+  | Nil -> ()
+  | Node { forward = tf; _ } ->
+      let height = Array.length tf in
+      for level = 0 to height - 1 do
+        if (forward preds.(level)).(level) == target then
+          (forward preds.(level)).(level) <- tf.(level)
+      done;
+      t.len <- t.len - 1
+
+let extract_max t =
+  match (forward t.head).(0) with
+  | Nil -> Elt.none
+  | Node { key; forward = tf; _ } as first ->
+      (* The maximum's predecessors at every level it occupies are the head
+         itself only for levels it owns; other levels are untouched. *)
+      let preds = Array.make max_level t.head in
+      for level = 0 to Array.length tf - 1 do
+        preds.(level) <- t.head
+      done;
+      unlink t preds first;
+      key
+
+let mem t e =
+  let preds = Array.make max_level t.head in
+  find_preds t e preds;
+  match (forward preds.(0)).(0) with Node { key; _ } -> key = e | Nil -> false
+
+let remove t e =
+  let preds = Array.make max_level t.head in
+  find_preds t e preds;
+  match (forward preds.(0)).(0) with
+  | Node { key; _ } as target when key = e ->
+      unlink t preds target;
+      true
+  | _ -> false
+
+let to_list t =
+  let rec go acc = function
+    | Nil -> List.rev acc
+    | Node { key; forward; _ } -> go (key :: acc) forward.(0)
+  in
+  go [] (forward t.head).(0)
+
+let check_invariant t =
+  (* Level-0 descending, and every level's chain is a subsequence of
+     level 0. *)
+  let sorted =
+    let rec go prev = function
+      | Nil -> true
+      | Node { key; forward; _ } -> prev >= key && go key forward.(0)
+    in
+    go max_int (forward t.head).(0)
+  in
+  let level_ok level =
+    let rec go prev = function
+      | Nil -> true
+      | Node { key; forward; _ } ->
+          prev >= key && Array.length forward > level && go key forward.(level)
+    in
+    go max_int (forward t.head).(level)
+  in
+  let rec all level = level >= max_level || (level_ok level && all (level + 1)) in
+  sorted && all 1

@@ -1,0 +1,23 @@
+(** Sequential skiplist ordered descending by element value, so the maximum
+    sits just after the head sentinel and [extract_max] is O(1) expected.
+
+    This is the structural reference for the concurrent SprayList
+    (lib/spraylist): same geometric tower heights, same descending layout,
+    none of the synchronization. *)
+
+include Intf.SEQ
+
+val create_seeded : Zmsq_util.Rng.t -> t
+(** Deterministic tower heights from the given generator. *)
+
+val max_level : int
+
+val mem : t -> Elt.t -> bool
+val remove : t -> Elt.t -> bool
+(** [remove t e] deletes one occurrence of exactly [e]; false if absent. *)
+
+val to_list : t -> Elt.t list
+(** Descending order. *)
+
+val check_invariant : t -> bool
+(** Level-0 chain sorted descending and every tower consistent. *)

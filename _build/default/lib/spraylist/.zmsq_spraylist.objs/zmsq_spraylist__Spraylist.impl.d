@@ -1,0 +1,1 @@
+lib/spraylist/spraylist.ml: Array Atomic List Zmsq_pq Zmsq_util

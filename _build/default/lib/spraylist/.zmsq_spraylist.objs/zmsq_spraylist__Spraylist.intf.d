@@ -1,0 +1,1 @@
+lib/spraylist/spraylist.mli: Zmsq_pq

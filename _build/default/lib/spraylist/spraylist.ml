@@ -1,0 +1,302 @@
+module Rng = Zmsq_util.Rng
+module Elt = Zmsq_pq.Elt
+
+(* Links carry the Harris-style mark: a node is logically deleted once its
+   level-0 link is marked. CAS operates on the physical identity of the
+   [link] record. *)
+type link = { succ : node; marked : bool }
+and node = Nil | Node of { key : Elt.t; links : link Atomic.t array }
+
+type t = {
+  head : node; (* sentinel, key = +inf, full height *)
+  max_level : int;
+  spray_factor : int;
+  scan_limit : int;
+  max_retries : int;
+  threads : int Atomic.t;
+  len : int Atomic.t;
+  clean_tickets : int Atomic.t;
+}
+
+type handle = { q : t; rng : Rng.t }
+
+let name = "spraylist"
+let exact_emptiness = false
+
+let handle_seed = Atomic.make 0x5942
+
+let node_links = function
+  | Node { links; _ } -> links
+  | Nil -> invalid_arg "Spraylist: Nil has no links"
+
+let create ?(max_level = 24) ?(spray_factor = 1) () =
+  if max_level < 2 || max_level > 40 then invalid_arg "Spraylist.create";
+  let links = Array.init max_level (fun _ -> Atomic.make { succ = Nil; marked = false }) in
+  {
+    head = Node { key = max_int; links };
+    max_level;
+    spray_factor;
+    scan_limit = 64;
+    max_retries = 8;
+    threads = Atomic.make 0;
+    len = Atomic.make 0;
+    clean_tickets = Atomic.make 0;
+  }
+
+let register q =
+  Atomic.incr q.threads;
+  { q; rng = Rng.create ~seed:(Atomic.fetch_and_add handle_seed 0x9E3779B9) () }
+
+let unregister h = Atomic.decr h.q.threads
+
+let length q = max 0 (Atomic.get q.len)
+let registered_threads q = Atomic.get q.threads
+
+let random_level h =
+  let lvl = ref 1 in
+  while !lvl < h.q.max_level && Rng.bool h.rng do
+    incr lvl
+  done;
+  !lvl
+
+exception Restart
+
+(* Herlihy–Shavit [find]: populate preds/succs for [key] (descending order:
+   we pass nodes with larger keys), physically unlinking marked nodes met on
+   the way. *)
+let find q key preds succs =
+  let rec from_scratch () =
+    try
+      let pred = ref q.head in
+      for level = q.max_level - 1 downto 0 do
+        let rec walk () =
+          let curr = (Atomic.get (node_links !pred).(level)).succ in
+          match curr with
+          | Nil -> curr
+          | Node { key = ckey; links = clinks } ->
+              let l = Atomic.get clinks.(level) in
+              if l.marked then begin
+                (* Snip the deleted node out of this level. *)
+                let plink = (node_links !pred).(level) in
+                let expected = Atomic.get plink in
+                if
+                  expected.succ == curr
+                  && (not expected.marked)
+                  && Atomic.compare_and_set plink expected { succ = l.succ; marked = false }
+                then walk ()
+                else raise_notrace Restart
+              end
+              else if ckey > key then begin
+                pred := curr;
+                walk ()
+              end
+              else curr
+        in
+        let curr = walk () in
+        preds.(level) <- !pred;
+        succs.(level) <- curr
+      done
+    with Restart -> from_scratch ()
+  in
+  from_scratch ()
+
+let insert h e =
+  if Elt.is_none e then invalid_arg "Spraylist.insert: none";
+  let q = h.q in
+  let top = random_level h in
+  let preds = Array.make q.max_level q.head in
+  let succs = Array.make q.max_level Nil in
+  let rec attempt () =
+    find q e preds succs;
+    let fresh = Array.init top (fun l -> Atomic.make { succ = succs.(l); marked = false }) in
+    let n = Node { key = e; links = fresh } in
+    let plink0 = (node_links preds.(0)).(0) in
+    let expected = Atomic.get plink0 in
+    if
+      expected.succ == succs.(0)
+      && (not expected.marked)
+      && Atomic.compare_and_set plink0 expected { succ = n; marked = false }
+    then begin
+      (* Link the upper levels; failures refresh preds/succs. A marked own
+         link means a concurrent extract already claimed the node — stop. *)
+      for level = 1 to top - 1 do
+        let rec link_level () =
+          let own = Atomic.get fresh.(level) in
+          if not own.marked then begin
+            let plink = (node_links preds.(level)).(level) in
+            let exp = Atomic.get plink in
+            if
+              exp.succ == own.succ
+              && (not exp.marked)
+              && Atomic.compare_and_set plink exp { succ = n; marked = false }
+            then ()
+            else begin
+              find q e preds succs;
+              let desired = { succ = succs.(level); marked = false } in
+              if own.succ != succs.(level) then begin
+                if Atomic.compare_and_set fresh.(level) own desired then link_level ()
+                else link_level ()
+              end
+              else link_level ()
+            end
+          end
+        in
+        link_level ()
+      done;
+      Atomic.incr q.len
+    end
+    else attempt ()
+  in
+  attempt ()
+
+(* Logical deletion: mark upper levels top-down, then race on level 0; the
+   level-0 winner owns the element. *)
+let try_claim n =
+  let links = node_links n in
+  for level = Array.length links - 1 downto 1 do
+    let rec mark () =
+      let l = Atomic.get links.(level) in
+      if (not l.marked) && not (Atomic.compare_and_set links.(level) l { l with marked = true })
+      then mark ()
+    in
+    mark ()
+  done;
+  let rec mark0 () =
+    let l = Atomic.get links.(0) in
+    if l.marked then false
+    else if Atomic.compare_and_set links.(0) l { succ = l.succ; marked = true } then true
+    else mark0 ()
+  in
+  mark0 ()
+
+let ilog2 n =
+  let r = ref 0 and v = ref n in
+  while !v > 1 do
+    incr r;
+    v := !v lsr 1
+  done;
+  !r
+
+(* The spray walk: start ~log2(T) levels up, take uniform forward jumps,
+   descend. With per-level jump bound ~ M * log^2(T) / 2 and ~log2(T)
+   levels, the landing index spreads over the front O(M * T * log^2 T)
+   elements — the polylog widening that makes SprayList accuracy degrade
+   with the thread count (the paper's Table 1 contrast with ZMSQ). *)
+let spray h =
+  let q = h.q in
+  let tcount = max 1 (Atomic.get q.threads) in
+  let height = if tcount = 1 then 0 else min (q.max_level - 1) (ilog2 tcount + 1) in
+  let bound =
+    if tcount = 1 then 0
+    else begin
+      let lg = ilog2 tcount + 1 in
+      max 1 (q.spray_factor * lg * lg / 2)
+    end
+  in
+  let cur = ref q.head in
+  for level = height downto 0 do
+    let steps = if bound = 0 then 0 else Rng.int h.rng (bound + 1) in
+    for _ = 1 to steps do
+      match !cur with
+      | Nil -> ()
+      | Node { links; _ } ->
+          if Array.length links > level then begin
+            match (Atomic.get links.(level)).succ with Nil -> () | n -> cur := n
+          end
+    done
+  done;
+  match !cur with
+  | Node { key; links } when key <> max_int ->
+      ignore links;
+      !cur
+  | _ -> (Atomic.get (node_links q.head).(0)).succ
+
+(* Cleaner: physically unlink the marked prefix by finding the first live
+   element and re-running [find] on its key (which snips every marked node
+   in front of it, at every level). *)
+let clean_front h =
+  let q = h.q in
+  let rec first_live node budget =
+    if budget = 0 then Elt.none
+    else
+      match node with
+      | Nil -> Elt.none
+      | Node { key; links } ->
+          let l = Atomic.get links.(0) in
+          if l.marked then first_live l.succ (budget - 1) else key
+  in
+  let key = first_live (Atomic.get (node_links q.head).(0)).succ 4096 in
+  if not (Elt.is_none key) then begin
+    let preds = Array.make q.max_level q.head in
+    let succs = Array.make q.max_level Nil in
+    find q key preds succs
+  end
+
+let extract h =
+  let q = h.q in
+  let tcount = max 1 (Atomic.get q.threads) in
+  (* Every thread occasionally plays cleaner, with probability ~1/T. *)
+  if Rng.int h.rng tcount = 0 && Atomic.fetch_and_add q.clean_tickets 1 mod 4 = 0 then
+    clean_front h;
+  let rec attempt retries =
+    if retries >= q.max_retries then Elt.none
+    else if Atomic.get q.len <= 0 then Elt.none
+    else begin
+      let start = spray h in
+      let rec scan node steps =
+        if steps >= q.scan_limit then attempt (retries + 1)
+        else
+          match node with
+          | Nil -> attempt (retries + 1)
+          | Node { key; links } as n ->
+              let l = Atomic.get links.(0) in
+              if l.marked then scan l.succ (steps + 1)
+              else if try_claim n then begin
+                Atomic.decr q.len;
+                key
+              end
+              else scan (Atomic.get links.(0)).succ (steps + 1)
+      in
+      scan start 0
+    end
+  in
+  attempt 0
+
+(* {2 Introspection (quiescent)} *)
+
+let fold_level0 q f init =
+  let rec go acc = function
+    | Nil -> acc
+    | Node { key; links } ->
+        let l = Atomic.get links.(0) in
+        go (f acc key l.marked) l.succ
+  in
+  go init (Atomic.get (node_links q.head).(0)).succ
+
+let live_elements q = List.rev (fold_level0 q (fun acc k m -> if m then acc else k :: acc) [])
+
+let marked_garbage q = fold_level0 q (fun acc _ m -> if m then acc + 1 else acc) 0
+
+let check_invariant q =
+  (* Descending level-0 order over all physically linked nodes. *)
+  let sorted =
+    let rec go prev = function
+      | Nil -> true
+      | Node { key; links } -> prev >= key && go key (Atomic.get links.(0)).succ
+    in
+    go max_int (Atomic.get (node_links q.head).(0)).succ
+  in
+  (* Each upper level is a subchain of live-or-marked nodes in order. *)
+  let level_ok level =
+    let rec go prev node =
+      match node with
+      | Nil -> true
+      | Node { key; links } ->
+          Array.length links > level
+          && prev >= key
+          && go key (Atomic.get links.(level)).succ
+    in
+    go max_int (Atomic.get (node_links q.head).(level)).succ
+  in
+  let rec all l = l >= q.max_level || (level_ok l && all (l + 1)) in
+  sorted && all 1

@@ -1,0 +1,43 @@
+(** The SprayList (Alistarh, Kopinsky, Li, Shavit — 2015), the paper's
+    state-of-the-art relaxed comparator (Section 2.1).
+
+    A lock-free skiplist ordered descending by element, with [extract]
+    implemented as a "spray": a random walk that descends from a height of
+    ~log2(T) taking bounded uniform forward jumps at each level, landing on
+    one of the first O(T·polylog T) elements, which it then logically
+    deletes. Contention on the front node is avoided because concurrent
+    extractors land on different elements — at the price of accuracy that
+    *degrades as the thread count grows* (the property ZMSQ removes).
+
+    Faithfully reproduced warts:
+    - [extract] may return {!Elt.none} spuriously while the list is
+      nonempty ([exact_emptiness = false]);
+    - with one registered thread the spray width collapses and the list
+      behaves as a strict priority queue;
+    - logically deleted nodes are unlinked lazily by sprayers acting as
+      occasional "cleaners"; reclamation relies on the tracing GC, i.e. the
+      structure is memory-unsafe in the paper's C++ sense (their comparator
+      leaks; see DESIGN.md).
+
+    [spray_factor] tunes the per-level jump bound (the paper's "M"). *)
+
+type t
+
+val create : ?max_level:int -> ?spray_factor:int -> unit -> t
+
+include Zmsq_pq.Intf.CONC with type t := t
+
+(** {2 Introspection} *)
+
+val registered_threads : t -> int
+(** Current T used to size sprays. *)
+
+val check_invariant : t -> bool
+(** Level-0 chain sorted descending, towers consistent (quiescent only). *)
+
+val live_elements : t -> Zmsq_pq.Elt.t list
+(** Unmarked elements in descending order (quiescent only). *)
+
+val marked_garbage : t -> int
+(** Logically deleted nodes still physically linked (quiescent only) — the
+    "leak" the paper attributes to this design. *)

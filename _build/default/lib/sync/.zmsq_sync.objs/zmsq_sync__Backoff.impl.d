@@ -1,0 +1,1 @@
+lib/sync/backoff.ml: Domain

@@ -1,0 +1,1 @@
+lib/sync/barrier.ml: Atomic Domain

@@ -1,0 +1,1 @@
+lib/sync/eventcount.ml: Array Atomic Domain Futex Zmsq_util

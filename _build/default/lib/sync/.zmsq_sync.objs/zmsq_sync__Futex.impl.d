@@ -1,0 +1,1 @@
+lib/sync/futex.ml: Atomic Condition Domain Float Mutex Unix Zmsq_util

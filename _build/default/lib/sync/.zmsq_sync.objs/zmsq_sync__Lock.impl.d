@@ -1,0 +1,1 @@
+lib/sync/lock.ml: Atomic Domain Mutex

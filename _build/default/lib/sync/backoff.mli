@@ -1,0 +1,10 @@
+(** Bounded exponential backoff for contended retry loops. *)
+
+type t
+
+val create : ?min_spins:int -> ?max_spins:int -> unit -> t
+
+val once : t -> unit
+(** Spin for the current delay, then double it (up to the bound). *)
+
+val reset : t -> unit

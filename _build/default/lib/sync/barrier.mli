@@ -1,0 +1,10 @@
+(** Sense-reversing spin barrier used to start benchmark phases on all
+    domains simultaneously. *)
+
+type t
+
+val create : int -> t
+(** [create n] builds a barrier for [n] participants. *)
+
+val wait : t -> unit
+(** Blocks (spinning) until all [n] participants have arrived; reusable. *)

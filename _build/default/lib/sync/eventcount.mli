@@ -1,0 +1,45 @@
+(** The paper's low-latency blocking mechanism (Section 3.6, Listing 3).
+
+    A circular buffer of futex slots plus two ticket counters — one counting
+    completed [insert]s (the "next position to wake"), one counting
+    [extract] attempts (the "next position to sleep"). The i-th extraction
+    sleeps, if it must, on slot [i mod slots]; the i-th insertion signals
+    exactly that slot. Tickets disperse threads across slots, so there is
+    little contention and no thundering herd.
+
+    Each slot word packs a sequence number with a "sleepers" low bit, so a
+    producer can check from userspace whether anyone is sleeping before
+    paying for a wake. *)
+
+type t
+
+val create : ?slots:int -> ?spin:int -> initial:int -> unit -> t
+(** [create ~initial ()] prepares the eventcount for a queue that already
+    holds [initial] elements (credits the insert counter). [slots] is the
+    circular buffer size (default 16); [spin] the optimistic spin count
+    before sleeping (default 512). *)
+
+val signal_after_insert : t -> unit
+(** Must be called after every successful insertion. Cheap when nobody
+    sleeps: one fetch-and-add plus one CAS on a dispersed slot. *)
+
+val wait_before_extract : t -> unit
+(** Must be called before every extraction. Returns immediately when the
+    insert counter shows an element is (or will be) available for this
+    ticket; otherwise spins briefly, then blocks on this ticket's slot. *)
+
+val wait_before_extract_for : t -> timeout_ns:int -> bool
+(** Deadline-bounded {!wait_before_extract}: [true] when the matching
+    insert arrived, [false] on timeout. A timed-out waiter re-credits its
+    ticket with a compensating signal, so insert/extract pairing never
+    drifts (at the cost of one possible spurious wakeup). *)
+
+val would_sleep : t -> bool
+(** True when the next extraction ticket would find no matching insert —
+    i.e. the queue is (logically) empty. For tests and monitoring. *)
+
+val sleeps : t -> int
+(** Number of futex waits performed so far (instrumentation). *)
+
+val wakes : t -> int
+(** Number of futex wakes performed so far (instrumentation). *)

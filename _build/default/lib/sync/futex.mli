@@ -1,0 +1,32 @@
+(** Userspace simulation of the Linux futex word the paper's blocking
+    algorithm (Listing 3) relies on.
+
+    A slot is a 63-bit word readable with plain atomics plus a kernel-side
+    wait queue. [wait t expected] sleeps only while the word still equals
+    [expected]; any writer that changes the word and calls [wake] releases
+    the sleepers. Spurious wakeups are possible, exactly as with the real
+    syscall, so callers must re-check their condition. *)
+
+type t
+
+val create : int -> t
+(** [create v] makes a futex word initialized to [v]. *)
+
+val get : t -> int
+(** Userspace read of the word (no syscall in the real design). *)
+
+val compare_and_set : t -> int -> int -> bool
+
+val wait : t -> int -> unit
+(** [wait t expected] blocks the calling thread while the word equals
+    [expected]; returns immediately otherwise. *)
+
+val wait_for : t -> int -> timeout_ns:int -> bool
+(** [wait_for t expected ~timeout_ns] is [wait] with a deadline: returns
+    [true] when the word changed, [false] on timeout. OCaml's [Condition]
+    has no timed wait, so past an initial spin this degrades to sleep-based
+    polling with capped backoff — semantically equivalent to FUTEX_WAIT
+    with a timeout (spurious returns allowed), with coarser wake latency. *)
+
+val wake : t -> unit
+(** Wake all threads currently blocked in {!wait} on [t]. *)

@@ -1,0 +1,74 @@
+module type S = sig
+  type t
+
+  val create : unit -> t
+  val acquire : t -> unit
+  val try_acquire : t -> bool
+  val release : t -> unit
+  val name : string
+end
+
+module Tas = struct
+  type t = bool Atomic.t
+
+  let create () = Atomic.make false
+  let try_acquire t = not (Atomic.exchange t true)
+
+  let acquire t =
+    while Atomic.exchange t true do
+      Domain.cpu_relax ()
+    done
+
+  let release t = Atomic.set t false
+  let name = "tas"
+end
+
+module Tatas = struct
+  type t = bool Atomic.t
+
+  let create () = Atomic.make false
+  let try_acquire t = (not (Atomic.get t)) && not (Atomic.exchange t true)
+
+  let acquire t =
+    let rec go () =
+      if Atomic.get t then begin
+        Domain.cpu_relax ();
+        go ()
+      end
+      else if Atomic.exchange t true then go ()
+    in
+    go ()
+
+  let release t = Atomic.set t false
+  let name = "tatas"
+end
+
+module Mutex_lock = struct
+  type t = Mutex.t
+
+  let create () = Mutex.create ()
+  let acquire = Mutex.lock
+  let try_acquire = Mutex.try_lock
+  let release = Mutex.unlock
+  let name = "mutex"
+end
+
+module Ticket = struct
+  type t = { next : int Atomic.t; owner : int Atomic.t }
+
+  let create () = { next = Atomic.make 0; owner = Atomic.make 0 }
+
+  let acquire t =
+    let my = Atomic.fetch_and_add t.next 1 in
+    while Atomic.get t.owner <> my do
+      Domain.cpu_relax ()
+    done
+
+  let try_acquire t =
+    let cur = Atomic.get t.owner in
+    (* Only attempt if the lock appears free (next = owner). *)
+    Atomic.get t.next = cur && Atomic.compare_and_set t.next cur (cur + 1)
+
+  let release t = Atomic.incr t.owner
+  let name = "ticket"
+end

@@ -1,0 +1,36 @@
+(** Lock implementations compared in the paper's Section 4.1 (Figure 2).
+
+    Every ZMSQ/mound tree node carries one of these. The paper's key insight
+    is that [try_acquire]-and-restart beats blocking acquisition for
+    optimistic read-before-lock patterns, because a locked node predicts a
+    failed revalidation. *)
+
+module type S = sig
+  type t
+
+  val create : unit -> t
+
+  val acquire : t -> unit
+  (** Blocking acquisition (spinning for TAS/TATAS). *)
+
+  val try_acquire : t -> bool
+  (** Single attempt; never blocks. *)
+
+  val release : t -> unit
+
+  val name : string
+  (** Display name used in benchmark tables. *)
+end
+
+module Tas : S
+(** Test-and-set: unconditional atomic exchange on every attempt. *)
+
+module Tatas : S
+(** Test-and-test-and-set: read before exchanging; cheaper under
+    contention because failed probes stay in shared cache state. *)
+
+module Mutex_lock : S
+(** OS mutex ([Stdlib.Mutex]), standing in for C++ [std::mutex]. *)
+
+module Ticket : S
+(** Ticket lock (FIFO spin lock); used by ablation benchmarks. *)

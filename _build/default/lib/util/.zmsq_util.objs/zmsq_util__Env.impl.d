@@ -1,0 +1,1 @@
+lib/util/env.ml: List String Sys

@@ -1,0 +1,1 @@
+lib/util/rng.ml: Array Float Fun Int64

@@ -1,0 +1,1 @@
+lib/util/timing.ml: Domain Int64 Monotonic_clock Unix

@@ -1,0 +1,28 @@
+let int name ~default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some v -> v | None -> default)
+
+let string name ~default =
+  match Sys.getenv_opt name with None -> default | Some s -> s
+
+let int_list name ~default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s ->
+      let parts =
+        String.split_on_char ',' s
+        |> List.concat_map (String.split_on_char ' ')
+        |> List.filter_map (fun p ->
+               let p = String.trim p in
+               if p = "" then None else int_of_string_opt p)
+      in
+      if parts = [] then default else parts
+
+let bench_scale () =
+  match String.lowercase_ascii (string "ZMSQ_BENCH_SCALE" ~default:"quick") with
+  | "full" -> 1.0
+  | "quick" -> 0.05
+  | s -> ( match float_of_string_opt s with Some v when v > 0.0 -> v | _ -> 0.05)
+
+let bench_threads () = int_list "ZMSQ_BENCH_THREADS" ~default:[ 1; 2; 4; 8 ]

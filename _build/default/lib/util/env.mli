@@ -1,0 +1,17 @@
+(** Environment-variable knobs shared by the benchmark harness and CLI. *)
+
+val int : string -> default:int -> int
+(** [int name ~default] parses [$name] as an integer; malformed or unset
+    values fall back to [default]. *)
+
+val string : string -> default:string -> string
+
+val int_list : string -> default:int list -> int list
+(** Comma- or space-separated integer list. *)
+
+val bench_scale : unit -> float
+(** Global op-count scale factor: [$ZMSQ_BENCH_SCALE] = "full" -> 1.0,
+    "quick" (default) -> 0.05, or a float literal. *)
+
+val bench_threads : unit -> int list
+(** Thread sweep for experiments: [$ZMSQ_BENCH_THREADS], default [1;2;4;8]. *)

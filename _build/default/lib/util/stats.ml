@@ -1,0 +1,112 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+  p99 : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+    Float.sqrt (acc /. float_of_int (n - 1))
+  end
+
+let percentile_sorted sorted p =
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  percentile_sorted sorted p
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  {
+    n;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    median = percentile_sorted sorted 50.0;
+    p90 = percentile_sorted sorted 90.0;
+    p99 = percentile_sorted sorted 99.0;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "n=%d mean=%.3g sd=%.3g min=%.3g med=%.3g p90=%.3g p99=%.3g max=%.3g"
+    s.n s.mean s.stddev s.min s.median s.p90 s.p99 s.max
+
+module Histogram = struct
+  (* Buckets by exponent: bucket i covers [2^i, 2^(i+1)). Values < 1 land in
+     bucket 0. 64 buckets cover any float we time in nanoseconds. *)
+  let buckets = 64
+
+  type t = { counts : int array; mutable total : int; mutable sum : float }
+
+  let create () = { counts = Array.make buckets 0; total = 0; sum = 0.0 }
+
+  let bucket_of v =
+    if v < 1.0 then 0
+    else begin
+      let b = int_of_float (Float.log2 v) in
+      if b >= buckets then buckets - 1 else b
+    end
+
+  let add t v =
+    let b = bucket_of v in
+    t.counts.(b) <- t.counts.(b) + 1;
+    t.total <- t.total + 1;
+    t.sum <- t.sum +. v
+
+  let merge a b =
+    let t = create () in
+    for i = 0 to buckets - 1 do
+      t.counts.(i) <- a.counts.(i) + b.counts.(i)
+    done;
+    t.total <- a.total + b.total;
+    t.sum <- a.sum +. b.sum;
+    t
+
+  let count t = t.total
+
+  let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+
+  let percentile t p =
+    if t.total = 0 then 0.0
+    else begin
+      let target = int_of_float (Float.ceil (p /. 100.0 *. float_of_int t.total)) in
+      let target = max 1 target in
+      let rec go i acc =
+        if i >= buckets then Float.pow 2.0 (float_of_int buckets)
+        else begin
+          let acc = acc + t.counts.(i) in
+          if acc >= target then Float.pow 2.0 (float_of_int (i + 1)) else go (i + 1) acc
+        end
+      in
+      go 0 0
+    end
+end

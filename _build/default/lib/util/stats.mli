@@ -1,0 +1,43 @@
+(** Summary statistics over float samples, used by the benchmark harness to
+    aggregate per-run measurements (the paper averages 15 runs per point). *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on an empty array. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100]; linear interpolation between
+    order statistics. The input need not be sorted. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+module Histogram : sig
+  (** Fixed-bucket latency histogram with power-of-two bucket boundaries,
+      cheap enough to update on every handoff measurement. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+
+  val merge : t -> t -> t
+  (** Pointwise sum of bucket counts; inputs are unchanged. *)
+
+  val count : t -> int
+  val mean : t -> float
+  val percentile : t -> float -> float
+  (** Approximate percentile: upper bound of the bucket containing it. *)
+end

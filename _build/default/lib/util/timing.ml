@@ -1,0 +1,13 @@
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let time_it f =
+  let t0 = now_ns () in
+  let result = f () in
+  let t1 = now_ns () in
+  (result, float_of_int (t1 - t0) /. 1e9)
+
+let cpu_seconds () =
+  let t = Unix.times () in
+  t.Unix.tms_utime +. t.Unix.tms_stime
+
+let cpu_relax = Domain.cpu_relax

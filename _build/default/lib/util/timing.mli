@@ -1,0 +1,14 @@
+(** Wall-clock and CPU-time measurement helpers for the benchmark harness. *)
+
+val now_ns : unit -> int
+(** Monotonic wall-clock time in nanoseconds. *)
+
+val time_it : (unit -> 'a) -> 'a * float
+(** [time_it f] runs [f] and returns its result with elapsed seconds. *)
+
+val cpu_seconds : unit -> float
+(** Process CPU time (user + system, all threads), as the paper's Fig. 4(b)
+    measures with the [time] command. *)
+
+val cpu_relax : unit -> unit
+(** Polite spin-wait pause (domain cpu_relax). *)

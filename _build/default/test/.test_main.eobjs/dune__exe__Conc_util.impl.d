@@ -1,0 +1,1 @@
+test/conc_util.ml: Array Domain List Zmsq_pq Zmsq_util

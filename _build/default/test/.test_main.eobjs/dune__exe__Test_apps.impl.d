@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest List QCheck QCheck_alcotest Zmsq Zmsq_apps Zmsq_pq Zmsq_spraylist Zmsq_util

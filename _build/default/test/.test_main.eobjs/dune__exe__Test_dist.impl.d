@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Float Hashtbl QCheck QCheck_alcotest Zmsq_dist Zmsq_util

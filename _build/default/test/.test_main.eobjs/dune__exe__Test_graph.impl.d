@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array List QCheck QCheck_alcotest Zmsq Zmsq_graph Zmsq_klsm Zmsq_mound Zmsq_multiqueue Zmsq_pq Zmsq_spraylist Zmsq_util

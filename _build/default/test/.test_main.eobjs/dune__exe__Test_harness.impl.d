@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Atomic Conc_util Filename List Sys Zmsq Zmsq_dist Zmsq_graph Zmsq_harness Zmsq_pq Zmsq_util

@@ -1,0 +1,1 @@
+test/test_hp.ml: Alcotest Array Atomic Domain List Zmsq_hp Zmsq_util

@@ -1,0 +1,1 @@
+test/test_klsm.ml: Alcotest Array Conc_util Domain List QCheck QCheck_alcotest Zmsq_klsm Zmsq_pq Zmsq_util

@@ -1,0 +1,1 @@
+test/test_linearize.ml: Alcotest List Zmsq Zmsq_harness Zmsq_mound Zmsq_pq Zmsq_util

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_apps Test_dist Test_graph Test_harness Test_hp Test_klsm Test_linearize Test_mound Test_multiqueue Test_pq Test_sets Test_spraylist Test_sync Test_util Test_zmsq

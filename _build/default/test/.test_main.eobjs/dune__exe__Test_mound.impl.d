@@ -1,0 +1,1 @@
+test/test_mound.ml: Alcotest Array Conc_util List QCheck QCheck_alcotest Zmsq_mound Zmsq_pq Zmsq_util

@@ -1,0 +1,1 @@
+test/test_multiqueue.ml: Alcotest Array Conc_util Hashtbl List QCheck QCheck_alcotest Zmsq_dist Zmsq_multiqueue Zmsq_pq Zmsq_util

@@ -1,0 +1,1 @@
+test/test_pq.ml: Alcotest Array Domain Float List QCheck QCheck_alcotest Zmsq_pq Zmsq_util

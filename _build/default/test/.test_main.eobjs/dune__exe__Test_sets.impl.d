@@ -1,0 +1,1 @@
+test/test_sets.ml: Alcotest Array Buffer Gen List Printf QCheck QCheck_alcotest String Zmsq Zmsq_pq

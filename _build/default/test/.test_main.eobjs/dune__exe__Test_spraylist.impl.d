@@ -1,0 +1,1 @@
+test/test_spraylist.ml: Alcotest Array Conc_util Hashtbl List QCheck QCheck_alcotest Zmsq_dist Zmsq_pq Zmsq_spraylist Zmsq_util

@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Array Atomic Domain List Unix Zmsq_sync Zmsq_util

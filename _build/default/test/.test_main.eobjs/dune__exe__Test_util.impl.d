@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Gen List Printf QCheck QCheck_alcotest Sys Unix Zmsq_util

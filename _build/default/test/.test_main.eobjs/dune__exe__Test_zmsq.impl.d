@@ -1,0 +1,1 @@
+test/test_zmsq.ml: Alcotest Array Atomic Conc_util Domain Hashtbl List Printf QCheck QCheck_alcotest Unix Zmsq Zmsq_dist Zmsq_pq Zmsq_util

@@ -1,0 +1,58 @@
+(* Shared helpers for concurrent-queue tests. *)
+
+module Elt = Zmsq_pq.Elt
+module Intf = Zmsq_pq.Intf
+
+let drain (type t h) (module Q : Intf.CONC with type t = t and type handle = h) (h : h) =
+  let rec go acc =
+    let e = Q.extract h in
+    if Elt.is_none e then acc else go (e :: acc)
+  in
+  go []
+
+(* For queues with inexact emptiness: drain until [expected] elements are
+   recovered (they are known to be present). *)
+let drain_n (type t h) (module Q : Intf.CONC with type t = t and type handle = h) (h : h) expected =
+  let rec go acc n =
+    if n = 0 then acc
+    else begin
+      let e = Q.extract h in
+      if Elt.is_none e then go acc n else go (e :: acc) (n - 1)
+    end
+  in
+  go [] expected
+
+(* Multi-domain mixed workload; checks that the multiset of extracted plus
+   drained elements equals the multiset of inserted ones. Returns leftovers
+   count for additional checks. *)
+let multiset_stress (type t h) (module Q : Intf.CONC with type t = t and type handle = h)
+    (q : t) ~threads ~ops_per_thread =
+  let results =
+    Array.init threads (fun t ->
+        Domain.spawn (fun () ->
+            let h = Q.register q in
+            let rng = Zmsq_util.Rng.create ~seed:((t * 31) + 5) () in
+            let ins = ref [] and outs = ref [] in
+            for _ = 1 to ops_per_thread do
+              if Zmsq_util.Rng.bool rng then begin
+                let e = Elt.pack ~priority:(Zmsq_util.Rng.int rng 1_000_000) ~payload:t in
+                Q.insert h e;
+                ins := e :: !ins
+              end
+              else begin
+                let e = Q.extract h in
+                if not (Elt.is_none e) then outs := e :: !outs
+              end
+            done;
+            Q.unregister h;
+            (!ins, !outs)))
+    |> Array.map Domain.join
+  in
+  let inserted = Array.fold_left (fun acc (i, _) -> List.rev_append i acc) [] results in
+  let extracted = Array.fold_left (fun acc (_, o) -> List.rev_append o acc) [] results in
+  let h = Q.register q in
+  let leftovers = List.length inserted - List.length extracted in
+  let rest = drain_n (module Q) h leftovers in
+  Q.unregister h;
+  let ok = List.sort compare inserted = List.sort compare (List.rev_append rest extracted) in
+  (ok, leftovers)

@@ -1,0 +1,87 @@
+(* Tests for the branch-and-bound knapsack application. *)
+
+module K = Zmsq_apps.Knapsack
+module Rng = Zmsq_util.Rng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let tiny = { K.values = [| 60; 100; 120 |]; weights = [| 10; 20; 30 |]; capacity = 50 }
+
+let test_dp_known () =
+  (* classic: take items 2+3 -> 220 *)
+  check Alcotest.int "dp optimum" 220 (K.solve_dp tiny)
+
+let test_greedy_feasible_lower_bound () =
+  let rng = Rng.create ~seed:1 () in
+  for _ = 1 to 20 do
+    let inst = K.generate rng ~n:25 () in
+    let g = K.solve_greedy inst and opt = K.solve_dp inst in
+    check Alcotest.bool "greedy <= opt" true (g <= opt);
+    check Alcotest.bool "greedy positive" true (g >= 0)
+  done
+
+let mk_queue = function
+  | `Strict -> Zmsq_pq.Intf.pack (module Zmsq.Default) (Zmsq.Default.create ~params:Zmsq.Params.strict ())
+  | `Relaxed b ->
+      Zmsq_pq.Intf.pack (module Zmsq.Default)
+        (Zmsq.Default.create ~params:Zmsq.Params.(default |> with_batch b |> with_target_len 32) ())
+  | `Spraylist -> Zmsq_pq.Intf.pack (module Zmsq_spraylist.Spraylist) (Zmsq_spraylist.Spraylist.create ())
+  | `Locked -> Zmsq_pq.Intf.pack (module Zmsq_pq.Locked_heap) (Zmsq_pq.Locked_heap.create ())
+
+let test_bb_tiny () =
+  let v, st = K.solve_bb (mk_queue `Strict) tiny ~threads:1 in
+  check Alcotest.int "bb tiny optimum" 220 v;
+  check Alcotest.bool "explored something" true (st.K.explored > 0)
+
+let test_bb_matches_dp_all_queues () =
+  let rng = Rng.create ~seed:7 () in
+  List.iter
+    (fun (name, mk) ->
+      for round = 1 to 3 do
+        let inst = K.generate rng ~n:22 ~tightness:0.4 () in
+        let opt = K.solve_dp inst in
+        let got, _ = K.solve_bb (mk ()) inst ~threads:(1 + (round mod 3)) in
+        if got <> opt then Alcotest.failf "%s round %d: bb=%d dp=%d" name round got opt
+      done)
+    [
+      ("zmsq-strict", fun () -> mk_queue `Strict);
+      ("zmsq-relaxed", fun () -> mk_queue (`Relaxed 16));
+      ("spraylist", fun () -> mk_queue `Spraylist);
+      ("locked-heap", fun () -> mk_queue `Locked);
+    ]
+
+let prop_bb_equals_dp =
+  QCheck.Test.make ~name:"bb equals dp on random instances" ~count:25
+    QCheck.(pair (int_range 4 18) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed () in
+      let inst = K.generate rng ~n ~max_value:200 ~max_weight:200 () in
+      let got, _ = K.solve_bb (mk_queue (`Relaxed 8)) inst ~threads:2 in
+      got = K.solve_dp inst)
+
+let test_relaxation_only_costs_work () =
+  (* A relaxed queue may explore more nodes but must find the optimum. *)
+  let rng = Rng.create ~seed:42 () in
+  let inst = K.generate rng ~n:30 ~tightness:0.3 () in
+  let opt = K.solve_dp inst in
+  let v_strict, st_strict = K.solve_bb (mk_queue `Strict) inst ~threads:1 in
+  let v_relax, st_relax = K.solve_bb (mk_queue (`Relaxed 64)) inst ~threads:1 in
+  check Alcotest.int "strict finds opt" opt v_strict;
+  check Alcotest.int "relaxed finds opt" opt v_relax;
+  check Alcotest.bool "both did work" true (st_strict.K.explored > 0 && st_relax.K.explored > 0)
+
+let test_generate_validates () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Knapsack.generate") (fun () ->
+      ignore (K.generate (Rng.create ()) ~n:0 ()))
+
+let suite =
+  [
+    ("dp on known instance", `Quick, test_dp_known);
+    ("greedy is a lower bound", `Quick, test_greedy_feasible_lower_bound);
+    ("bb tiny", `Quick, test_bb_tiny);
+    ("bb matches dp on all queues", `Slow, test_bb_matches_dp_all_queues);
+    qtest prop_bb_equals_dp;
+    ("relaxation costs only work", `Quick, test_relaxation_only_costs_work);
+    ("generate validates", `Quick, test_generate_validates);
+  ]

@@ -1,0 +1,102 @@
+(* Tests for zmsq_dist: key streams and workload generation. *)
+
+module Keys = Zmsq_dist.Keys
+module Workload = Zmsq_dist.Workload
+module Rng = Zmsq_util.Rng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_uniform_bounds () =
+  let rng = Rng.create ~seed:1 () in
+  let ks = Keys.stream rng (Keys.Uniform { bits = 7 }) 10_000 in
+  Array.iter (fun k -> check Alcotest.bool "7-bit" true (k >= 0 && k < 128)) ks
+
+let test_normal_clamped () =
+  let rng = Rng.create ~seed:2 () in
+  let ks = Keys.stream rng (Keys.Normal { mean = 100.0; stddev = 500.0; max_key = 150 }) 10_000 in
+  Array.iter (fun k -> check Alcotest.bool "clamped" true (k >= 0 && k <= 150)) ks
+
+let test_normal_centered () =
+  let rng = Rng.create ~seed:3 () in
+  let ks = Keys.stream rng (Keys.Normal { mean = 1000.0; stddev = 50.0; max_key = 10_000 }) 20_000 in
+  let mean = Array.fold_left ( + ) 0 ks / Array.length ks in
+  check Alcotest.bool "mean near 1000" true (abs (mean - 1000) < 10)
+
+let test_monotone_streams () =
+  let rng = Rng.create ~seed:4 () in
+  let asc = Keys.stream rng (Keys.Ascending { start = 10 }) 5 in
+  check (Alcotest.list Alcotest.int) "ascending" [ 10; 11; 12; 13; 14 ] (Array.to_list asc);
+  let desc = Keys.stream rng (Keys.Descending { start = 12 }) 5 in
+  check (Alcotest.list Alcotest.int) "descending" [ 12; 11; 10; 9; 8 ] (Array.to_list desc);
+  (* descending clamps at zero instead of going negative *)
+  let low = Keys.stream rng (Keys.Descending { start = 2 }) 5 in
+  Array.iter (fun k -> check Alcotest.bool "non-negative" true (k >= 0)) low
+
+let test_zipf_bounds_and_skew () =
+  let rng = Rng.create ~seed:5 () in
+  let n = 100 in
+  let ks = Keys.stream rng (Keys.Zipf { n; theta = 0.9 }) 50_000 in
+  Array.iter (fun k -> check Alcotest.bool "in range" true (k >= 0 && k < n)) ks;
+  let count0 = Array.fold_left (fun a k -> if k = 0 then a + 1 else a) 0 ks in
+  let count50 = Array.fold_left (fun a k -> if k = 50 then a + 1 else a) 0 ks in
+  check Alcotest.bool "rank 0 much more likely than rank 50" true (count0 > 5 * max 1 count50)
+
+let test_exponential_keys () =
+  let rng = Rng.create ~seed:6 () in
+  let ks = Keys.stream rng (Keys.Exponential { rate = 0.01; max_key = 500 }) 10_000 in
+  Array.iter (fun k -> check Alcotest.bool "bounded" true (k >= 0 && k <= 500)) ks
+
+let test_unique_distinct () =
+  let rng = Rng.create ~seed:7 () in
+  let ks = Keys.unique rng 5000 in
+  let tbl = Hashtbl.create 5000 in
+  Array.iter (fun k -> Hashtbl.replace tbl k ()) ks;
+  check Alcotest.int "all distinct" 5000 (Hashtbl.length tbl);
+  Array.iter (fun k -> check Alcotest.bool "non-negative" true (k >= 0)) ks
+
+let test_invalid_specs () =
+  let rng = Rng.create () in
+  Alcotest.check_raises "bits too big" (Invalid_argument "Keys: Uniform bits in [1,61]") (fun () ->
+      ignore (Keys.make rng (Keys.Uniform { bits = 62 })));
+  Alcotest.check_raises "zipf n" (Invalid_argument "Keys: Zipf n must be positive") (fun () ->
+      ignore (Keys.make rng (Keys.Zipf { n = 0; theta = 0.5 })))
+
+let test_workload_mix_ratio () =
+  let rng = Rng.create ~seed:8 () in
+  let ops = Workload.mixed rng ~keys:(Keys.Uniform { bits = 10 }) ~insert_permil:660 20_000 in
+  let inserts = Workload.count_inserts ops in
+  let ratio = float_of_int inserts /. 20_000.0 in
+  check Alcotest.bool "~66% inserts" true (Float.abs (ratio -. 0.66) < 0.02)
+
+let test_workload_per_thread_split () =
+  let rng = Rng.create ~seed:9 () in
+  let streams = Workload.per_thread rng ~threads:3 ~keys:(Keys.Uniform { bits = 8 }) ~insert_permil:500 100 in
+  check Alcotest.int "three streams" 3 (Array.length streams);
+  let total = Array.fold_left (fun a s -> a + Array.length s) 0 streams in
+  check Alcotest.int "total ops preserved" 100 total;
+  let sizes = Array.map Array.length streams in
+  Array.iter (fun s -> check Alcotest.bool "balanced" true (abs (s - 33) <= 1)) sizes
+
+let prop_workload_all_insert =
+  QCheck.Test.make ~name:"permil 1000 means all inserts" ~count:50
+    QCheck.(int_bound 500)
+    (fun n ->
+      let rng = Rng.create ~seed:10 () in
+      let ops = Workload.mixed rng ~keys:(Keys.Uniform { bits = 4 }) ~insert_permil:1000 (n + 1) in
+      Workload.count_inserts ops = n + 1)
+
+let suite =
+  [
+    ("uniform bounds", `Quick, test_uniform_bounds);
+    ("normal clamped", `Quick, test_normal_clamped);
+    ("normal centered", `Quick, test_normal_centered);
+    ("monotone streams", `Quick, test_monotone_streams);
+    ("zipf bounds and skew", `Quick, test_zipf_bounds_and_skew);
+    ("exponential keys", `Quick, test_exponential_keys);
+    ("unique distinct", `Quick, test_unique_distinct);
+    ("invalid specs", `Quick, test_invalid_specs);
+    ("workload mix ratio", `Quick, test_workload_mix_ratio);
+    ("workload per-thread split", `Quick, test_workload_per_thread_split);
+    qtest prop_workload_all_insert;
+  ]

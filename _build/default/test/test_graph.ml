@@ -1,0 +1,174 @@
+(* Tests for zmsq_graph: CSR, generators, Dijkstra, parallel SSSP. *)
+
+module Csr = Zmsq_graph.Csr
+module Gen = Zmsq_graph.Gen
+module Dij = Zmsq_graph.Dijkstra
+module Sssp = Zmsq_graph.Sssp_parallel
+module Rng = Zmsq_util.Rng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* {2 CSR} *)
+
+let diamond () =
+  (* 0 -> 1 (1), 0 -> 2 (4), 1 -> 2 (2), 1 -> 3 (6), 2 -> 3 (3) *)
+  Csr.of_edges ~n:4 [| (0, 1, 1); (0, 2, 4); (1, 2, 2); (1, 3, 6); (2, 3, 3) |]
+
+let test_csr_basic () =
+  let g = diamond () in
+  check Alcotest.int "vertices" 4 (Csr.n_vertices g);
+  check Alcotest.int "edges" 5 (Csr.n_edges g);
+  check Alcotest.int "deg 0" 2 (Csr.out_degree g 0);
+  check Alcotest.int "deg 3" 0 (Csr.out_degree g 3);
+  let sum = Csr.fold_succ g 1 (fun a _ w -> a + w) 0 in
+  check Alcotest.int "weights of 1" 8 sum;
+  check Alcotest.int "max weight" 6 (Csr.max_weight g)
+
+let test_csr_validation () =
+  Alcotest.check_raises "bad vertex" (Invalid_argument "Csr.of_edges: vertex out of range")
+    (fun () -> ignore (Csr.of_edges ~n:2 [| (0, 5, 1) |]));
+  Alcotest.check_raises "negative weight" (Invalid_argument "Csr.of_edges: negative weight")
+    (fun () -> ignore (Csr.of_edges ~n:2 [| (0, 1, -1) |]))
+
+let test_symmetrize () =
+  let g = Csr.symmetrize (diamond ()) in
+  check Alcotest.int "edges doubled" 10 (Csr.n_edges g);
+  check Alcotest.int "deg 3 now 2" 2 (Csr.out_degree g 3)
+
+(* {2 Generators} *)
+
+let test_ba_shape () =
+  let rng = Rng.create ~seed:1 () in
+  let g = Gen.barabasi_albert rng ~n:2_000 ~m:4 ~max_weight:50 in
+  check Alcotest.int "vertices" 2_000 (Csr.n_vertices g);
+  let mean, maxd = Csr.degree_stats g in
+  (* undirected BA: mean degree ~ 2m *)
+  check Alcotest.bool "mean degree ~ 2m" true (mean > 6.0 && mean < 12.0);
+  (* preferential attachment produces hubs *)
+  check Alcotest.bool "heavy tail" true (maxd > 3 * int_of_float mean);
+  check Alcotest.bool "weights bounded" true (Csr.max_weight g <= 50)
+
+let test_er_shape () =
+  let rng = Rng.create ~seed:2 () in
+  let g = Gen.erdos_renyi rng ~n:1_000 ~avg_degree:8.0 ~max_weight:10 in
+  check Alcotest.int "vertices" 1_000 (Csr.n_vertices g);
+  check Alcotest.int "edges" 8_000 (Csr.n_edges g)
+
+let test_rmat_shape () =
+  let rng = Rng.create ~seed:3 () in
+  let g = Gen.rmat rng ~scale:10 ~edge_factor:8 ~max_weight:20 () in
+  check Alcotest.int "vertices" 1024 (Csr.n_vertices g);
+  check Alcotest.int "edges" 8192 (Csr.n_edges g);
+  let _, maxd = Csr.degree_stats g in
+  check Alcotest.bool "skewed degrees" true (maxd > 20)
+
+let test_grid_distances () =
+  let rng = Rng.create ~seed:4 () in
+  (* unit weights: distance = Manhattan distance *)
+  let g = Gen.grid ~n_side:5 ~max_weight:1 rng in
+  let dist = Dij.dijkstra g ~source:0 in
+  check Alcotest.int "corner to corner" 8 dist.(24);
+  check Alcotest.int "adjacent" 1 dist.(1);
+  check Alcotest.int "self" 0 dist.(0)
+
+(* {2 Dijkstra} *)
+
+let test_dijkstra_diamond () =
+  let dist = Dij.dijkstra (diamond ()) ~source:0 in
+  check (Alcotest.array Alcotest.int) "distances" [| 0; 1; 3; 6 |] dist
+
+let test_dijkstra_unreachable () =
+  let g = Csr.of_edges ~n:3 [| (0, 1, 5) |] in
+  let dist = Dij.dijkstra g ~source:0 in
+  check Alcotest.int "reachable" 5 dist.(1);
+  check Alcotest.int "unreachable" Dij.infinity_dist dist.(2)
+
+let prop_dijkstra_vs_bellman_ford =
+  QCheck.Test.make ~name:"dijkstra agrees with bellman-ford" ~count:50
+    QCheck.(pair (int_range 2 40) (int_range 1 6))
+    (fun (n, avg) ->
+      let rng = Rng.create ~seed:(n * 100 + avg) () in
+      let g = Gen.erdos_renyi rng ~n ~avg_degree:(float_of_int avg) ~max_weight:9 in
+      Dij.dijkstra g ~source:0 = Dij.bellman_ford g ~source:0)
+
+(* {2 Parallel SSSP} *)
+
+let factories =
+  [
+    ("zmsq", fun () -> Zmsq_pq.Intf.pack (module Zmsq.Default) (Zmsq.Default.create ~params:(Zmsq.Params.static 16) ()));
+    ("zmsq-strict", fun () -> Zmsq_pq.Intf.pack (module Zmsq.Default) (Zmsq.Default.create ~params:Zmsq.Params.strict ()));
+    ("mound", fun () -> Zmsq_pq.Intf.pack (module Zmsq_mound.Mound) (Zmsq_mound.Mound.create ()));
+    ("spraylist", fun () -> Zmsq_pq.Intf.pack (module Zmsq_spraylist.Spraylist) (Zmsq_spraylist.Spraylist.create ()));
+    ("multiqueue", fun () -> Zmsq_pq.Intf.pack (module Zmsq_multiqueue.Multiqueue) (Zmsq_multiqueue.Multiqueue.create ()));
+    ("klsm", fun () -> Zmsq_pq.Intf.pack (module Zmsq_klsm.Klsm) (Zmsq_klsm.Klsm.create ()));
+    ("locked-heap", fun () -> Zmsq_pq.Intf.pack (module Zmsq_pq.Locked_heap) (Zmsq_pq.Locked_heap.create ()));
+  ]
+
+let sssp_correct_all_queues () =
+  let rng = Rng.create ~seed:6 () in
+  let g = Gen.barabasi_albert rng ~n:1_500 ~m:5 ~max_weight:100 in
+  let oracle = Dij.dijkstra g ~source:0 in
+  List.iter
+    (fun (name, mk) ->
+      List.iter
+        (fun threads ->
+          let dist, st = Sssp.run (mk ()) ~graph:g ~source:0 ~threads in
+          if dist <> oracle then Alcotest.failf "%s T=%d: wrong distances" name threads;
+          if st.Sssp.pops < Csr.n_vertices g then
+            Alcotest.failf "%s: too few pops (%d)" name st.Sssp.pops)
+        [ 1; 3 ])
+    factories
+
+let test_sssp_stats_sane () =
+  let rng = Rng.create ~seed:7 () in
+  let g = Gen.grid ~n_side:30 ~max_weight:5 rng in
+  let inst = (List.assoc "zmsq" factories) () in
+  let dist, st = Sssp.run inst ~graph:g ~source:0 ~threads:2 in
+  check Alcotest.bool "checked" true (Sssp.check_against_dijkstra g ~source:0 dist);
+  check Alcotest.bool "relaxations >= n-1" true (st.Sssp.relaxations >= Csr.n_vertices g - 1);
+  check Alcotest.bool "wall positive" true (st.Sssp.wall_seconds > 0.0)
+
+let test_sssp_bad_args () =
+  let g = diamond () in
+  let inst = (List.assoc "zmsq" factories) () in
+  Alcotest.check_raises "bad source" (Invalid_argument "Sssp_parallel.run: bad source")
+    (fun () -> ignore (Sssp.run inst ~graph:g ~source:99 ~threads:1))
+
+let test_gen_presets () =
+  let rng = Rng.create ~seed:99 () in
+  let politician = Gen.politician rng in
+  check Alcotest.int "politician nodes" 6_000 (Csr.n_vertices politician);
+  let lj = Gen.livejournal ~nodes:5_000 rng in
+  check Alcotest.int "livejournal override" 5_000 (Csr.n_vertices lj);
+  check Alcotest.bool "weights in [1,100]" true (Csr.max_weight lj <= 100)
+
+let test_grid_weighted () =
+  let rng = Rng.create ~seed:100 () in
+  let g = Gen.grid ~n_side:8 ~max_weight:9 rng in
+  check Alcotest.int "vertices" 64 (Csr.n_vertices g);
+  (* interior vertex degree 4, corner degree 2 *)
+  check Alcotest.int "corner degree" 2 (Csr.out_degree g 0);
+  check Alcotest.int "interior degree" 4 (Csr.out_degree g 9);
+  (* undirected: dijkstra from opposite corners agree on the diagonal *)
+  let d1 = Dij.dijkstra g ~source:0 and d2 = Dij.dijkstra g ~source:63 in
+  check Alcotest.int "symmetric distance" d1.(63) d2.(0)
+
+let suite =
+  [
+    ("csr basics", `Quick, test_csr_basic);
+    ("generator presets", `Quick, test_gen_presets);
+    ("grid weighted symmetric", `Quick, test_grid_weighted);
+    ("csr validation", `Quick, test_csr_validation);
+    ("csr symmetrize", `Quick, test_symmetrize);
+    ("barabasi-albert shape", `Quick, test_ba_shape);
+    ("erdos-renyi shape", `Quick, test_er_shape);
+    ("rmat shape", `Quick, test_rmat_shape);
+    ("grid distances", `Quick, test_grid_distances);
+    ("dijkstra diamond", `Quick, test_dijkstra_diamond);
+    ("dijkstra unreachable", `Quick, test_dijkstra_unreachable);
+    qtest prop_dijkstra_vs_bellman_ford;
+    ("sssp correct on all queues", `Slow, sssp_correct_all_queues);
+    ("sssp stats sane", `Quick, test_sssp_stats_sane);
+    ("sssp bad args", `Quick, test_sssp_bad_args);
+  ]

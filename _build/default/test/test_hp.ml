@@ -1,0 +1,149 @@
+(* Tests for zmsq_hp: hazard-pointer protection, retirement, scanning. *)
+
+module Hazard = Zmsq_hp.Hazard
+
+let check = Alcotest.check
+
+type node = { id : int; mutable freed : bool }
+
+let make_domain ?scan_threshold () =
+  let freed = ref [] in
+  let dom =
+    Hazard.create ?scan_threshold
+      ~recycle:(fun n ->
+        n.freed <- true;
+        freed := n.id :: !freed)
+      ()
+  in
+  (dom, freed)
+
+let test_retire_unprotected () =
+  let dom, freed = make_domain ~scan_threshold:4 () in
+  let th = Hazard.register dom in
+  for i = 1 to 8 do
+    Hazard.retire th { id = i; freed = false }
+  done;
+  Hazard.flush th;
+  check Alcotest.int "all recycled" 8 (List.length !freed);
+  check Alcotest.int "counter" 8 (Hazard.recycled_count dom);
+  Hazard.unregister th
+
+let test_protected_survives_scan () =
+  let dom, freed = make_domain ~scan_threshold:2 () in
+  let th = Hazard.register dom in
+  let victim = { id = 99; freed = false } in
+  Hazard.set th ~slot:0 victim;
+  Hazard.retire th victim;
+  Hazard.flush th;
+  check Alcotest.bool "not recycled while protected" false victim.freed;
+  check Alcotest.int "live retired" 1 (Hazard.live_retired dom);
+  Hazard.clear th ~slot:0;
+  Hazard.flush th;
+  check Alcotest.bool "recycled after clear" true victim.freed;
+  check (Alcotest.list Alcotest.int) "freed ids" [ 99 ] !freed;
+  Hazard.unregister th
+
+let test_cross_thread_protection () =
+  let dom, _ = make_domain ~scan_threshold:1 () in
+  let reader = Hazard.register dom in
+  let writer = Hazard.register dom in
+  let victim = { id = 1; freed = false } in
+  Hazard.set reader ~slot:0 victim;
+  (* Writer retires it: the reader's slot must keep it alive. *)
+  Hazard.retire writer victim;
+  Hazard.flush writer;
+  check Alcotest.bool "alive under reader's hp" false victim.freed;
+  Hazard.clear_all reader;
+  Hazard.flush writer;
+  check Alcotest.bool "reclaimed once released" true victim.freed;
+  Hazard.unregister reader;
+  Hazard.unregister writer
+
+let test_protect_validates () =
+  let dom, _ = make_domain () in
+  let th = Hazard.register dom in
+  let a = { id = 1; freed = false } in
+  let src = Atomic.make a in
+  let got = Hazard.protect th ~slot:0 src in
+  check Alcotest.bool "protected current value" true (got == a);
+  Hazard.unregister th
+
+let test_unregister_orphans () =
+  let dom, _ = make_domain ~scan_threshold:1000 () in
+  let keeper = Hazard.register dom in
+  let victim = { id = 5; freed = false } in
+  Hazard.set keeper ~slot:0 victim;
+  let th = Hazard.register dom in
+  Hazard.retire th victim;
+  Hazard.unregister th;
+  (* still protected by keeper: survives as an orphan *)
+  check Alcotest.bool "orphan alive" false victim.freed;
+  check Alcotest.int "one orphan" 1 (Hazard.live_retired dom);
+  Hazard.clear_all keeper;
+  (* any thread's next scan picks up orphans *)
+  let th2 = Hazard.register dom in
+  Hazard.flush th2;
+  check Alcotest.bool "orphan reclaimed" true victim.freed;
+  Hazard.unregister th2;
+  Hazard.unregister keeper
+
+let test_register_limit () =
+  let dom = Hazard.create ~max_threads:2 ~recycle:(fun (_ : node) -> ()) () in
+  let a = Hazard.register dom in
+  let b = Hazard.register dom in
+  Alcotest.check_raises "limit" (Failure "Hazard.register: max_threads exceeded") (fun () ->
+      ignore (Hazard.register dom));
+  Hazard.unregister a;
+  (* slot reusable after unregister *)
+  let c = Hazard.register dom in
+  Hazard.unregister b;
+  Hazard.unregister c
+
+(* Concurrent stress: readers protect nodes from a shared table while a
+   mutator swaps and retires them; a recycled node must never be observed
+   via a validated protect. *)
+let test_concurrent_stress () =
+  let dom, _ = make_domain ~scan_threshold:16 () in
+  let table = Array.init 8 (fun i -> Atomic.make { id = i; freed = false }) in
+  let stop = Atomic.make false in
+  let bad = Atomic.make 0 in
+  let readers =
+    Array.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            let th = Hazard.register dom in
+            let rng = Zmsq_util.Rng.create ~seed:99 () in
+            while not (Atomic.get stop) do
+              let slot = Zmsq_util.Rng.int rng 8 in
+              let n = Hazard.protect th ~slot:0 table.(slot) in
+              if n.freed then Atomic.incr bad;
+              Hazard.clear th ~slot:0
+            done;
+            Hazard.unregister th))
+  in
+  let mutator =
+    Domain.spawn (fun () ->
+        let th = Hazard.register dom in
+        let rng = Zmsq_util.Rng.create ~seed:7 () in
+        for i = 0 to 20_000 do
+          let slot = Zmsq_util.Rng.int rng 8 in
+          let old = Atomic.exchange table.(slot) { id = i + 100; freed = false } in
+          Hazard.retire th old
+        done;
+        Hazard.unregister th)
+  in
+  Domain.join mutator;
+  Atomic.set stop true;
+  Array.iter Domain.join readers;
+  check Alcotest.int "no protected node recycled" 0 (Atomic.get bad);
+  check Alcotest.bool "some reclamation happened" true (Hazard.recycled_count dom > 1000)
+
+let suite =
+  [
+    ("retire + flush recycles", `Quick, test_retire_unprotected);
+    ("protected survives scan", `Quick, test_protected_survives_scan);
+    ("cross-thread protection", `Quick, test_cross_thread_protection);
+    ("protect validates", `Quick, test_protect_validates);
+    ("unregister orphans", `Quick, test_unregister_orphans);
+    ("register limit + reuse", `Quick, test_register_limit);
+    ("concurrent stress", `Slow, test_concurrent_stress);
+  ]

@@ -1,0 +1,110 @@
+(* Tests for the simplified k-LSM baseline. *)
+
+module K = Zmsq_klsm.Klsm
+module Elt = Zmsq_pq.Elt
+module Rng = Zmsq_util.Rng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_roundtrip () =
+  let q = K.create ~k:16 () in
+  let h = K.register q in
+  for k = 1 to 200 do
+    K.insert h (Elt.of_priority k)
+  done;
+  check Alcotest.int "length" 200 (K.length q);
+  (* inserts beyond k must have spilled into the global LSM *)
+  check Alcotest.bool "global has spill" true (K.global_size q > 0);
+  check Alcotest.bool "local bounded by k" true (K.local_size h <= 17);
+  let got = Conc_util.drain (module K) h in
+  check Alcotest.int "drained all" 200 (List.length got);
+  check (Alcotest.list Alcotest.int) "multiset" (List.init 200 (fun i -> i + 1))
+    (List.sort compare (List.map Elt.priority got))
+
+let test_single_thread_exact () =
+  (* One thread: extract always sees both its local and the global top, so
+     order is exact. *)
+  let q = K.create ~k:8 () in
+  let h = K.register q in
+  let rng = Rng.create ~seed:3 () in
+  let keys = Array.init 2_000 (fun _ -> Rng.int rng 100_000) in
+  Array.iter (fun k -> K.insert h (Elt.of_priority k)) keys;
+  check Alcotest.bool "invariant" true (K.check_invariant h);
+  let sorted = Array.copy keys in
+  Array.sort (fun a b -> compare b a) sorted;
+  Array.iteri
+    (fun i want ->
+      let got = Elt.priority (K.extract h) in
+      if got <> want then Alcotest.failf "order broken at %d: got %d want %d" i got want)
+    sorted
+
+let test_hidden_in_other_local () =
+  (* The paper's semantic wart: elements in another thread's local LSM are
+     invisible — extract reports empty though the queue holds data. *)
+  let q = K.create ~k:64 () in
+  let owner = K.register q in
+  K.insert owner (Elt.of_priority 42);
+  let other_result =
+    Domain.join
+      (Domain.spawn (fun () ->
+           let h = K.register q in
+           let e = K.extract h in
+           (* do not flush owner's local: h's view must be empty *)
+           e))
+  in
+  check Alcotest.bool "invisible to other thread" true (Elt.is_none other_result);
+  check Alcotest.int "still counted" 1 (K.length q);
+  (* after the owner flushes, anyone can see it *)
+  K.flush_local owner;
+  let h2 = K.register q in
+  check Alcotest.int "visible after flush" 42 (Elt.priority (K.extract h2));
+  check Alcotest.bool "inexact emptiness flag" false K.exact_emptiness
+
+let test_unregister_flushes () =
+  let q = K.create ~k:64 () in
+  let d =
+    Domain.spawn (fun () ->
+        let h = K.register q in
+        K.insert h (Elt.of_priority 7);
+        K.unregister h)
+  in
+  Domain.join d;
+  let h = K.register q in
+  check Alcotest.int "flushed on unregister" 7 (Elt.priority (K.extract h))
+
+let prop_random_ops =
+  QCheck.Test.make ~name:"klsm: multiset preserved" ~count:50
+    QCheck.(pair (int_range 1 64) (list (option (int_bound 10_000))))
+    (fun (k, ops) ->
+      let q = K.create ~k () in
+      let h = K.register q in
+      let ins = ref [] and outs = ref [] in
+      List.iter
+        (function
+          | Some key ->
+              let e = Elt.of_priority key in
+              K.insert h e;
+              ins := e :: !ins
+          | None ->
+              let e = K.extract h in
+              if not (Elt.is_none e) then outs := e :: !outs)
+        ops;
+      let rest = Conc_util.drain (module K) h in
+      K.check_invariant h
+      && List.sort compare !ins = List.sort compare (rest @ !outs))
+
+let test_concurrent_multiset () =
+  let q = K.create ~k:32 () in
+  let ok, _ = Conc_util.multiset_stress (module K) q ~threads:4 ~ops_per_thread:10_000 in
+  check Alcotest.bool "multiset preserved" true ok
+
+let suite =
+  [
+    ("roundtrip + spill", `Quick, test_roundtrip);
+    ("single thread exact", `Quick, test_single_thread_exact);
+    ("hidden in other local", `Quick, test_hidden_in_other_local);
+    ("unregister flushes", `Quick, test_unregister_flushes);
+    qtest prop_random_ops;
+    ("concurrent multiset", `Slow, test_concurrent_multiset);
+  ]

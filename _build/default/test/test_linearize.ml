@@ -1,0 +1,141 @@
+(* Tests for the linearizability checker and linearizability of the strict
+   queues (ZMSQ batch=0, mound, locked heap). *)
+
+module L = Zmsq_harness.Linearize
+
+let check = Alcotest.check
+
+(* {2 Checker unit tests on hand-built histories} *)
+
+let op ?(s = 0) ?(f = 0) event = { L.event; start_ns = s; finish_ns = f }
+
+let test_sequential_valid () =
+  (* insert 5; insert 9; extract 9; extract 5; extract none *)
+  let h =
+    [
+      op ~s:0 ~f:1 (L.Insert 5);
+      op ~s:2 ~f:3 (L.Insert 9);
+      op ~s:4 ~f:5 (L.Extract (Some 9));
+      op ~s:6 ~f:7 (L.Extract (Some 5));
+      op ~s:8 ~f:9 (L.Extract None);
+    ]
+  in
+  check Alcotest.bool "valid sequential" true (L.check h)
+
+let test_sequential_wrong_order () =
+  (* extracting the non-max first, strictly after both inserts completed *)
+  let h =
+    [
+      op ~s:0 ~f:1 (L.Insert 5);
+      op ~s:2 ~f:3 (L.Insert 9);
+      op ~s:4 ~f:5 (L.Extract (Some 5));
+    ]
+  in
+  check Alcotest.bool "non-max extract rejected" false (L.check h)
+
+let test_false_empty_rejected () =
+  let h = [ op ~s:0 ~f:1 (L.Insert 5); op ~s:2 ~f:3 (L.Extract None) ] in
+  check Alcotest.bool "false empty rejected" false (L.check h)
+
+let test_phantom_extract_rejected () =
+  let h = [ op ~s:0 ~f:1 (L.Extract (Some 42)) ] in
+  check Alcotest.bool "extract of never-inserted rejected" false (L.check h)
+
+let test_overlap_allows_reorder () =
+  (* Two overlapping inserts and one later extract: either insertion order
+     is a valid linearization, so extracting 5 is fine if 9's insert
+     overlaps the extract. *)
+  let h =
+    [
+      op ~s:0 ~f:10 (L.Insert 5);
+      op ~s:0 ~f:10 (L.Insert 9);
+      op ~s:5 ~f:15 (L.Extract (Some 5));
+    ]
+  in
+  check Alcotest.bool "overlap permits 5 first" true (L.check h);
+  (* but if both inserts strictly precede the extract, only 9 works *)
+  let h_strict =
+    [
+      op ~s:0 ~f:1 (L.Insert 5);
+      op ~s:2 ~f:3 (L.Insert 9);
+      op ~s:5 ~f:15 (L.Extract (Some 5));
+    ]
+  in
+  check Alcotest.bool "strict precedence forbids 5 first" false (L.check h_strict)
+
+let test_duplicates () =
+  let h =
+    [
+      op ~s:0 ~f:1 (L.Insert 7);
+      op ~s:2 ~f:3 (L.Insert 7);
+      op ~s:4 ~f:5 (L.Extract (Some 7));
+      op ~s:6 ~f:7 (L.Extract (Some 7));
+      op ~s:8 ~f:9 (L.Extract None);
+    ]
+  in
+  check Alcotest.bool "duplicate values fine" true (L.check h)
+
+let test_empty_history () = check Alcotest.bool "empty history" true (L.check [])
+
+(* {2 Recorded histories from the strict implementations} *)
+
+let strict_instances () =
+  [
+    ( "zmsq-strict",
+      fun () -> Zmsq_pq.Intf.pack (module Zmsq.Default) (Zmsq.Default.create ~params:Zmsq.Params.strict ()) );
+    ("mound", fun () -> Zmsq_pq.Intf.pack (module Zmsq_mound.Mound) (Zmsq_mound.Mound.create ()));
+    ("locked-heap", fun () -> Zmsq_pq.Intf.pack (module Zmsq_pq.Locked_heap) (Zmsq_pq.Locked_heap.create ()));
+  ]
+
+let test_strict_queues_linearizable () =
+  List.iter
+    (fun (name, mk) ->
+      for round = 1 to 8 do
+        let inst = mk () in
+        let module I = (val inst : Zmsq_pq.Intf.INSTANCE) in
+        let history = L.record (module I) ~threads:3 ~ops_per_thread:6 ~seed:(round * 613) in
+        if not (L.check history) then
+          Alcotest.failf "%s: non-linearizable history found in round %d" name round
+      done)
+    (strict_instances ())
+
+(* A relaxed queue must (usually) FAIL this check — sanity that the checker
+   has teeth. We look for at least one rejected history across rounds on a
+   preloaded, heavily relaxed queue driven sequentially (so real-time order
+   is total and reordering cannot be excused by overlap). *)
+let test_relaxed_queue_detected () =
+  let params = Zmsq.Params.(default |> with_batch 16 |> with_target_len 16) in
+  let q = Zmsq.Default.create ~params () in
+  let h = Zmsq.Default.register q in
+  let rng = Zmsq_util.Rng.create ~seed:0x11 () in
+  (* preload spread-out values so pool contents differ from true maxima *)
+  let history = ref [] in
+  for _ = 1 to 40 do
+    let v = Zmsq_util.Rng.int rng 100_000 in
+    let s = Zmsq_util.Timing.now_ns () in
+    Zmsq.Default.insert h (Zmsq_pq.Elt.of_priority v);
+    let f = Zmsq_util.Timing.now_ns () in
+    history := { L.event = L.Insert v; start_ns = s; finish_ns = f } :: !history
+  done;
+  for _ = 1 to 20 do
+    let s = Zmsq_util.Timing.now_ns () in
+    let e = Zmsq.Default.extract h in
+    let f = Zmsq_util.Timing.now_ns () in
+    let v = if Zmsq_pq.Elt.is_none e then None else Some (Zmsq_pq.Elt.priority e) in
+    history := { L.event = L.Extract v; start_ns = s; finish_ns = f } :: !history
+  done;
+  Zmsq.Default.unregister h;
+  check Alcotest.bool "relaxed history rejected by strict spec" false (L.check !history)
+
+let suite =
+  [
+    ("sequential valid", `Quick, test_sequential_valid);
+    ("sequential wrong order", `Quick, test_sequential_wrong_order);
+    ("false empty rejected", `Quick, test_false_empty_rejected);
+    ("phantom extract rejected", `Quick, test_phantom_extract_rejected);
+    ("overlap allows reorder", `Quick, test_overlap_allows_reorder);
+    ("duplicates", `Quick, test_duplicates);
+    ("empty history", `Quick, test_empty_history);
+    ("strict queues linearizable", `Slow, test_strict_queues_linearizable);
+    ("relaxed queue detected", `Quick, test_relaxed_queue_detected);
+  ]

@@ -1,0 +1,21 @@
+(* Aggregated test runner: `dune runtest` executes every suite. *)
+
+let () =
+  Alcotest.run "zmsq"
+    [
+      ("util", Test_util.suite);
+      ("sync", Test_sync.suite);
+      ("hp", Test_hp.suite);
+      ("pq", Test_pq.suite);
+      ("dist", Test_dist.suite);
+      ("sets", Test_sets.suite);
+      ("zmsq", Test_zmsq.suite);
+      ("mound", Test_mound.suite);
+      ("spraylist", Test_spraylist.suite);
+      ("multiqueue", Test_multiqueue.suite);
+      ("klsm", Test_klsm.suite);
+      ("graph", Test_graph.suite);
+      ("harness", Test_harness.suite);
+      ("linearize", Test_linearize.suite);
+      ("apps", Test_apps.suite);
+    ]

@@ -1,0 +1,121 @@
+(* Tests for the mound baseline: strict semantics, invariant, concurrency,
+   and the paper's observation about its input-pattern sensitivity. *)
+
+module Mound = Zmsq_mound.Mound
+module Elt = Zmsq_pq.Elt
+module Rng = Zmsq_util.Rng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_strict_order () =
+  let q = Mound.create () in
+  let h = Mound.register q in
+  let rng = Rng.create ~seed:1 () in
+  let keys = Array.init 20_000 (fun _ -> Rng.int rng 1_000_000) in
+  Array.iter (fun k -> Mound.insert h (Elt.of_priority k)) keys;
+  check Alcotest.bool "invariant" true (Mound.check_invariant q);
+  let sorted = Array.copy keys in
+  Array.sort (fun a b -> compare b a) sorted;
+  Array.iteri
+    (fun i want ->
+      let got = Elt.priority (Mound.extract h) in
+      if got <> want then Alcotest.failf "order broken at %d: got %d want %d" i got want)
+    sorted;
+  check Alcotest.bool "empty" true (Elt.is_none (Mound.extract h))
+
+let test_empty_extract () =
+  let q = Mound.create () in
+  let h = Mound.register q in
+  check Alcotest.bool "none on empty" true (Elt.is_none (Mound.extract h));
+  Mound.insert h (Elt.of_priority 1);
+  check Alcotest.int "roundtrip" 1 (Elt.priority (Mound.extract h));
+  check Alcotest.bool "none again" true (Elt.is_none (Mound.extract h))
+
+let prop_random_ops =
+  QCheck.Test.make ~name:"mound: random ops preserve order + invariant" ~count:50
+    QCheck.(list (option (int_bound 10_000)))
+    (fun ops ->
+      let q = Mound.create () in
+      let h = Mound.register q in
+      (* Model with a binary heap oracle: mound is strict, so extracts agree. *)
+      let oracle = Zmsq_pq.Binary_heap.create () in
+      let ok = ref true in
+      List.iter
+        (function
+          | Some k ->
+              Mound.insert h (Elt.of_priority k);
+              Zmsq_pq.Binary_heap.insert oracle (Elt.of_priority k)
+          | None ->
+              if Mound.extract h <> Zmsq_pq.Binary_heap.extract_max oracle then ok := false)
+        ops;
+      !ok && Mound.check_invariant q)
+
+let test_concurrent_multiset () =
+  let q = Mound.create () in
+  let ok, _ = Conc_util.multiset_stress (module Mound) q ~threads:4 ~ops_per_thread:15_000 in
+  check Alcotest.bool "multiset preserved" true ok;
+  check Alcotest.bool "invariant after stress" true (Mound.check_invariant q)
+
+(* The degradation the paper describes (Section 2.2): after a mixed
+   workload, mound lists shrink toward single elements. We assert the
+   *observable* property that motivated ZMSQ: average list length stays
+   small, far below ZMSQ's target_len-sized sets. *)
+let test_degrades_to_heap () =
+  let q = Mound.create () in
+  let h = Mound.register q in
+  let rng = Rng.create ~seed:5 () in
+  for _ = 1 to 20_000 do
+    Mound.insert h (Elt.of_priority (Rng.int rng 1_000_000))
+  done;
+  for _ = 1 to 40_000 do
+    Mound.insert h (Elt.of_priority (Rng.int rng 1_000_000));
+    ignore (Mound.extract h)
+  done;
+  let lengths = Mound.list_lengths q in
+  let nonempty = Array.to_list lengths |> List.filter (fun l -> l > 0) in
+  let avg =
+    float_of_int (List.fold_left ( + ) 0 nonempty) /. float_of_int (List.length nonempty)
+  in
+  check Alcotest.bool "lists stay short (heap-like)" true (avg < 4.0)
+
+let test_descending_worst_case () =
+  (* Monotone decreasing inserts: every key becomes a new head at the root
+     path; lists of size 1 (the mound's worst case) — must stay correct. *)
+  let q = Mound.create () in
+  let h = Mound.register q in
+  for k = 10_000 downto 1 do
+    Mound.insert h (Elt.of_priority k)
+  done;
+  check Alcotest.bool "invariant" true (Mound.check_invariant q);
+  for k = 10_000 downto 1 do
+    check Alcotest.int "order" k (Elt.priority (Mound.extract h))
+  done
+
+let test_expansion_from_tiny_tree () =
+  (* Start with a single level and force repeated expansion. *)
+  let q = Mound.create ~initial_levels:1 () in
+  let h = Mound.register q in
+  let rng = Rng.create ~seed:77 () in
+  for _ = 1 to 5_000 do
+    Mound.insert h (Elt.of_priority (Rng.int rng 1_000))
+  done;
+  check Alcotest.bool "grew" true (Mound.leaf_level q > 0);
+  check Alcotest.bool "invariant after growth" true (Mound.check_invariant q);
+  check Alcotest.int "all present" 5_000 (Mound.length q)
+
+let test_create_validates () =
+  Alcotest.check_raises "bad levels" (Invalid_argument "Mound.create") (fun () ->
+      ignore (Mound.create ~initial_levels:0 ()))
+
+let suite =
+  [
+    ("strict order", `Quick, test_strict_order);
+    ("expansion from tiny tree", `Quick, test_expansion_from_tiny_tree);
+    ("create validates", `Quick, test_create_validates);
+    ("empty extract", `Quick, test_empty_extract);
+    qtest prop_random_ops;
+    ("concurrent multiset", `Slow, test_concurrent_multiset);
+    ("degrades to heap under mix", `Slow, test_degrades_to_heap);
+    ("descending worst case", `Quick, test_descending_worst_case);
+  ]

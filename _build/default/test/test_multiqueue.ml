@@ -1,0 +1,89 @@
+(* Tests for the MultiQueue baseline. *)
+
+module MQ = Zmsq_multiqueue.Multiqueue
+module Elt = Zmsq_pq.Elt
+module Rng = Zmsq_util.Rng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_roundtrip () =
+  let q = MQ.create ~queues:4 () in
+  let h = MQ.register q in
+  check Alcotest.int "queue count" 4 (MQ.queue_count q);
+  check Alcotest.bool "empty" true (Elt.is_none (MQ.extract h));
+  for k = 1 to 100 do
+    MQ.insert h (Elt.of_priority k)
+  done;
+  check Alcotest.int "length" 100 (MQ.length q);
+  let got = Conc_util.drain (module MQ) h in
+  check Alcotest.int "drained all" 100 (List.length got);
+  check (Alcotest.list Alcotest.int) "exact multiset" (List.init 100 (fun i -> i + 1))
+    (List.sort compare (List.map Elt.priority got));
+  check Alcotest.int "length zero" 0 (MQ.length q)
+
+let test_relaxed_quality () =
+  (* Power-of-two-choices: each extraction is the max of one of c*T heaps,
+     so results skew high even though order is not exact. *)
+  let q = MQ.create ~queues:8 () in
+  let h = MQ.register q in
+  let rng = Rng.create ~seed:2 () in
+  let keys = Zmsq_dist.Keys.unique rng 8_192 in
+  Array.iter (fun k -> MQ.insert h (Elt.of_priority k)) keys;
+  let sorted = Array.copy keys in
+  Array.sort (fun a b -> compare b a) sorted;
+  let rank_of = Hashtbl.create 8192 in
+  Array.iteri (fun i k -> Hashtbl.replace rank_of k i) sorted;
+  let worst = ref 0 in
+  for _ = 1 to 512 do
+    let e = MQ.extract h in
+    let r = Hashtbl.find rank_of (Elt.priority e) in
+    if r > !worst then worst := r
+  done;
+  (* with 8 heaps the max of any heap is within the global top ~8*k *)
+  check Alcotest.bool "rank bounded by queue spread" true (!worst < 1024)
+
+let prop_random_ops =
+  QCheck.Test.make ~name:"multiqueue: multiset + invariant" ~count:50
+    QCheck.(list (option (int_bound 10_000)))
+    (fun ops ->
+      let q = MQ.create ~queues:3 () in
+      let h = MQ.register q in
+      let ins = ref [] and outs = ref [] in
+      List.iter
+        (function
+          | Some k ->
+              let e = Elt.of_priority k in
+              MQ.insert h e;
+              ins := e :: !ins
+          | None ->
+              let e = MQ.extract h in
+              if not (Elt.is_none e) then outs := e :: !outs)
+        ops;
+      let rest = Conc_util.drain (module MQ) h in
+      MQ.check_invariant q
+      && List.sort compare !ins = List.sort compare (rest @ !outs))
+
+let test_concurrent_multiset () =
+  let q = MQ.create ~queues:8 () in
+  let ok, _ = Conc_util.multiset_stress (module MQ) q ~threads:4 ~ops_per_thread:15_000 in
+  check Alcotest.bool "multiset preserved" true ok;
+  check Alcotest.bool "invariant after stress" true (MQ.check_invariant q)
+
+let test_sweep_finds_hidden () =
+  (* An element in a single heap must be found even if random probes miss:
+     the sweep fallback guarantees it. *)
+  let q = MQ.create ~queues:32 () in
+  let h = MQ.register q in
+  MQ.insert h (Elt.of_priority 7);
+  check Alcotest.int "found the only element" 7 (Elt.priority (MQ.extract h));
+  check Alcotest.bool "now empty" true (Elt.is_none (MQ.extract h))
+
+let suite =
+  [
+    ("roundtrip", `Quick, test_roundtrip);
+    ("relaxed quality", `Quick, test_relaxed_quality);
+    qtest prop_random_ops;
+    ("concurrent multiset", `Slow, test_concurrent_multiset);
+    ("sweep finds hidden element", `Quick, test_sweep_finds_hidden);
+  ]

@@ -1,0 +1,308 @@
+(* Tests for zmsq_pq: element packing, heaps, fifo, skiplist, locked heap. *)
+
+module Elt = Zmsq_pq.Elt
+module BH = Zmsq_pq.Binary_heap
+module PH = Zmsq_pq.Pairing_heap
+module Fifo = Zmsq_pq.Fifo
+module SL = Zmsq_pq.Skiplist
+module LH = Zmsq_pq.Locked_heap
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* {2 Elt} *)
+
+let test_elt_pack () =
+  let e = Elt.pack ~priority:12345 ~payload:678 in
+  check Alcotest.int "priority" 12345 (Elt.priority e);
+  check Alcotest.int "payload" 678 (Elt.payload e);
+  check Alcotest.bool "not none" false (Elt.is_none e);
+  check Alcotest.bool "none" true (Elt.is_none Elt.none)
+
+let test_elt_bounds () =
+  let e = Elt.pack ~priority:Elt.max_priority ~payload:((1 lsl Elt.payload_bits) - 1) in
+  check Alcotest.int "max priority" Elt.max_priority (Elt.priority e);
+  Alcotest.check_raises "priority overflow" (Invalid_argument "Elt.pack: priority out of range")
+    (fun () -> ignore (Elt.pack ~priority:(Elt.max_priority + 1) ~payload:0));
+  Alcotest.check_raises "negative payload" (Invalid_argument "Elt.pack: payload out of range")
+    (fun () -> ignore (Elt.pack ~priority:0 ~payload:(-1)))
+
+let test_elt_ordering () =
+  (* Priority dominates; payload breaks ties. *)
+  let a = Elt.pack ~priority:10 ~payload:999 in
+  let b = Elt.pack ~priority:11 ~payload:0 in
+  check Alcotest.bool "priority dominates" true (b > a);
+  let c = Elt.pack ~priority:10 ~payload:1 in
+  check Alcotest.bool "payload tiebreak" true (c > Elt.pack ~priority:10 ~payload:0);
+  check Alcotest.bool "none below all" true (Elt.none < Elt.pack ~priority:0 ~payload:0)
+
+let prop_elt_roundtrip =
+  QCheck.Test.make ~name:"elt pack/unpack roundtrip" ~count:500
+    QCheck.(pair (int_bound Elt.max_priority) (int_bound ((1 lsl Elt.payload_bits) - 1)))
+    (fun (p, v) ->
+      let e = Elt.pack ~priority:p ~payload:v in
+      Elt.priority e = p && Elt.payload e = v && not (Elt.is_none e))
+
+(* {2 Sequential queues, generic tests} *)
+
+let drain_all (type a) (module Q : Zmsq_pq.Intf.SEQ with type t = a) (q : a) =
+  let rec go acc =
+    let e = Q.extract_max q in
+    if Elt.is_none e then List.rev acc else go (e :: acc)
+  in
+  go []
+
+let seq_sorted_output (module Q : Zmsq_pq.Intf.SEQ) keys =
+  let q = Q.create () in
+  List.iter (fun k -> Q.insert q (Elt.of_priority k)) keys;
+  let out = drain_all (module Q) q in
+  let want = List.sort (fun a b -> compare b a) (List.map Elt.of_priority keys) in
+  out = want && Q.is_empty q
+
+let prop_heap_sorted name (module Q : Zmsq_pq.Intf.SEQ) =
+  QCheck.Test.make ~name:(name ^ " drains sorted") ~count:300
+    QCheck.(list (int_bound 100000))
+    (fun keys -> seq_sorted_output (module Q) keys)
+
+let test_heap_basics (module Q : Zmsq_pq.Intf.SEQ) () =
+  let q = Q.create () in
+  check Alcotest.bool "empty" true (Q.is_empty q);
+  check Alcotest.bool "extract empty" true (Elt.is_none (Q.extract_max q));
+  check Alcotest.bool "peek empty" true (Elt.is_none (Q.peek_max q));
+  Q.insert q (Elt.of_priority 5);
+  Q.insert q (Elt.of_priority 9);
+  Q.insert q (Elt.of_priority 7);
+  check Alcotest.int "size" 3 (Q.size q);
+  check Alcotest.int "peek max" 9 (Elt.priority (Q.peek_max q));
+  check Alcotest.int "size after peek" 3 (Q.size q);
+  check Alcotest.int "extract 9" 9 (Elt.priority (Q.extract_max q));
+  check Alcotest.int "extract 7" 7 (Elt.priority (Q.extract_max q));
+  check Alcotest.int "extract 5" 5 (Elt.priority (Q.extract_max q));
+  check Alcotest.bool "empty again" true (Q.is_empty q)
+
+let test_heap_duplicates (module Q : Zmsq_pq.Intf.SEQ) () =
+  let q = Q.create () in
+  List.iter (fun k -> Q.insert q (Elt.of_priority k)) [ 5; 5; 5; 3; 3 ];
+  let out = List.map Elt.priority (drain_all (module Q) q) in
+  check (Alcotest.list Alcotest.int) "dups kept" [ 5; 5; 5; 3; 3 ] out
+
+let test_binary_heap_of_array () =
+  let a = Array.map Elt.of_priority [| 3; 1; 4; 1; 5; 9; 2; 6 |] in
+  let h = BH.of_array a in
+  check Alcotest.bool "invariant" true (BH.check_invariant h);
+  check Alcotest.int "size" 8 (BH.size h);
+  let sorted = BH.to_sorted_array h in
+  check Alcotest.int "still full" 8 (BH.size h);
+  check Alcotest.int "top" 9 (Elt.priority sorted.(0));
+  check Alcotest.int "bottom" 1 (Elt.priority sorted.(7))
+
+let prop_binary_heap_invariant =
+  QCheck.Test.make ~name:"binary heap invariant under mixed ops" ~count:200
+    QCheck.(list (option (int_bound 10000)))
+    (fun ops ->
+      let h = BH.create () in
+      List.iter
+        (function
+          | Some k -> BH.insert h (Elt.of_priority k)
+          | None -> ignore (BH.extract_max h))
+        ops;
+      BH.check_invariant h)
+
+let test_pairing_meld () =
+  let a = PH.create () and b = PH.create () in
+  List.iter (fun k -> PH.insert a (Elt.of_priority k)) [ 1; 5 ];
+  List.iter (fun k -> PH.insert b (Elt.of_priority k)) [ 3; 7 ];
+  PH.meld a b;
+  check Alcotest.int "melded size" 4 (PH.size a);
+  check Alcotest.int "src empty" 0 (PH.size b);
+  let out = List.map Elt.priority (drain_all (module PH) a) in
+  check (Alcotest.list Alcotest.int) "meld order" [ 7; 5; 3; 1 ] out
+
+let prop_pairing_vs_binary =
+  QCheck.Test.make ~name:"pairing heap equals binary heap" ~count:200
+    QCheck.(list (option (int_bound 10000)))
+    (fun ops ->
+      let bh = BH.create () and ph = PH.create () in
+      List.for_all
+        (function
+          | Some k ->
+              BH.insert bh (Elt.of_priority k);
+              PH.insert ph (Elt.of_priority k);
+              true
+          | None -> BH.extract_max bh = PH.extract_max ph)
+        ops
+      && BH.size bh = PH.size ph)
+
+(* {2 Fifo} *)
+
+let test_fifo_order () =
+  let q = Fifo.create () in
+  for i = 1 to 100 do
+    Fifo.insert q (Elt.of_priority i)
+  done;
+  for i = 1 to 100 do
+    check Alcotest.int "fifo order" i (Elt.priority (Fifo.extract_max q))
+  done;
+  check Alcotest.bool "empty" true (Fifo.is_empty q)
+
+let test_fifo_wraparound () =
+  let q = Fifo.create () in
+  (* interleave to force head wrap in the ring *)
+  for round = 0 to 50 do
+    for i = 0 to 9 do
+      Fifo.insert q (Elt.of_priority ((round * 10) + i))
+    done;
+    for i = 0 to 9 do
+      check Alcotest.int "wrap order" ((round * 10) + i) (Elt.priority (Fifo.extract_max q))
+    done
+  done
+
+(* {2 Skiplist} *)
+
+let prop_skiplist_sorted = prop_heap_sorted "skiplist" (module SL)
+
+let test_skiplist_mem_remove () =
+  let s = SL.create () in
+  let keys = [ 10; 20; 30; 40 ] in
+  List.iter (fun k -> SL.insert s (Elt.of_priority k)) keys;
+  check Alcotest.bool "mem 20" true (SL.mem s (Elt.of_priority 20));
+  check Alcotest.bool "mem 25" false (SL.mem s (Elt.of_priority 25));
+  check Alcotest.bool "remove 20" true (SL.remove s (Elt.of_priority 20));
+  check Alcotest.bool "remove 20 again" false (SL.remove s (Elt.of_priority 20));
+  check Alcotest.int "size" 3 (SL.size s);
+  check Alcotest.bool "invariant" true (SL.check_invariant s)
+
+let prop_skiplist_invariant =
+  QCheck.Test.make ~name:"skiplist invariant under mixed ops" ~count:100
+    QCheck.(list (option (int_bound 1000)))
+    (fun ops ->
+      let s = SL.create () in
+      List.iter
+        (function
+          | Some k -> SL.insert s (Elt.of_priority k)
+          | None -> ignore (SL.extract_max s))
+        ops;
+      SL.check_invariant s)
+
+let test_skiplist_to_list () =
+  let s = SL.create () in
+  List.iter (fun k -> SL.insert s (Elt.of_priority k)) [ 5; 1; 9; 3 ];
+  check (Alcotest.list Alcotest.int) "descending" [ 9; 5; 3; 1 ]
+    (List.map Elt.priority (SL.to_list s))
+
+(* {2 Locked heap (concurrent)} *)
+
+let test_locked_heap_concurrent () =
+  let q = LH.create () in
+  let threads = 4 and per = 10_000 in
+  let outs =
+    Array.init threads (fun t ->
+        Domain.spawn (fun () ->
+            let h = LH.register q in
+            let rng = Zmsq_util.Rng.create ~seed:t () in
+            let mine = ref [] and got = ref [] in
+            for _ = 1 to per do
+              if Zmsq_util.Rng.bool rng then begin
+                let e = Elt.pack ~priority:(Zmsq_util.Rng.int rng 100000) ~payload:t in
+                LH.insert h e;
+                mine := e :: !mine
+              end
+              else begin
+                let e = LH.extract h in
+                if not (Elt.is_none e) then got := e :: !got
+              end
+            done;
+            (!mine, !got)))
+  in
+  let ins = ref [] and outs_l = ref [] in
+  Array.iter
+    (fun d ->
+      let i, o = Domain.join d in
+      ins := i @ !ins;
+      outs_l := o @ !outs_l)
+    outs;
+  let h = LH.register q in
+  let rec drain acc = let e = LH.extract h in if Elt.is_none e then acc else drain (e :: acc) in
+  let rest = drain [] in
+  check Alcotest.bool "invariant" true (LH.check_invariant q);
+  check Alcotest.bool "multiset preserved" true
+    (List.sort compare !ins = List.sort compare (rest @ !outs_l));
+  check Alcotest.int "length zero" 0 (LH.length q)
+
+(* {2 Elt float priorities + flip} *)
+
+let prop_float_priority_monotone =
+  QCheck.Test.make ~name:"priority_of_float preserves order" ~count:500
+    QCheck.(pair (float_bound_inclusive 1e12) (float_bound_inclusive 1e12))
+    (fun (a, b) ->
+      let a = Float.abs a and b = Float.abs b in
+      let pa = Elt.priority_of_float a and pb = Elt.priority_of_float b in
+      (not (a < b)) || pa <= pb)
+
+let test_float_priority_invalid () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Elt.priority_of_float: need a non-negative finite float") (fun () ->
+      ignore (Elt.priority_of_float (-1.0)));
+  Alcotest.check_raises "nan"
+    (Invalid_argument "Elt.priority_of_float: need a non-negative finite float") (fun () ->
+      ignore (Elt.priority_of_float Float.nan))
+
+let prop_flip_involution =
+  QCheck.Test.make ~name:"flip is an involution" ~count:300
+    QCheck.(pair (int_bound Elt.max_priority) (int_bound 1000))
+    (fun (p, v) ->
+      let e = Elt.pack ~priority:p ~payload:v in
+      Elt.flip (Elt.flip e) = e && Elt.payload (Elt.flip e) = v)
+
+(* {2 Min view} *)
+
+module Min_locked = Zmsq_pq.Min_view.Make (LH)
+
+let test_min_view_order () =
+  let q = Min_locked.wrap (LH.create ()) in
+  let h = Min_locked.register q in
+  List.iter (fun k -> Min_locked.insert h (Elt.of_priority k)) [ 30; 10; 20 ];
+  check Alcotest.int "length" 3 (Min_locked.length q);
+  check Alcotest.int "min first" 10 (Elt.priority (Min_locked.extract h));
+  check Alcotest.int "then 20" 20 (Elt.priority (Min_locked.extract h));
+  check Alcotest.int "then 30" 30 (Elt.priority (Min_locked.extract h));
+  check Alcotest.bool "empty none" true (Elt.is_none (Min_locked.extract h))
+
+let test_min_view_payloads () =
+  let q = Min_locked.wrap (LH.create ()) in
+  let h = Min_locked.register q in
+  Min_locked.insert h (Elt.pack ~priority:5 ~payload:42);
+  let e = Min_locked.extract h in
+  check Alcotest.int "payload preserved" 42 (Elt.payload e);
+  check Alcotest.int "priority preserved" 5 (Elt.priority e)
+
+let suite =
+  [
+    ("elt pack", `Quick, test_elt_pack);
+    qtest prop_float_priority_monotone;
+    ("float priority invalid", `Quick, test_float_priority_invalid);
+    qtest prop_flip_involution;
+    ("min view order", `Quick, test_min_view_order);
+    ("min view payloads", `Quick, test_min_view_payloads);
+    ("elt bounds", `Quick, test_elt_bounds);
+    ("elt ordering", `Quick, test_elt_ordering);
+    qtest prop_elt_roundtrip;
+    ("binary heap basics", `Quick, test_heap_basics (module BH));
+    ("binary heap duplicates", `Quick, test_heap_duplicates (module BH));
+    ("binary heap of_array", `Quick, test_binary_heap_of_array);
+    qtest (prop_heap_sorted "binary heap" (module BH));
+    qtest prop_binary_heap_invariant;
+    ("pairing heap basics", `Quick, test_heap_basics (module PH));
+    ("pairing heap duplicates", `Quick, test_heap_duplicates (module PH));
+    ("pairing heap meld", `Quick, test_pairing_meld);
+    qtest (prop_heap_sorted "pairing heap" (module PH));
+    qtest prop_pairing_vs_binary;
+    ("fifo order", `Quick, test_fifo_order);
+    ("fifo wraparound", `Quick, test_fifo_wraparound);
+    ("skiplist basics", `Quick, test_heap_basics (module SL));
+    ("skiplist mem/remove", `Quick, test_skiplist_mem_remove);
+    ("skiplist to_list", `Quick, test_skiplist_to_list);
+    qtest prop_skiplist_sorted;
+    qtest prop_skiplist_invariant;
+    ("locked heap concurrent", `Slow, test_locked_heap_concurrent);
+  ]

@@ -1,0 +1,121 @@
+(* Tests for the SprayList baseline. *)
+
+module SL = Zmsq_spraylist.Spraylist
+module Elt = Zmsq_pq.Elt
+module Rng = Zmsq_util.Rng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_single_thread_strict () =
+  (* With one registered thread the spray width is zero: strict order. *)
+  let q = SL.create () in
+  let h = SL.register q in
+  let rng = Rng.create ~seed:1 () in
+  let keys = Array.init 5_000 (fun _ -> Rng.int rng 1_000_000) in
+  Array.iter (fun k -> SL.insert h (Elt.of_priority k)) keys;
+  check Alcotest.bool "invariant" true (SL.check_invariant q);
+  let sorted = Array.copy keys in
+  Array.sort (fun a b -> compare b a) sorted;
+  Array.iteri
+    (fun i want ->
+      let got = Elt.priority (SL.extract h) in
+      if got <> want then Alcotest.failf "T=1 order broken at %d: got %d want %d" i got want)
+    sorted;
+  SL.unregister h
+
+let test_length_and_garbage () =
+  let q = SL.create () in
+  let h = SL.register q in
+  for k = 1 to 100 do
+    SL.insert h (Elt.of_priority k)
+  done;
+  check Alcotest.int "length" 100 (SL.length q);
+  for _ = 1 to 60 do
+    ignore (SL.extract h)
+  done;
+  check Alcotest.int "length after extracts" 40 (SL.length q);
+  check Alcotest.int "live elements" 40 (List.length (SL.live_elements q));
+  (* logically deleted nodes may linger physically — that is the documented
+     leak — but live elements must exclude them *)
+  check Alcotest.bool "garbage bounded by deletions" true (SL.marked_garbage q <= 60);
+  SL.unregister h
+
+let test_inexact_emptiness_flag () =
+  check Alcotest.bool "spraylist emptiness is inexact" false SL.exact_emptiness
+
+let test_registered_threads () =
+  let q = SL.create () in
+  let a = SL.register q in
+  let b = SL.register q in
+  check Alcotest.int "two registered" 2 (SL.registered_threads q);
+  SL.unregister a;
+  SL.unregister b;
+  check Alcotest.int "none registered" 0 (SL.registered_threads q)
+
+let prop_live_elements_sorted =
+  QCheck.Test.make ~name:"spraylist: live elements descending" ~count:50
+    QCheck.(list (int_bound 10_000))
+    (fun keys ->
+      let q = SL.create () in
+      let h = SL.register q in
+      List.iter (fun k -> SL.insert h (Elt.of_priority k)) keys;
+      let live = SL.live_elements q in
+      SL.unregister h;
+      live = List.sort (fun a b -> compare b a) live
+      && List.length live = List.length keys
+      && SL.check_invariant q)
+
+let test_concurrent_multiset () =
+  let q = SL.create () in
+  let ok, _ = Conc_util.multiset_stress (module SL) q ~threads:4 ~ops_per_thread:10_000 in
+  check Alcotest.bool "multiset preserved" true ok;
+  check Alcotest.bool "invariant after stress" true (SL.check_invariant q)
+
+let test_spray_relaxed_but_good () =
+  (* With several registered threads the spray may skip the maximum but
+     must return reasonably high elements from a large queue. *)
+  let q = SL.create () in
+  let handles = Array.init 8 (fun _ -> SL.register q) in
+  let h = handles.(0) in
+  let rng = Rng.create ~seed:9 () in
+  let keys = Zmsq_dist.Keys.unique rng 10_000 in
+  Array.iter (fun k -> SL.insert h (Elt.of_priority k)) keys;
+  let sorted = Array.copy keys in
+  Array.sort (fun a b -> compare b a) sorted;
+  (* rank of each extraction must stay far from the tail *)
+  let rank_of = Hashtbl.create 10_000 in
+  Array.iteri (fun i k -> Hashtbl.replace rank_of k i) sorted;
+  for _ = 1 to 500 do
+    let e = SL.extract h in
+    if not (Elt.is_none e) then begin
+      let r = Hashtbl.find rank_of (Elt.priority e) in
+      if r > 5_000 then Alcotest.failf "spray returned absurd rank %d" r
+    end
+  done;
+  Array.iter SL.unregister handles
+
+let test_drain_completely () =
+  let q = SL.create () in
+  let h = SL.register q in
+  for k = 1 to 500 do
+    SL.insert h (Elt.of_priority k)
+  done;
+  (* drain_n loops through spurious failures *)
+  let got = Conc_util.drain_n (module SL) h 500 in
+  check Alcotest.int "all recovered" 500 (List.length got);
+  check (Alcotest.list Alcotest.int) "exact multiset" (List.init 500 (fun i -> i + 1))
+    (List.sort compare (List.map Elt.priority got));
+  SL.unregister h
+
+let suite =
+  [
+    ("single thread is strict", `Quick, test_single_thread_strict);
+    ("length and garbage accounting", `Quick, test_length_and_garbage);
+    ("inexact emptiness flag", `Quick, test_inexact_emptiness_flag);
+    ("registered thread count", `Quick, test_registered_threads);
+    qtest prop_live_elements_sorted;
+    ("concurrent multiset", `Slow, test_concurrent_multiset);
+    ("spray relaxed but high-quality", `Quick, test_spray_relaxed_but_good);
+    ("drain completely", `Quick, test_drain_completely);
+  ]

@@ -1,0 +1,485 @@
+(* Tests for the ZMSQ core: strictness, relaxation bounds, invariants,
+   blocking, concurrency, ablation configurations, both set variants. *)
+
+module Elt = Zmsq_pq.Elt
+module P = Zmsq.Params
+module Rng = Zmsq_util.Rng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* {2 Params} *)
+
+let test_params_validate () =
+  Alcotest.check_raises "negative batch" (Invalid_argument "Params: batch must be >= 0")
+    (fun () -> ignore (P.validate { P.default with P.batch = -1 }));
+  Alcotest.check_raises "zero target_len" (Invalid_argument "Params: target_len must be >= 1")
+    (fun () -> ignore (P.validate { P.default with P.target_len = 0 }));
+  check Alcotest.int "strict batch" 0 P.strict.P.batch;
+  let s = P.static 16 in
+  check Alcotest.int "static batch" 16 s.P.batch;
+  check Alcotest.int "static target" 16 s.P.target_len
+
+let test_params_dynamic () =
+  (* paper: dynamic (1:1.5) at 8 threads = batch 8, target_len 12 *)
+  let p = P.dynamic ~ratio_num:2 ~ratio_den:3 ~threads:8 in
+  check Alcotest.int "batch" 8 p.P.batch;
+  check Alcotest.int "target" 12 p.P.target_len;
+  let p = P.dynamic ~ratio_num:2 ~ratio_den:1 ~threads:4 in
+  check Alcotest.int "2:1 batch" 8 p.P.batch;
+  check Alcotest.int "2:1 target" 4 p.P.target_len
+
+(* {2 Strict mode (batch = 0) is an exact priority queue} *)
+
+module type ZQ = Zmsq.S
+
+let strict_exact (module Q : ZQ) () =
+  let q = Q.create ~params:P.strict () in
+  let h = Q.register q in
+  let rng = Rng.create ~seed:0xE4 () in
+  let keys = Array.init 20_000 (fun _ -> Rng.int rng 1_000_000) in
+  Array.iter (fun k -> Q.insert h (Elt.of_priority k)) keys;
+  check Alcotest.bool "invariant" true (Q.Debug.check_invariant q);
+  let sorted = Array.copy keys in
+  Array.sort (fun a b -> compare b a) sorted;
+  Array.iteri
+    (fun i want ->
+      let e = Q.extract h in
+      if Elt.priority e <> want then
+        Alcotest.failf "strict order broken at %d: got %d want %d" i (Elt.priority e) want)
+    sorted;
+  check Alcotest.bool "drained" true (Elt.is_none (Q.extract h));
+  Q.unregister h
+
+(* {2 Exact emptiness} *)
+
+let exact_emptiness (module Q : ZQ) () =
+  let q = Q.create ~params:(P.static 8) () in
+  let h = Q.register q in
+  check Alcotest.bool "flag" true Q.exact_emptiness;
+  check Alcotest.bool "empty at start" true (Elt.is_none (Q.extract h));
+  Q.insert h (Elt.of_priority 42);
+  check Alcotest.int "length" 1 (Q.length q);
+  check Alcotest.int "got it" 42 (Elt.priority (Q.extract h));
+  check Alcotest.bool "empty again" true (Elt.is_none (Q.extract h));
+  check Alcotest.int "length zero" 0 (Q.length q);
+  Q.unregister h
+
+(* {2 The Section 3.7 relaxation bound}
+
+   Single-threaded, batch = b: any window of k*(b+1) consecutive
+   extractions must return a superset of the top-k elements present at the
+   window's start. We verify the strongest useful case: after m
+   extractions, every element of the true top floor(m/(b+1)) has been
+   returned. *)
+
+let relaxation_bound (module Q : ZQ) ~batch ~target_len () =
+  let q = Q.create ~params:P.(default |> with_batch batch |> with_target_len target_len) () in
+  let h = Q.register q in
+  let rng = Rng.create ~seed:0xB0B ()  in
+  let n = 4096 in
+  let keys = Zmsq_dist.Keys.unique rng n in
+  Array.iter (fun k -> Q.insert h (Elt.of_priority k)) keys;
+  let sorted = Array.copy keys in
+  Array.sort (fun a b -> compare b a) sorted;
+  let m = 2048 in
+  let returned = Hashtbl.create m in
+  for _ = 1 to m do
+    let e = Q.extract h in
+    Hashtbl.replace returned (Elt.priority e) ()
+  done;
+  let k = m / (batch + 1) in
+  for i = 0 to k - 1 do
+    if not (Hashtbl.mem returned sorted.(i)) then
+      Alcotest.failf "top-%d element %d (rank %d) missing after %d extractions (batch=%d)" k
+        sorted.(i) i m batch
+  done;
+  Q.unregister h
+
+(* {2 Multiset preservation + invariant under random sequential ops} *)
+
+let prop_random_ops (module Q : ZQ) name =
+  QCheck.Test.make ~name:(Printf.sprintf "%s: random ops keep invariant+multiset" name) ~count:60
+    QCheck.(
+      pair (list (option (int_bound 10_000)))
+        (pair (int_bound 32) (int_range 1 24)))
+    (fun (ops, (batch, target_len)) ->
+      let q = Q.create ~params:P.(default |> with_batch batch |> with_target_len target_len) () in
+      let h = Q.register q in
+      let inserted = ref [] and extracted = ref [] in
+      List.iter
+        (function
+          | Some k ->
+              let e = Elt.of_priority k in
+              Q.insert h e;
+              inserted := e :: !inserted
+          | None ->
+              let e = Q.extract h in
+              if not (Elt.is_none e) then extracted := e :: !extracted)
+        ops;
+      let ok_inv = Q.Debug.check_invariant q in
+      let rest = Q.Debug.elements q in
+      let ok_multi =
+        List.sort compare !inserted = List.sort compare (List.rev_append rest !extracted)
+      in
+      Q.unregister h;
+      ok_inv && ok_multi)
+
+(* {2 Concurrent stress} *)
+
+let concurrent_multiset (module Q : ZQ) ~params () =
+  let q = Q.create ~params () in
+  let ok, _ = Conc_util.multiset_stress (module Q) q ~threads:4 ~ops_per_thread:20_000 in
+  check Alcotest.bool "multiset preserved" true ok;
+  check Alcotest.bool "invariant after stress" true (Q.Debug.check_invariant q)
+
+(* {2 Blocking} *)
+
+let blocking_handoff (module Q : ZQ) () =
+  let params = { (P.static 8) with P.blocking = true } in
+  let q = Q.create ~params () in
+  let items = 5_000 in
+  let consumers = 3 in
+  let consumed = Atomic.make 0 in
+  let poison = Elt.pack ~priority:0 ~payload:1 in
+  let cons =
+    Array.init consumers (fun _ ->
+        Domain.spawn (fun () ->
+            let h = Q.register q in
+            let rec go n =
+              let e = Q.extract_blocking h in
+              if Elt.payload e = 1 then n
+              else begin
+                Atomic.incr consumed;
+                go (n + 1)
+              end
+            in
+            let n = go 0 in
+            Q.unregister h;
+            n))
+  in
+  let producer =
+    Domain.spawn (fun () ->
+        let h = Q.register q in
+        let rng = Rng.create ~seed:0xB10C () in
+        for _ = 1 to items do
+          Q.insert h (Elt.pack ~priority:(1 + Rng.int rng 1_000_000) ~payload:0)
+        done;
+        (* Poison only once everything real has been consumed, so a relaxed
+           extraction can never return a pill early. *)
+        while Atomic.get consumed < items do
+          Domain.cpu_relax ()
+        done;
+        for _ = 1 to consumers do
+          Q.insert h poison
+        done;
+        Q.unregister h)
+  in
+  Domain.join producer;
+  let total = Array.fold_left (fun a d -> a + Domain.join d) 0 cons in
+  check Alcotest.int "all items consumed" items total;
+  check Alcotest.int "counter agrees" items (Atomic.get consumed)
+
+let test_extract_timeout () =
+  let module Q = Zmsq.Default in
+  let params = { (P.static 8) with P.blocking = true } in
+  let q = Q.create ~params () in
+  let h = Q.register q in
+  (* empty queue: timeout *)
+  let t0 = Zmsq_util.Timing.now_ns () in
+  let e = Q.extract_timeout h ~timeout_ns:10_000_000 in
+  let dt = Zmsq_util.Timing.now_ns () - t0 in
+  check Alcotest.bool "timed out empty" true (Elt.is_none e);
+  check Alcotest.bool "respected deadline order of magnitude" true (dt < 1_000_000_000);
+  (* element already present: immediate *)
+  Q.insert h (Elt.of_priority 5);
+  check Alcotest.int "immediate when present" 5
+    (Elt.priority (Q.extract_timeout h ~timeout_ns:1_000_000));
+  (* element arriving mid-wait: released *)
+  let d =
+    Domain.spawn (fun () ->
+        let hp = Q.register q in
+        Unix.sleepf 0.01;
+        Q.insert hp (Elt.of_priority 77);
+        Q.unregister hp)
+  in
+  let e = Q.extract_timeout h ~timeout_ns:2_000_000_000 in
+  Domain.join d;
+  check Alcotest.int "released mid-wait" 77 (Elt.priority e);
+  Q.unregister h
+
+let test_blocking_requires_flag () =
+  let q = Zmsq.Default.create () in
+  let h = Zmsq.Default.register q in
+  Alcotest.check_raises "no blocking flag"
+    (Invalid_argument "Zmsq.extract_blocking: queue created without blocking") (fun () ->
+      ignore (Zmsq.Default.extract_blocking h));
+  Zmsq.Default.unregister h
+
+(* {2 Ablation configurations stay correct} *)
+
+let ablation_correct variant_name mutate () =
+  let module Q = Zmsq.Default in
+  let params = mutate (P.static 12) in
+  let q = Q.create ~params () in
+  let h = Q.register q in
+  let rng = Rng.create ~seed:0xAB1 () in
+  let inserted = ref [] in
+  for _ = 1 to 20_000 do
+    let e = Elt.of_priority (Rng.int rng 100_000) in
+    Q.insert h e;
+    inserted := e :: !inserted
+  done;
+  if not (Q.Debug.check_invariant q) then Alcotest.failf "%s: invariant broken" variant_name;
+  let extracted = Conc_util.drain (module Q) h in
+  if List.sort compare !inserted <> List.sort compare extracted then
+    Alcotest.failf "%s: multiset broken" variant_name;
+  Q.unregister h
+
+(* {2 Instrumentation} *)
+
+let test_counters_fire () =
+  let module Q = Zmsq.Default in
+  let q = Q.create ~params:(P.static 8) () in
+  let h = Q.register q in
+  let rng = Rng.create ~seed:0xC0 () in
+  for _ = 1 to 50_000 do
+    Q.insert h (Elt.of_priority (Rng.int rng 1_000_000));
+    if Rng.bool rng then ignore (Q.extract h)
+  done;
+  let c = Q.Debug.counters q in
+  check Alcotest.bool "refills fired" true (c.Zmsq.refills > 0);
+  check Alcotest.bool "forced inserts fired" true (c.Zmsq.forced_inserts > 0);
+  check Alcotest.bool "min swaps fired" true (c.Zmsq.min_swaps > 0);
+  check Alcotest.bool "expands fired" true (c.Zmsq.expands > 0);
+  check Alcotest.bool "swap downs fired" true (c.Zmsq.swap_downs > 0);
+  Q.unregister h
+
+let test_hazard_stats_present () =
+  let module Q = Zmsq.Default in
+  let q = Q.create () in
+  check Alcotest.bool "hp stats in safe mode" true (Q.Debug.hazard_domain_stats q <> None);
+  let leaky = Q.create ~params:{ P.default with P.leaky = true } () in
+  check Alcotest.bool "no hp stats in leak mode" true (Q.Debug.hazard_domain_stats leaky = None)
+
+let test_pool_level () =
+  let module Q = Zmsq.Default in
+  let q = Q.create ~params:(P.static 16) () in
+  let h = Q.register q in
+  for i = 1 to 100 do
+    Q.insert h (Elt.of_priority i)
+  done;
+  check Alcotest.int "pool empty before extract" 0 (Q.Debug.pool_level q);
+  ignore (Q.extract h);
+  check Alcotest.bool "pool filled by refill" true (Q.Debug.pool_level q > 0);
+  Q.unregister h
+
+(* {2 Splits under tiny target_len} *)
+
+let test_split_pressure () =
+  let module Q = Zmsq.Default in
+  (* Descending insertions at a tiny target force the split path. *)
+  let q = Q.create ~params:P.(default |> with_batch 2 |> with_target_len 2) () in
+  let h = Q.register q in
+  let g = Zmsq_dist.Keys.make (Rng.create ~seed:3 ()) (Zmsq_dist.Keys.Descending { start = 50_000 }) in
+  let inserted = ref [] in
+  for _ = 1 to 20_000 do
+    let e = Elt.of_priority (Zmsq_dist.Keys.next g) in
+    Q.insert h e;
+    inserted := e :: !inserted
+  done;
+  check Alcotest.bool "invariant under splits" true (Q.Debug.check_invariant q);
+  let out = Conc_util.drain (module Q) h in
+  check Alcotest.bool "multiset under splits" true
+    (List.sort compare !inserted = List.sort compare out);
+  Q.unregister h
+
+(* {2 Section 5 extensions: pool insertion, helper passes} *)
+
+let test_pool_insert_correct () =
+  let module Q = Zmsq.Default in
+  let params = { (P.static 16) with P.pool_insert = true } in
+  let q = Q.create ~params () in
+  let h = Q.register q in
+  let rng = Rng.create ~seed:0x902 () in
+  let ins = ref [] and outs = ref [] in
+  for _ = 1 to 40_000 do
+    if Rng.int rng 2 = 0 then begin
+      let e = Elt.of_priority (Rng.int rng 1_000_000) in
+      Q.insert h e;
+      ins := e :: !ins
+    end
+    else begin
+      let e = Q.extract h in
+      if not (Elt.is_none e) then outs := e :: !outs
+    end
+  done;
+  check Alcotest.bool "invariant (pool order relaxed)" true (Q.Debug.check_invariant q);
+  let rest = Conc_util.drain (module Q) h in
+  check Alcotest.bool "multiset with pool_insert" true
+    (List.sort compare !ins = List.sort compare (rest @ !outs));
+  let c = Q.Debug.counters q in
+  check Alcotest.bool "pool inserts fired" true (c.Zmsq.pool_inserts > 0);
+  Q.unregister h
+
+let test_pool_insert_immediate_extract () =
+  let module Q = Zmsq.Default in
+  let params = { (P.static 4) with P.pool_insert = true } in
+  let q = Q.create ~params () in
+  let h = Q.register q in
+  for i = 1 to 100 do
+    Q.insert h (Elt.of_priority i)
+  done;
+  (* prime the pool *)
+  ignore (Q.extract h);
+  check Alcotest.bool "pool primed" true (Q.Debug.pool_level q > 0);
+  (* a very high insert should displace into the pool *)
+  Q.insert h (Elt.of_priority 999_999);
+  let c = Q.Debug.counters q in
+  check Alcotest.bool "displaced into pool" true (c.Zmsq.pool_inserts > 0);
+  (* it must come out within the pool window *)
+  let found = ref false in
+  for _ = 1 to 4 do
+    if Elt.priority (Q.extract h) = 999_999 then found := true
+  done;
+  check Alcotest.bool "hot element extracted from pool window" true !found;
+  Q.unregister h
+
+let test_pool_insert_concurrent () =
+  let module Q = Zmsq.Default in
+  let params = { (P.static 16) with P.pool_insert = true } in
+  let q = Q.create ~params () in
+  let ok, _ = Conc_util.multiset_stress (module Q) q ~threads:4 ~ops_per_thread:15_000 in
+  check Alcotest.bool "concurrent multiset with pool_insert" true ok
+
+let test_helper_pass_improves_quality () =
+  let module Q = Zmsq.Default in
+  let q = Q.create ~params:(P.static 24) () in
+  let h = Q.register q in
+  let rng = Rng.create ~seed:0x903 () in
+  let ins = ref [] in
+  for _ = 1 to 40_000 do
+    let e = Elt.of_priority (Rng.int rng 1_000_000) in
+    Q.insert h e;
+    ins := e :: !ins
+  done;
+  (* drain a bit to hollow out upper sets *)
+  let outs = ref [] in
+  for _ = 1 to 20_000 do
+    let e = Q.extract h in
+    if not (Elt.is_none e) then outs := e :: !outs
+  done;
+  let moved = ref 0 in
+  for _ = 1 to 400 do
+    moved := !moved + Q.helper_pass ~visits:16 h
+  done;
+  check Alcotest.bool "helper moved elements" true (!moved > 0);
+  check Alcotest.bool "invariant after helper" true (Q.Debug.check_invariant q);
+  let rest = Conc_util.drain (module Q) h in
+  check Alcotest.bool "multiset after helper" true
+    (List.sort compare !ins = List.sort compare (rest @ !outs));
+  Q.unregister h
+
+let test_helper_concurrent_with_workload () =
+  let module Q = Zmsq.Default in
+  let q = Q.create ~params:(P.static 16) () in
+  let stop = Atomic.make false in
+  let helper =
+    Domain.spawn (fun () ->
+        let h = Q.register q in
+        let n = ref 0 in
+        while not (Atomic.get stop) do
+          n := !n + Q.helper_pass h
+        done;
+        Q.unregister h;
+        !n)
+  in
+  let ok, _ = Conc_util.multiset_stress (module Q) q ~threads:3 ~ops_per_thread:15_000 in
+  Atomic.set stop true;
+  let _moves = Domain.join helper in
+  check Alcotest.bool "multiset with background helper" true ok;
+  check Alcotest.bool "invariant with background helper" true (Q.Debug.check_invariant q)
+
+let test_peek_and_is_empty () =
+  let module Q = Zmsq.Default in
+  let q = Q.create ~params:(P.static 4) () in
+  let h = Q.register q in
+  check Alcotest.bool "empty at start" true (Q.is_empty q);
+  check Alcotest.bool "peek none" true (Elt.is_none (Q.peek q));
+  for k = 1 to 50 do
+    Q.insert h (Elt.of_priority k)
+  done;
+  check Alcotest.bool "nonempty" false (Q.is_empty q);
+  check Alcotest.int "peek sees max" 50 (Elt.priority (Q.peek q));
+  (* after a refill, peek reads the pool's next claim *)
+  let first = Q.extract h in
+  check Alcotest.int "extracted max" 50 (Elt.priority first);
+  let p = Q.peek q in
+  check Alcotest.bool "peek nonnone with pool live" false (Elt.is_none p);
+  check Alcotest.int "peek equals next extract" (Elt.priority (Q.extract h)) (Elt.priority p);
+  Q.unregister h
+
+(* Regression: tiny target_len must not blow the tree up (previously,
+   split cascades at the leaf boundary forced an expansion per split and
+   the tree reached 2^27 nodes before the OOM killer fired). *)
+let test_tiny_target_len_bounded_tree () =
+  let module Q = Zmsq.Default in
+  let q = Q.create ~params:P.(default |> with_batch 1 |> with_target_len 1) () in
+  let h = Q.register q in
+  let rng = Rng.create ~seed:0x00D () in
+  for _ = 1 to 30_000 do
+    Q.insert h (Elt.of_priority (Rng.int rng 1_000_000))
+  done;
+  (* 30K elements need ~15 levels at 1-2 per node; anything much deeper is
+     the old runaway. *)
+  check Alcotest.bool "tree depth bounded" true (Q.Debug.leaf_level q < 20);
+  check Alcotest.int "all elements present" 30_000 (Q.length q);
+  check Alcotest.bool "invariant" true (Q.Debug.check_invariant q);
+  let out = Conc_util.drain (module Q) h in
+  check Alcotest.int "all extractable" 30_000 (List.length out);
+  Q.unregister h
+
+let mk name f = (name, `Quick, f)
+
+let suite =
+  [
+    mk "params validate" test_params_validate;
+    mk "params dynamic" test_params_dynamic;
+    mk "strict exact (list)" (strict_exact (module Zmsq.Default));
+    mk "strict exact (array)" (strict_exact (module Zmsq.Array_q));
+    mk "strict exact (lazy)" (strict_exact (module Zmsq.Lazy_q));
+    mk "strict exact (mutex lock)" (strict_exact (module Zmsq.Mutex_q));
+    mk "strict exact (tas lock)" (strict_exact (module Zmsq.Tas_q));
+    mk "exact emptiness (list)" (exact_emptiness (module Zmsq.Default));
+    mk "exact emptiness (array)" (exact_emptiness (module Zmsq.Array_q));
+    mk "relaxation bound b=4 (list)" (relaxation_bound (module Zmsq.Default) ~batch:4 ~target_len:16);
+    mk "relaxation bound b=16 (list)" (relaxation_bound (module Zmsq.Default) ~batch:16 ~target_len:32);
+    mk "relaxation bound b=16 (array)" (relaxation_bound (module Zmsq.Array_q) ~batch:16 ~target_len:32);
+    qtest (prop_random_ops (module Zmsq.Default) "zmsq-list");
+    qtest (prop_random_ops (module Zmsq.Array_q) "zmsq-array");
+    qtest (prop_random_ops (module Zmsq.Lazy_q) "zmsq-lazy");
+    ("concurrent multiset (list)", `Slow, concurrent_multiset (module Zmsq.Default) ~params:(P.static 16));
+    ("concurrent multiset (array)", `Slow, concurrent_multiset (module Zmsq.Array_q) ~params:(P.static 16));
+    ("concurrent multiset (lazy)", `Slow, concurrent_multiset (module Zmsq.Lazy_q) ~params:(P.static 16));
+    ("concurrent multiset (strict)", `Slow, concurrent_multiset (module Zmsq.Default) ~params:P.strict);
+    ("concurrent multiset (blocking locks)", `Slow,
+      concurrent_multiset (module Zmsq.Mutex_q)
+        ~params:{ (P.static 16) with P.lock_policy = P.Blocking });
+    ("blocking handoff", `Slow, blocking_handoff (module Zmsq.Default));
+    mk "extract_timeout" test_extract_timeout;
+    mk "blocking requires flag" test_blocking_requires_flag;
+    mk "ablation no-forced" (ablation_correct "no-forced" (fun p -> { p with P.forced_insert = false }));
+    mk "ablation no-minswap" (ablation_correct "no-minswap" (fun p -> { p with P.min_swap = false }));
+    mk "ablation no-split" (ablation_correct "no-split" (fun p -> { p with P.split = false }));
+    mk "pool_insert correctness" test_pool_insert_correct;
+    mk "pool_insert immediate extract" test_pool_insert_immediate_extract;
+    ("pool_insert concurrent", `Slow, test_pool_insert_concurrent);
+    mk "helper pass improves quality" test_helper_pass_improves_quality;
+    ("helper concurrent with workload", `Slow, test_helper_concurrent_with_workload);
+    mk "counters fire" test_counters_fire;
+    mk "hazard stats presence" test_hazard_stats_present;
+    mk "pool level" test_pool_level;
+    mk "split pressure" test_split_pressure;
+    mk "tiny target_len bounded tree" test_tiny_target_len_bounded_tree;
+    mk "peek and is_empty" test_peek_and_is_empty;
+  ]
