@@ -53,6 +53,7 @@ let latency_tests () =
 let run_latency () =
   let open Bechamel in
   let open Toolkit in
+  let t0 = Unix.gettimeofday () in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
@@ -74,7 +75,25 @@ let run_latency () =
       rows
   in
   Table.print tbl;
-  ignore (Table.save_csv ~dir:"results" tbl)
+  ignore (Table.save_csv ~dir:"results" tbl);
+  let wall = Unix.gettimeofday () -. t0 in
+  (* Same trajectory format as Experiments.run_one, with the table wrapped
+     in the standard envelope (wall time + merged metrics snapshot). *)
+  let json =
+    Zmsq_obs.Json.Obj
+      [
+        ("id", Zmsq_obs.Json.Str "latency");
+        ("title", Zmsq_obs.Json.Str tbl.Table.title);
+        ("paper", Zmsq_obs.Json.Str "extra");
+        ("wall_seconds", Zmsq_obs.Json.Float wall);
+        ("tables", Zmsq_obs.Json.Arr [ Table.to_json tbl ]);
+        ("metrics", Zmsq_obs.Export.json_of_snapshot (Zmsq_obs.Metrics.global_snapshot ()));
+      ]
+  in
+  let path =
+    Zmsq_obs.Export.write_file ~path:"results/latency.json" (Zmsq_obs.Json.to_string json)
+  in
+  Printf.printf "   [json: %s] [latency took %.1fs]\n%!" path wall
 
 (* {2 Driver} *)
 
@@ -99,10 +118,7 @@ let () =
         if id = "latency" then run_latency ()
         else
           match Experiments.find id with
-          | Some e ->
-              let t0 = Unix.gettimeofday () in
-              Experiments.run_one e;
-              Printf.printf "   [%s took %.1fs]\n%!" id (Unix.gettimeofday () -. t0)
+          | Some e -> Experiments.run_one e
           | None -> Printf.printf "unknown experiment %S (try --list)\n" id)
       ids
   end

@@ -5,7 +5,9 @@
      bench [IDS...]            run registered experiments (default: all)
      throughput ...            one-off throughput measurement
      accuracy ...              one-off accuracy measurement
-     sssp ...                  parallel SSSP on a generated graph *)
+     sssp ...                  parallel SSSP on a generated graph
+     stats ...                 live metrics reporter over a mixed workload
+     trace ...                 record a Chrome trace of a mixed workload *)
 
 open Cmdliner
 
@@ -209,9 +211,113 @@ let linearize_cmd =
        ~doc:"Check recorded concurrent histories against the strict max-queue specification")
     Term.(const run $ queue_arg $ threads_arg $ batch_arg $ target_len_arg $ rounds $ ops)
 
+(* {2 stats / trace}
+
+   Both drive the default ZMSQ build directly (they expose its [metrics]
+   / [trace] accessors, which the generic INSTANCE interface hides). *)
+
+module DQ = Zmsq.Default
+
+let zmsq_params ~batch ~target_len ~obs =
+  Zmsq.Params.default
+  |> (match batch with Some b -> Zmsq.Params.with_batch b | None -> Fun.id)
+  |> (match target_len with Some l -> Zmsq.Params.with_target_len l | None -> Fun.id)
+  |> Zmsq.Params.with_obs obs
+
+(* [threads] domains each run [ops / threads] 50/50 insert/extract
+   operations; [finished] counts completed workers so a reporter loop can
+   poll without joining. *)
+let spawn_mixed_workers q ~threads ~ops ~finished =
+  let per = max 1 (ops / max 1 threads) in
+  List.init threads (fun i ->
+      Domain.spawn (fun () ->
+          let h = DQ.register q in
+          let rng = Zmsq_util.Rng.create ~seed:(0x57A7 + (i * 7919)) () in
+          for _ = 1 to per do
+            if Zmsq_util.Rng.int rng 1000 < 500 then
+              DQ.insert h (Zmsq_pq.Elt.of_priority (Zmsq_util.Rng.int rng (1 lsl 20)))
+            else ignore (DQ.extract h)
+          done;
+          Atomic.incr finished))
+
+let stats_cmd =
+  let ops = Arg.(value & opt int 1_000_000 & info [ "ops" ] ~docv:"N" ~doc:"Total operations.") in
+  let interval =
+    Arg.(value & opt float 0.5 & info [ "interval" ] ~docv:"S" ~doc:"Reporter period, seconds.")
+  in
+  let jsonl =
+    Arg.(value & opt (some string) None
+         & info [ "jsonl" ] ~docv:"FILE" ~doc:"Append one snapshot line per tick to $(docv).")
+  in
+  let prom =
+    Arg.(value & opt (some string) None
+         & info [ "prom" ] ~docv:"FILE"
+             ~doc:"Write the final Prometheus exposition to $(docv) instead of stdout.")
+  in
+  let full =
+    Arg.(value & flag
+         & info [ "full" ] ~doc:"Obs level Full: latency histograms and trace ring, not just counters.")
+  in
+  let run threads batch target_len ops interval jsonl prom full =
+    let obs = if full then Zmsq_obs.Level.Full else Zmsq_obs.Level.Counters in
+    let q = DQ.create ~params:(zmsq_params ~batch ~target_len ~obs) () in
+    let finished = Atomic.make 0 in
+    let t0 = Unix.gettimeofday () in
+    let doms = spawn_mixed_workers q ~threads ~ops ~finished in
+    let report () =
+      let snap = Zmsq_obs.Metrics.snapshot (DQ.metrics q) in
+      Printf.printf "[%6.2fs] %s\n%!" (Unix.gettimeofday () -. t0) (Zmsq_obs.Export.brief snap);
+      (match jsonl with Some p -> Zmsq_obs.Export.append_jsonl ~path:p snap | None -> ());
+      snap
+    in
+    while Atomic.get finished < threads do
+      Unix.sleepf interval;
+      ignore (report ())
+    done;
+    List.iter Domain.join doms;
+    let snap = report () in
+    match prom with
+    | Some p ->
+        let path = Zmsq_obs.Export.write_file ~path:p (Zmsq_obs.Export.prometheus snap) in
+        Printf.printf "prometheus exposition: %s\n" path
+    | None -> print_string (Zmsq_obs.Export.prometheus snap)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a mixed workload while periodically printing live metric snapshots")
+    Term.(const run $ threads_arg $ batch_arg $ target_len_arg $ ops $ interval $ jsonl $ prom $ full)
+
+let trace_cmd =
+  let ops = Arg.(value & opt int 200_000 & info [ "ops" ] ~docv:"N" ~doc:"Total operations.") in
+  let out =
+    Arg.(value & opt string "results/trace.json"
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Chrome trace destination.")
+  in
+  let run threads batch target_len ops out =
+    let q = DQ.create ~params:(zmsq_params ~batch ~target_len ~obs:Zmsq_obs.Level.Full) () in
+    let finished = Atomic.make 0 in
+    let doms = spawn_mixed_workers q ~threads ~ops ~finished in
+    List.iter Domain.join doms;
+    match DQ.trace q with
+    | None ->
+        prerr_endline "trace ring absent (obs level is not Full)";
+        exit 1
+    | Some tr ->
+        let path = Zmsq_obs.Trace.save ~path:out tr in
+        Printf.printf "wrote %s: %d events retained, %d overwritten — open in chrome://tracing\n"
+          path (Zmsq_obs.Trace.recorded tr) (Zmsq_obs.Trace.dropped tr)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Record a mixed workload at obs level Full and dump a Chrome trace_event JSON")
+    Term.(const run $ threads_arg $ batch_arg $ target_len_arg $ ops $ out)
+
 let () =
   let info = Cmd.info "zmsq_cli" ~doc:"ZMSQ relaxed priority queue — reproduction driver" in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; bench_cmd; throughput_cmd; accuracy_cmd; sssp_cmd; knapsack_cmd; linearize_cmd ]))
+          [
+            list_cmd; bench_cmd; throughput_cmd; accuracy_cmd; sssp_cmd; knapsack_cmd;
+            linearize_cmd; stats_cmd; trace_cmd;
+          ]))

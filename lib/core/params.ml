@@ -12,6 +12,7 @@ type t = {
   pool_insert : bool;
   initial_levels : int;
   forced_min_level : int;
+  obs : Zmsq_obs.Level.t;
 }
 
 let default =
@@ -27,6 +28,7 @@ let default =
     pool_insert = false;
     initial_levels = 5;
     forced_min_level = 3;
+    obs = Zmsq_obs.Level.from_env ();
   }
 
 let validate p =
@@ -51,9 +53,11 @@ let dynamic ~ratio_num ~ratio_den ~threads =
 
 let with_batch batch p = validate { p with batch }
 let with_target_len target_len p = validate { p with target_len }
+let with_obs obs p = { p with obs }
 
 let pp fmt p =
-  Format.fprintf fmt "batch=%d target_len=%d lock=%s%s%s" p.batch p.target_len
+  Format.fprintf fmt "batch=%d target_len=%d lock=%s%s%s obs=%s" p.batch p.target_len
     (match p.lock_policy with Trylock -> "try" | Blocking -> "block")
     (if p.blocking then " +blocking" else "")
     (if p.leaky then " +leaky" else "")
+    (Zmsq_obs.Level.to_string p.obs)

@@ -31,6 +31,11 @@ type t = {
   forced_min_level : int;
       (** forced insert / min-swap are forbidden above this level; the paper
           excludes the top three levels, i.e. 3. *)
+  obs : Zmsq_obs.Level.t;
+      (** instrumentation level: [Off] (nothing), [Counters] (sharded event
+          counters only — the default, near-zero cost), or [Full] (latency
+          histograms + trace-event ring). Defaults from the [ZMSQ_OBS]
+          environment variable; see OBSERVABILITY.md. *)
 }
 
 val default : t
@@ -57,5 +62,6 @@ val dynamic : ratio_num:int -> ratio_den:int -> threads:int -> t
 
 val with_batch : int -> t -> t
 val with_target_len : int -> t -> t
+val with_obs : Zmsq_obs.Level.t -> t -> t
 
 val pp : Format.formatter -> t -> unit

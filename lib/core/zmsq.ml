@@ -7,6 +7,9 @@ module Rng = Zmsq_util.Rng
 module Elt = Zmsq_pq.Elt
 module Eventcount = Zmsq_sync.Eventcount
 module Hazard = Zmsq_hp.Hazard
+module Metrics = Zmsq_obs.Metrics
+module Trace = Zmsq_obs.Trace
+module Obs_level = Zmsq_obs.Level
 
 type counters = {
   refills : int;
@@ -34,6 +37,8 @@ module type S = sig
   val is_empty : t -> bool
   val peek : t -> Zmsq_pq.Elt.t
   val helper_pass : ?visits:int -> handle -> int
+  val metrics : t -> Zmsq_obs.Metrics.t
+  val trace : t -> Zmsq_obs.Trace.t option
 
   module Debug : sig
     val check_invariant : t -> bool
@@ -73,6 +78,28 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
     Atomic.set n.min (Set.min_elt n.set);
     Atomic.set n.count (Set.size n.set)
 
+  (* Per-domain sharded event counters (replacing the contended global
+     atomics this struct used to carry) and optional latency histograms,
+     both living in the queue's private [Zmsq_obs.Metrics] registry. *)
+  type mcounters = {
+    c_refills : Metrics.counter;
+    c_splits : Metrics.counter;
+    c_forced : Metrics.counter;
+    c_min_swaps : Metrics.counter;
+    c_retries : Metrics.counter;
+    c_expands : Metrics.counter;
+    c_swap_downs : Metrics.counter;
+    c_pool_inserts : Metrics.counter;
+    c_helper_moves : Metrics.counter;
+  }
+
+  type mhists = {
+    h_insert : Metrics.histogram;
+    h_extract : Metrics.histogram;
+    h_refill : Metrics.histogram;
+    h_helper : Metrics.histogram;
+  }
+
   type t = {
     params : Params.t;
     levels : tnode array Atomic.t array;
@@ -84,15 +111,12 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
     mutable pool_fill : int; (* last refill size; guarded by the root lock *)
     ec : Eventcount.t option;
     hp : tnode Hazard.t option; (* None in leaky mode *)
-    c_refills : int Atomic.t;
-    c_splits : int Atomic.t;
-    c_forced : int Atomic.t;
-    c_min_swaps : int Atomic.t;
-    c_retries : int Atomic.t;
-    c_expands : int Atomic.t;
-    c_swap_downs : int Atomic.t;
-    c_pool_inserts : int Atomic.t;
-    c_helper_moves : int Atomic.t;
+    obs_on : bool; (* params.obs <> Off, hoisted for the hot paths *)
+    obs_full : bool; (* params.obs = Full *)
+    metrics : Metrics.t;
+    mc : mcounters;
+    mh : mhists;
+    tr : Trace.t option; (* Some iff obs_full *)
   }
 
   type handle = { q : t; rng : Rng.t; hp_thread : tnode Hazard.thread option }
@@ -108,31 +132,63 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
     for l = 0 to params.initial_levels - 1 do
       Atomic.set levels.(l) (Array.init (1 lsl l) (fun _ -> fresh_tnode ()))
     done;
-    {
-      params;
-      levels;
-      leaf_level = Atomic.make (params.initial_levels - 1);
-      expand_mu = Mutex.create ();
-      size = Atomic.make 0;
-      pool = Array.init (max params.batch 1) (fun _ -> Atomic.make Elt.none);
-      pool_next = Atomic.make (-1);
-      pool_fill = 0;
-      ec = (if params.blocking then Some (Eventcount.create ~initial:0 ()) else None);
-      hp =
-        (if params.leaky then None
-         else Some (Hazard.create ~slots_per_thread:3 ~recycle:(fun (_ : tnode) -> ()) ()));
-      c_refills = Atomic.make 0;
-      c_splits = Atomic.make 0;
-      c_forced = Atomic.make 0;
-      c_min_swaps = Atomic.make 0;
-      c_retries = Atomic.make 0;
-      c_expands = Atomic.make 0;
-      c_swap_downs = Atomic.make 0;
-      c_pool_inserts = Atomic.make 0;
-      c_helper_moves = Atomic.make 0;
-    }
+    let metrics = Metrics.create ~name () in
+    let q =
+      {
+        params;
+        levels;
+        leaf_level = Atomic.make (params.initial_levels - 1);
+        expand_mu = Mutex.create ();
+        size = Atomic.make 0;
+        pool = Array.init (max params.batch 1) (fun _ -> Atomic.make Elt.none);
+        pool_next = Atomic.make (-1);
+        pool_fill = 0;
+        ec = (if params.blocking then Some (Eventcount.create ~initial:0 ()) else None);
+        hp =
+          (if params.leaky then None
+           else Some (Hazard.create ~slots_per_thread:3 ~recycle:(fun (_ : tnode) -> ()) ()));
+        obs_on = Obs_level.counting params.obs;
+        obs_full = Obs_level.tracing params.obs;
+        metrics;
+        mc =
+          {
+            c_refills = Metrics.counter metrics "refills_total";
+            c_splits = Metrics.counter metrics "splits_total";
+            c_forced = Metrics.counter metrics "forced_inserts_total";
+            c_min_swaps = Metrics.counter metrics "min_swaps_total";
+            c_retries = Metrics.counter metrics "insert_retries_total";
+            c_expands = Metrics.counter metrics "expands_total";
+            c_swap_downs = Metrics.counter metrics "swap_downs_total";
+            c_pool_inserts = Metrics.counter metrics "pool_inserts_total";
+            c_helper_moves = Metrics.counter metrics "helper_moves_total";
+          };
+        mh =
+          {
+            h_insert = Metrics.histogram metrics "insert_ns";
+            h_extract = Metrics.histogram metrics "extract_ns";
+            h_refill = Metrics.histogram metrics "refill_ns";
+            h_helper = Metrics.histogram metrics "helper_pass_ns";
+          };
+        tr = (if Obs_level.tracing params.obs then Some (Trace.create ()) else None);
+      }
+    in
+    Metrics.gauge metrics "size" (fun () -> Atomic.get q.size);
+    Metrics.gauge metrics "leaf_level" (fun () -> Atomic.get q.leaf_level);
+    Metrics.gauge metrics "pool_level" (fun () ->
+        let n = Atomic.get q.pool_next in
+        if q.params.batch = 0 || n < 0 then 0 else n + 1);
+    q
 
   let params t = t.params
+  let metrics t = t.metrics
+  let trace t = t.tr
+
+  (* Counter ticks are the only per-event cost in the default [Counters]
+     mode: one predictable branch plus an uncontended fetch-and-add on the
+     domain's own shard. *)
+  let[@inline] tick q c = if q.obs_on then Metrics.incr c
+
+  let[@inline] note q kind = match q.tr with None -> () | Some tr -> Trace.instant tr kind
 
   let register q =
     {
@@ -171,7 +227,8 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
       end;
       Atomic.set q.levels.(next) (Array.init (1 lsl next) (fun _ -> fresh_tnode ()));
       Atomic.set q.leaf_level next;
-      Atomic.incr q.c_expands
+      tick q q.mc.c_expands;
+      note q Trace.Expand
     end;
     Mutex.unlock q.expand_mu
 
@@ -236,7 +293,8 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
         Set.insert node.set e;
         if e < Atomic.get node.min then Atomic.set node.min e;
         Atomic.incr node.count;
-        Atomic.incr q.c_forced
+        tick q q.mc.c_forced;
+        note q Trace.Forced_insert
       end;
       L.release node.lock;
       ok
@@ -264,7 +322,8 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
       lower;
     refresh left;
     refresh right;
-    Atomic.incr q.c_splits;
+    tick q q.mc.c_splits;
+    note q Trace.Split;
     let limit = 2 * q.params.target_len in
     let splittable l = l + 1 < Atomic.get q.leaf_level in
     (* Release (or recurse into) the right child first so lock order stays
@@ -336,7 +395,8 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
           let nmin = Atomic.get node.min in
           if Elt.is_none nmin || moved < nmin then Atomic.set node.min moved;
           Atomic.incr node.count;
-          Atomic.incr q.c_min_swaps;
+          tick q q.mc.c_min_swaps;
+          note q Trace.Min_swap;
           L.release parent.lock;
           (* The dropped minimum can also overflow [node]: split exactly as
              an insert-as-max would (split_node releases the node lock). *)
@@ -369,14 +429,13 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
       let weakest = Atomic.get slot in
       if (not (Elt.is_none weakest)) && weakest < e && Atomic.compare_and_set slot weakest e
       then begin
-        Atomic.incr q.c_pool_inserts;
+        tick q q.mc.c_pool_inserts;
         weakest
       end
       else Elt.none
     end
 
-  let insert h e =
-    if Elt.is_none e then invalid_arg "Zmsq.insert: none";
+  let insert_aux h e =
     let q = h.q in
     (* Count the element before it lands: extraction spins rather than
        reporting a false empty while an insert is in flight. *)
@@ -387,20 +446,32 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
       if force then begin
         let node = protect_node h ~hpslot:0 leaf slot in
         if not (forced_insert_at q node e) then begin
-          Atomic.incr q.c_retries;
+          tick q q.mc.c_retries;
           attempt ()
         end
       end
       else begin
         let ilevel, islot = search_position h leaf slot e in
         if not (regular_insert h ilevel islot e) then begin
-          Atomic.incr q.c_retries;
+          tick q q.mc.c_retries;
           attempt ()
         end
       end
     in
     attempt ();
     match q.ec with None -> () | Some ec -> Eventcount.signal_after_insert ec
+
+  let insert h e =
+    if Elt.is_none e then invalid_arg "Zmsq.insert: none";
+    let q = h.q in
+    if not q.obs_full then insert_aux h e
+    else begin
+      (match q.tr with Some tr -> Trace.span_begin tr Trace.Insert | None -> ());
+      let t0 = Zmsq_util.Timing.now_ns () in
+      insert_aux h e;
+      Metrics.observe q.mh.h_insert (float_of_int (Zmsq_util.Timing.now_ns () - t0));
+      match q.tr with Some tr -> Trace.span_end tr Trace.Insert | None -> ()
+    end
 
   (* {2 Extraction (Listing 2)} *)
 
@@ -440,7 +511,7 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
         Set.swap_contents node.set child.set;
         refresh node;
         refresh child;
-        Atomic.incr q.c_swap_downs;
+        tick q q.mc.c_swap_downs;
         L.release node.lock;
         swap_down q (level + 1) child_slot child
       end
@@ -462,6 +533,7 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
       Elt.none
     end
     else begin
+      let t0 = if q.obs_full then Zmsq_util.Timing.now_ns () else 0 in
       (* Wait for lagging consumers holding indexes into the old pool. *)
       for i = 0 to q.pool_fill - 1 do
         while not (Elt.is_none (Atomic.get q.pool.(i))) do
@@ -478,13 +550,17 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
       done;
       q.pool_fill <- n;
       refresh root;
-      Atomic.incr q.c_refills;
+      tick q q.mc.c_refills;
       if n > 0 then Atomic.set q.pool_next (n - 1);
       swap_down q 0 0 root;
+      if q.obs_full then begin
+        Metrics.observe q.mh.h_refill (float_of_int (Zmsq_util.Timing.now_ns () - t0));
+        match q.tr with Some tr -> Trace.instant tr ~arg:n Trace.Refill | None -> ()
+      end;
       reserved
     end
 
-  let extract h =
+  let extract_aux h =
     let q = h.q in
     let rec loop () =
       let v = extract_from_pool q in
@@ -504,6 +580,18 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
     in
     loop ()
 
+  let extract h =
+    let q = h.q in
+    if not q.obs_full then extract_aux h
+    else begin
+      (match q.tr with Some tr -> Trace.span_begin tr Trace.Extract | None -> ());
+      let t0 = Zmsq_util.Timing.now_ns () in
+      let v = extract_aux h in
+      Metrics.observe q.mh.h_extract (float_of_int (Zmsq_util.Timing.now_ns () - t0));
+      (match q.tr with Some tr -> Trace.span_end tr Trace.Extract | None -> ());
+      v
+    end
+
   let extract_timeout h ~timeout_ns =
     match h.q.ec with
     | None -> invalid_arg "Zmsq.extract_timeout: queue created without blocking"
@@ -512,11 +600,16 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
         let rec loop () =
           let remaining = deadline - Zmsq_util.Timing.now_ns () in
           if remaining <= 0 then Elt.none
-          else if Eventcount.wait_before_extract_for ec ~timeout_ns:remaining then begin
-            let v = extract h in
-            if Elt.is_none v then loop () else v
+          else begin
+            note h.q Trace.Sleep;
+            let woke = Eventcount.wait_before_extract_for ec ~timeout_ns:remaining in
+            note h.q Trace.Wake;
+            if woke then begin
+              let v = extract h in
+              if Elt.is_none v then loop () else v
+            end
+            else Elt.none
           end
-          else Elt.none
         in
         loop ()
 
@@ -525,7 +618,7 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
      is below target_len, it pulls the larger child's maximum up into the
      node's set (safe: that key is <= the node's max by the invariant) and
      repairs the child's own invariant downward. Returns elements moved. *)
-  let helper_pass ?(visits = 8) h =
+  let helper_pass_aux visits h =
     let q = h.q in
     let moved = ref 0 in
     let leaf = Atomic.get q.leaf_level in
@@ -555,7 +648,7 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
               refresh node;
               refresh child;
               incr moved;
-              Atomic.incr q.c_helper_moves;
+              tick q q.mc.c_helper_moves;
               L.release node.lock;
               (* The child lost its max; restore its subtree invariant. *)
               swap_down q (level + 1) child_slot child
@@ -569,6 +662,18 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
         end
       done;
     !moved
+
+  let helper_pass ?(visits = 8) h =
+    let q = h.q in
+    if not q.obs_full then helper_pass_aux visits h
+    else begin
+      (match q.tr with Some tr -> Trace.span_begin tr Trace.Helper_pass | None -> ());
+      let t0 = Zmsq_util.Timing.now_ns () in
+      let moved = helper_pass_aux visits h in
+      Metrics.observe q.mh.h_helper (float_of_int (Zmsq_util.Timing.now_ns () - t0));
+      (match q.tr with Some tr -> Trace.span_end tr Trace.Helper_pass | None -> ());
+      moved
+    end
 
   let is_empty q = Atomic.get q.size = 0
 
@@ -591,7 +696,9 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
     | None -> invalid_arg "Zmsq.extract_blocking: queue created without blocking"
     | Some ec ->
         let rec loop () =
+          note h.q Trace.Sleep;
           Eventcount.wait_before_extract ec;
+          note h.q Trace.Wake;
           let v = extract h in
           if Elt.is_none v then loop () else v
         in
@@ -670,17 +777,19 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
       let size_ok = List.length (elements q) = Atomic.get q.size in
       caches_ok && heap_ok && pool_ok && size_ok
 
+    (* Merged view of the sharded counters; identical to the per-name
+       totals a [Metrics.snapshot] of [metrics q] reports. *)
     let counters q =
       {
-        refills = Atomic.get q.c_refills;
-        splits = Atomic.get q.c_splits;
-        forced_inserts = Atomic.get q.c_forced;
-        min_swaps = Atomic.get q.c_min_swaps;
-        insert_retries = Atomic.get q.c_retries;
-        expands = Atomic.get q.c_expands;
-        swap_downs = Atomic.get q.c_swap_downs;
-        pool_inserts = Atomic.get q.c_pool_inserts;
-        helper_moves = Atomic.get q.c_helper_moves;
+        refills = Metrics.value q.mc.c_refills;
+        splits = Metrics.value q.mc.c_splits;
+        forced_inserts = Metrics.value q.mc.c_forced;
+        min_swaps = Metrics.value q.mc.c_min_swaps;
+        insert_retries = Metrics.value q.mc.c_retries;
+        expands = Metrics.value q.mc.c_expands;
+        swap_downs = Metrics.value q.mc.c_swap_downs;
+        pool_inserts = Metrics.value q.mc.c_pool_inserts;
+        helper_moves = Metrics.value q.mc.c_helper_moves;
       }
 
     let eventcount q = q.ec

@@ -88,6 +88,16 @@ module type S = sig
       a loop from a dedicated background domain. Returns the number of
       elements moved. *)
 
+  val metrics : t -> Zmsq_obs.Metrics.t
+  (** The queue's private metrics registry: sharded event counters
+      (always, unless [params.obs = Off]), operation-latency histograms
+      and the size/leaf_level/pool_level gauges (populated when
+      [params.obs = Full]). Snapshot it at any time — see
+      OBSERVABILITY.md for the metric names. *)
+
+  val trace : t -> Zmsq_obs.Trace.t option
+  (** The per-domain trace-event ring, present iff [params.obs = Full]. *)
+
   (** Introspection for tests, the accuracy harness and the set-quality
       experiments. Quiescent-only unless noted. *)
   module Debug : sig

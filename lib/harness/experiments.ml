@@ -819,10 +819,34 @@ let find id = List.find_opt (fun e -> e.id = id) all
 
 let run_one ?(csv_dir = "results") e =
   Printf.printf "\n###### %s — %s (%s) ######\n%!" e.id e.title e.paper;
+  let t0 = Unix.gettimeofday () in
   let tables = e.run () in
+  let wall = Unix.gettimeofday () -. t0 in
   List.iter
     (fun tbl ->
       Table.print tbl;
       let path = Table.save_csv ~dir:csv_dir tbl in
       Printf.printf "   [csv: %s]\n%!" path)
-    tables
+    tables;
+  (* Machine-readable export for the perf trajectory: the experiment's
+     tables, its cost, and the merged metrics of every queue the run
+     created (sharded counters + any [ZMSQ_OBS=full] histograms). *)
+  let snap = Zmsq_obs.Metrics.global_snapshot () in
+  let json =
+    Zmsq_obs.Json.Obj
+      [
+        ("id", Zmsq_obs.Json.Str e.id);
+        ("title", Zmsq_obs.Json.Str e.title);
+        ("paper", Zmsq_obs.Json.Str e.paper);
+        ("scale", Zmsq_obs.Json.Float (scale ()));
+        ("wall_seconds", Zmsq_obs.Json.Float wall);
+        ("tables", Zmsq_obs.Json.Arr (List.map Table.to_json tables));
+        ("metrics", Zmsq_obs.Export.json_of_snapshot snap);
+      ]
+  in
+  let path =
+    Zmsq_obs.Export.write_file
+      ~path:(Filename.concat csv_dir (e.id ^ ".json"))
+      (Zmsq_obs.Json.to_string json)
+  in
+  Printf.printf "   [json: %s] [%s took %.1fs]\n%!" path e.id wall

@@ -21,5 +21,7 @@ val all : t list
 val find : string -> t option
 
 val run_one : ?csv_dir:string -> t -> unit
-(** Run, print every produced table, and save CSVs (default directory
-    [results/]). *)
+(** Run, print every produced table, save CSVs, and write a machine-
+    readable [<dir>/<id>.json] (default directory [results/]) holding the
+    tables, the experiment's wall-clock cost, and a merged
+    [Zmsq_obs.Metrics] snapshot of every queue the run created. *)

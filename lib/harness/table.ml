@@ -69,6 +69,38 @@ let save_csv ~dir t =
   close_out oc;
   path
 
+let to_json t =
+  let open Zmsq_obs.Json in
+  Obj
+    [
+      ("id", Str t.id);
+      ("title", Str t.title);
+      ("notes", Arr (List.map (fun n -> Str n) t.notes));
+      ("header", Arr (List.map (fun h -> Str h) t.header));
+      ( "rows",
+        Arr
+          (List.map
+             (fun row ->
+               (* Cells are pre-rendered strings; re-typing numeric ones
+                  keeps the JSON consumable without string parsing. *)
+               Arr
+                 (List.map
+                    (fun cell ->
+                      match int_of_string_opt cell with
+                      | Some i -> Int i
+                      | None -> (
+                          match float_of_string_opt cell with
+                          | Some f -> Float f
+                          | None -> Str cell))
+                    row))
+             t.rows) );
+    ]
+
+let save_json ~dir t =
+  Zmsq_obs.Export.write_file
+    ~path:(Filename.concat dir (t.id ^ ".json"))
+    (Zmsq_obs.Json.to_string (to_json t))
+
 let cell_f v =
   if Float.is_integer v && Float.abs v < 1e6 then Printf.sprintf "%.0f" v
   else if Float.abs v >= 100.0 then Printf.sprintf "%.1f" v

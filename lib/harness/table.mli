@@ -13,6 +13,12 @@ val to_csv : t -> string
 val save_csv : dir:string -> t -> string
 (** Writes [<dir>/<id>.csv], creating [dir] if needed; returns the path. *)
 
+val to_json : t -> Zmsq_obs.Json.t
+(** Structured rendering; numeric-looking cells become JSON numbers. *)
+
+val save_json : dir:string -> t -> string
+(** Writes [<dir>/<id>.json], creating [dir] if needed; returns the path. *)
+
 val cell_f : float -> string
 (** Numeric cell with 3 significant digits. *)
 

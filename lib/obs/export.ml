@@ -1,0 +1,98 @@
+module Stats = Zmsq_util.Stats
+
+let hist_json h =
+  Json.Obj
+    [
+      ("count", Json.Int (Stats.Histogram.count h));
+      ("sum", Json.Float (Stats.Histogram.sum h));
+      ("mean", Json.Float (Stats.Histogram.mean h));
+      ("p50", Json.Float (Stats.Histogram.percentile h 50.0));
+      ("p90", Json.Float (Stats.Histogram.percentile h 90.0));
+      ("p99", Json.Float (Stats.Histogram.percentile h 99.0));
+      ( "buckets",
+        Json.Arr
+          (List.map
+             (fun (le, n) -> Json.Arr [ Json.Float le; Json.Int n ])
+             (Stats.Histogram.buckets h)) );
+    ]
+
+let json_of_snapshot (s : Metrics.snapshot) =
+  Json.Obj
+    [
+      ("taken_ns", Json.Int s.Metrics.taken_ns);
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.Metrics.counters));
+      ("gauges", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.Metrics.gauges));
+      ("histograms", Json.Obj (List.map (fun (n, h) -> (n, hist_json h)) s.Metrics.hists));
+    ]
+
+let jsonl_line s = Json.to_string (json_of_snapshot s)
+
+(* Recursive so callers can target nested, not-yet-existing directories
+   (e.g. [results/traces/run1/x.json]); the [Sys_error] catch absorbs the
+   race when two domains create the same directory concurrently. *)
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let append_jsonl ~path s =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (jsonl_line s);
+  output_char oc '\n';
+  close_out oc
+
+(* {2 Prometheus text exposition}
+
+   Metric names get a [zmsq_] prefix; histogram buckets are cumulative
+   with [le] upper bounds, as the exposition format requires. *)
+
+let prom_name n =
+  String.map (fun c -> if c = '-' || c = '.' || c = ' ' then '_' else c) ("zmsq_" ^ n)
+
+let prometheus (s : Metrics.snapshot) =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (n, v) ->
+      let n = prom_name n in
+      line "# TYPE %s counter" n;
+      line "%s %d" n v)
+    s.Metrics.counters;
+  List.iter
+    (fun (n, v) ->
+      let n = prom_name n in
+      line "# TYPE %s gauge" n;
+      line "%s %d" n v)
+    s.Metrics.gauges;
+  List.iter
+    (fun (n, h) ->
+      let n = prom_name n in
+      line "# TYPE %s histogram" n;
+      let cum = ref 0 in
+      List.iter
+        (fun (le, count) ->
+          cum := !cum + count;
+          line "%s_bucket{le=\"%g\"} %d" n le !cum)
+        (Stats.Histogram.buckets h);
+      line "%s_bucket{le=\"+Inf\"} %d" n (Stats.Histogram.count h);
+      line "%s_sum %g" n (Stats.Histogram.sum h);
+      line "%s_count %d" n (Stats.Histogram.count h))
+    s.Metrics.hists;
+  Buffer.contents buf
+
+(* {2 Compact one-line rendering for the CLI reporter loop} *)
+
+let brief (s : Metrics.snapshot) =
+  let parts =
+    List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) (s.Metrics.gauges @ s.Metrics.counters)
+  in
+  String.concat " " parts
+
+let write_file ~path contents =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path

@@ -1,0 +1,24 @@
+(** Serialization of metric snapshots: JSON (for the benchmark trajectory
+    files under [results/]), JSONL (periodic reporter), and Prometheus
+    text exposition (scraping / eyeballing). *)
+
+val hist_json : Zmsq_util.Stats.Histogram.t -> Json.t
+
+val json_of_snapshot : Metrics.snapshot -> Json.t
+
+val jsonl_line : Metrics.snapshot -> string
+(** Single-line JSON object, suitable for appending to a [.jsonl] file. *)
+
+val append_jsonl : path:string -> Metrics.snapshot -> unit
+
+val prometheus : Metrics.snapshot -> string
+(** Prometheus text exposition; metric names are prefixed [zmsq_] and
+    histogram buckets are cumulative. *)
+
+val brief : Metrics.snapshot -> string
+(** One-line [name=value] rendering of gauges and counters for live
+    reporter output. *)
+
+val write_file : path:string -> string -> string
+(** Write [contents] to [path] (creating the parent directory if needed);
+    returns [path]. *)

@@ -1,0 +1,17 @@
+(** Minimal JSON emission (no parsing, no dependencies) for the metrics,
+    trace and benchmark exporters. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite values serialize as [null] *)
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) serialization. *)
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). *)

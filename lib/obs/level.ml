@@ -1,0 +1,18 @@
+type t = Off | Counters | Full
+
+let to_string = function Off -> "off" | Counters -> "counters" | Full -> "full"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "off" | "none" | "0" -> Some Off
+  | "counters" | "on" | "1" -> Some Counters
+  | "full" | "trace" | "2" -> Some Full
+  | _ -> None
+
+let from_env () =
+  match of_string (Zmsq_util.Env.string "ZMSQ_OBS" ~default:"counters") with
+  | Some l -> l
+  | None -> Counters
+
+let counting = function Off -> false | Counters | Full -> true
+let tracing = function Full -> true | Off | Counters -> false

@@ -1,0 +1,22 @@
+(** Instrumentation level, ordered by cost.
+
+    - [Off]: no counting at all — the hot paths see a single predictable
+      branch per site.
+    - [Counters]: sharded event counters only (the default; cheap enough
+      to leave on in production).
+    - [Full]: counters plus latency histograms around every operation and
+      per-domain trace-event recording. *)
+
+type t = Off | Counters | Full
+
+val to_string : t -> string
+val of_string : string -> t option
+
+val from_env : unit -> t
+(** Reads [ZMSQ_OBS] (off | counters | full); defaults to [Counters]. *)
+
+val counting : t -> bool
+(** Counters enabled ([Counters] or [Full]). *)
+
+val tracing : t -> bool
+(** Histograms + trace ring enabled ([Full] only). *)

@@ -1,0 +1,180 @@
+module Stats = Zmsq_util.Stats
+
+(* {2 Sharding geometry}
+
+   Counter updates land in a slot picked by the running domain's id, so
+   the common case (one domain per core, ids below [nslots]) touches a
+   cache line no other domain writes. Ids beyond [nslots] wrap around;
+   correctness is preserved because the slots are atomics, only the
+   padding guarantee degrades. [stride] leaves 7 unused atomics between
+   live slots: the boxed [int Atomic.t] blocks are allocated back-to-back
+   by [Array.init] (2 words each on 64-bit), so 8 blocks keep live slots
+   at least a cache line apart. *)
+
+let nslots =
+  let want = max 8 (Domain.recommended_domain_count ()) in
+  let rec pow2 n = if n >= want then n else pow2 (n * 2) in
+  min 128 (pow2 8)
+
+let mask = nslots - 1
+let stride = 8
+let slot_index () = ((Domain.self () :> int) land mask) * stride
+
+type counter = { c_slots : int Atomic.t array }
+type gauge = { g_read : unit -> int }
+
+type histogram = { h_slots : Stats.Histogram.t option Atomic.t array }
+
+type t = {
+  name : string;
+  mu : Mutex.t;
+  mutable counters : (string * counter) list;
+  mutable gauges : (string * gauge) list;
+  mutable hists : (string * histogram) list;
+}
+
+(* {2 Global registry list}
+
+   Registries register themselves weakly so [global_snapshot] can merge
+   every live queue's metrics without keeping dead queues alive. *)
+
+let global_mu = Mutex.create ()
+let global : t Weak.t ref = ref (Weak.create 8)
+
+let register_global t =
+  Mutex.lock global_mu;
+  (* Reuse a cleared slot before growing. *)
+  let w = !global in
+  let len = Weak.length w in
+  let rec find i = if i >= len then None else if Weak.check w i then find (i + 1) else Some i in
+  (match find 0 with
+  | Some i -> Weak.set w i (Some t)
+  | None ->
+      let w' = Weak.create (2 * len) in
+      Weak.blit w 0 w' 0 len;
+      Weak.set w' len (Some t);
+      global := w');
+  Mutex.unlock global_mu
+
+let live_registries () =
+  Mutex.lock global_mu;
+  let w = !global in
+  let acc = ref [] in
+  for i = Weak.length w - 1 downto 0 do
+    match Weak.get w i with Some t -> acc := t :: !acc | None -> ()
+  done;
+  Mutex.unlock global_mu;
+  !acc
+
+(* {2 Construction} *)
+
+let create ?(name = "zmsq") () =
+  let t = { name; mu = Mutex.create (); counters = []; gauges = []; hists = [] } in
+  register_global t;
+  t
+
+let name t = t.name
+
+let counter t cname =
+  Mutex.lock t.mu;
+  let c =
+    match List.assoc_opt cname t.counters with
+    | Some c -> c
+    | None ->
+        let c = { c_slots = Array.init (nslots * stride) (fun _ -> Atomic.make 0) } in
+        t.counters <- t.counters @ [ (cname, c) ];
+        c
+  in
+  Mutex.unlock t.mu;
+  c
+
+let gauge t gname read =
+  Mutex.lock t.mu;
+  if not (List.mem_assoc gname t.gauges) then t.gauges <- t.gauges @ [ (gname, { g_read = read }) ];
+  Mutex.unlock t.mu
+
+let histogram t hname =
+  Mutex.lock t.mu;
+  let h =
+    match List.assoc_opt hname t.hists with
+    | Some h -> h
+    | None ->
+        let h = { h_slots = Array.init nslots (fun _ -> Atomic.make None) } in
+        t.hists <- t.hists @ [ (hname, h) ];
+        h
+  in
+  Mutex.unlock t.mu;
+  h
+
+(* {2 Hot-path updates} *)
+
+let add c n = ignore (Atomic.fetch_and_add c.c_slots.(slot_index ()) n)
+let incr c = add c 1
+
+let value c =
+  let total = ref 0 in
+  for i = 0 to nslots - 1 do
+    total := !total + Atomic.get c.c_slots.(i * stride)
+  done;
+  !total
+
+let observe h v =
+  let slot = h.h_slots.(slot_index () / stride) in
+  let hist =
+    match Atomic.get slot with
+    | Some hist -> hist
+    | None ->
+        let fresh = Stats.Histogram.create () in
+        if Atomic.compare_and_set slot None (Some fresh) then fresh
+        else Option.get (Atomic.get slot)
+  in
+  Stats.Histogram.add hist v
+
+let hist_merged h =
+  Array.fold_left
+    (fun acc slot ->
+      match Atomic.get slot with None -> acc | Some hist -> Stats.Histogram.merge acc hist)
+    (Stats.Histogram.create ())
+    h.h_slots
+
+(* {2 Snapshots} *)
+
+type snapshot = {
+  taken_ns : int;
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  hists : (string * Stats.Histogram.t) list;
+}
+
+let snapshot t =
+  Mutex.lock t.mu;
+  let counters = t.counters and gauges = t.gauges and hists = t.hists in
+  Mutex.unlock t.mu;
+  {
+    taken_ns = Zmsq_util.Timing.now_ns ();
+    counters = List.map (fun (n, c) -> (n, value c)) counters;
+    gauges = List.map (fun (n, g) -> (n, g.g_read ())) gauges;
+    hists = List.map (fun (n, h) -> (n, hist_merged h)) hists;
+  }
+
+let merge_assoc combine a b =
+  List.fold_left
+    (fun acc (k, v) ->
+      match List.assoc_opt k acc with
+      | None -> acc @ [ (k, v) ]
+      | Some v0 -> List.map (fun (k', v') -> if k' = k then (k', combine v0 v) else (k', v')) acc)
+    a b
+
+let merge a b =
+  {
+    taken_ns = max a.taken_ns b.taken_ns;
+    counters = merge_assoc ( + ) a.counters b.counters;
+    gauges = merge_assoc ( + ) a.gauges b.gauges;
+    hists = merge_assoc Stats.Histogram.merge a.hists b.hists;
+  }
+
+let empty_snapshot () =
+  { taken_ns = Zmsq_util.Timing.now_ns (); counters = []; gauges = []; hists = [] }
+
+let global_snapshot () =
+  List.fold_left (fun acc t -> merge acc (snapshot t)) (empty_snapshot ()) (live_registries ())

@@ -1,0 +1,65 @@
+(** Per-domain sharded metrics: a registry of named counters, gauges and
+    latency histograms whose update paths are indexed by [Domain.self ()]
+    so concurrent writers never contend on a shared cache line. Reads
+    (snapshots) merge the shards.
+
+    Counters are exact: every increment lands in exactly one atomic slot,
+    and a snapshot sums all slots, so totals observed by successive
+    snapshots are monotone and a quiescent snapshot equals the true event
+    count. Histograms are per-domain [Zmsq_util.Stats.Histogram]s merged
+    at snapshot time; when more domains than slots exist (ids wrap), two
+    domains may share a histogram and a handful of samples can be lost to
+    races — counts are approximate by design, like the latencies they
+    record. Gauges are read-callbacks evaluated at snapshot time.
+
+    Every registry created with {!create} is also tracked in a global
+    weak list, so {!global_snapshot} can merge the metrics of every live
+    queue in the process (benchmark export) without keeping dead queues
+    alive. *)
+
+type t
+(** A registry (one per queue instance, typically). *)
+
+type counter
+type histogram
+
+val create : ?name:string -> unit -> t
+(** Fresh registry, registered for {!global_snapshot}. *)
+
+val name : t -> string
+
+val counter : t -> string -> counter
+(** Find-or-create the named counter. *)
+
+val gauge : t -> string -> (unit -> int) -> unit
+(** Register a gauge; [read] runs at snapshot time. *)
+
+val histogram : t -> string -> histogram
+(** Find-or-create the named latency histogram (values in nanoseconds by
+    convention). *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val value : counter -> int
+(** Merged total over all domain shards. *)
+
+val observe : histogram -> float -> unit
+
+(** {2 Snapshots} *)
+
+type snapshot = {
+  taken_ns : int;  (** monotonic clock at capture *)
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  hists : (string * Zmsq_util.Stats.Histogram.t) list;
+      (** freshly merged copies; safe to keep *)
+}
+
+val snapshot : t -> snapshot
+
+val merge : snapshot -> snapshot -> snapshot
+(** Counters and gauges sum by name; histograms merge pointwise. *)
+
+val global_snapshot : unit -> snapshot
+(** Merge of every live registry in the process. *)

@@ -1,0 +1,53 @@
+(** Fixed-size per-domain ring buffers of timestamped events, dumped as
+    Chrome [trace_event] JSON (open in chrome://tracing or Perfetto).
+
+    Spans ({!span_begin}/{!span_end}) are stored on completion as a
+    single begin-timestamp + duration record, so a wrapped ring never
+    produces unbalanced begin/end pairs; {!instant} records point events
+    (refill, split, expand, eventcount sleep/wake). When the ring is
+    full the oldest events are overwritten — the dump is the trailing
+    window, with the overwrite count reported in [otherData.dropped].
+
+    Recording is wait-free and allocation-free after the first event per
+    domain. Each domain writes only its own ring (domains beyond the slot
+    count share rings, degrading the trace but not safety). *)
+
+type t
+
+(** Event vocabulary of the ZMSQ hot paths; see OBSERVABILITY.md. *)
+type kind =
+  | Insert
+  | Extract
+  | Refill
+  | Split
+  | Expand
+  | Forced_insert
+  | Min_swap
+  | Helper_pass
+  | Sleep
+  | Wake
+
+val kind_name : kind -> string
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is events retained per domain ring (default 4096, min 16). *)
+
+val span_begin : t -> kind -> unit
+val span_end : t -> kind -> unit
+(** Must be called by the same domain, properly nested; a mismatched
+    [span_end] discards the open spans of that domain. *)
+
+val instant : t -> ?arg:int -> kind -> unit
+
+val recorded : t -> int
+(** Events currently held across all rings. *)
+
+val dropped : t -> int
+(** Events overwritten after a ring filled. *)
+
+val to_json : t -> Json.t
+val to_chrome_json : t -> string
+
+val save : path:string -> t -> string
+(** Writes the Chrome JSON to [path] (creating the parent directory if
+    needed); returns [path]. *)

@@ -61,8 +61,14 @@ let pp_summary fmt s =
     s.n s.mean s.stddev s.min s.median s.p90 s.p99 s.max
 
 module Histogram = struct
-  (* Buckets by exponent: bucket i covers [2^i, 2^(i+1)). Values < 1 land in
-     bucket 0. 64 buckets cover any float we time in nanoseconds. *)
+  (* Buckets by exponent: bucket i covers [2^i, 2^(i+1)) for i >= 1.
+     Bucket 0 is deliberately wider: it absorbs *everything* below 2.0 —
+     the [1, 2) exponent range, sub-1ns readings from clock quantization,
+     zeros, and even negative deltas from cross-CPU timestamp skew — so a
+     degenerate measurement can never index out of range or land in a
+     bogus high bucket (NaN is also pinned here: the [not (v >= 2.0)]
+     guard catches it, where a plain [v < 1.0] test would not). 64
+     buckets cover any float we time in nanoseconds. *)
   let buckets = 64
 
   type t = { counts : int array; mutable total : int; mutable sum : float }
@@ -70,7 +76,7 @@ module Histogram = struct
   let create () = { counts = Array.make buckets 0; total = 0; sum = 0.0 }
 
   let bucket_of v =
-    if v < 1.0 then 0
+    if not (v >= 2.0) then 0
     else begin
       let b = int_of_float (Float.log2 v) in
       if b >= buckets then buckets - 1 else b
@@ -93,6 +99,8 @@ module Histogram = struct
 
   let count t = t.total
 
+  let sum t = t.sum
+
   let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
 
   let percentile t p =
@@ -109,4 +117,13 @@ module Histogram = struct
       in
       go 0 0
     end
+
+  (* (upper bound, count) for every non-empty bucket, ascending. Bucket i's
+     upper (exclusive) bound is 2^(i+1); bucket 0's lower bound is -inf. *)
+  let buckets t =
+    let acc = ref [] in
+    for i = buckets - 1 downto 0 do
+      if t.counts.(i) > 0 then acc := (Float.pow 2.0 (float_of_int (i + 1)), t.counts.(i)) :: !acc
+    done;
+    !acc
 end

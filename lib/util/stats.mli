@@ -38,6 +38,19 @@ module Histogram : sig
 
   val count : t -> int
   val mean : t -> float
+
+  val sum : t -> float
+  (** Exact sum of every value added (not bucketed). *)
+
   val percentile : t -> float -> float
   (** Approximate percentile: upper bound of the bucket containing it. *)
+
+  val buckets : t -> (float * int) list
+  (** [(upper_bound, count)] for every non-empty bucket, ascending by
+      bound. Bucket boundaries are powers of two: the bucket bounded by
+      [2 ** (i+1)] covers [[2 ** i, 2 ** (i+1))] for [i >= 1], while the
+      first bucket (bound 2.0) conflates everything below 2.0 — including
+      sub-1ns, zero and negative values, which are clamped there rather
+      than rejected (timer quantization and cross-CPU skew produce them
+      in practice). *)
 end

@@ -9,6 +9,7 @@ let () =
       ("pq", Test_pq.suite);
       ("dist", Test_dist.suite);
       ("sets", Test_sets.suite);
+      ("obs", Test_obs.suite);
       ("zmsq", Test_zmsq.suite);
       ("mound", Test_mound.suite);
       ("spraylist", Test_spraylist.suite);

@@ -1,0 +1,225 @@
+(* Tests for the zmsq_obs subsystem: sharded metrics exactness under
+   multi-domain load, tear-free (monotone) snapshots, agreement between
+   the new registry and the legacy [Zmsq.Debug.counters] view, trace ring
+   shape, and the export formats. *)
+
+module Metrics = Zmsq_obs.Metrics
+module Trace = Zmsq_obs.Trace
+module Export = Zmsq_obs.Export
+module Json = Zmsq_obs.Json
+
+let check = Alcotest.check
+
+(* {2 Metrics} *)
+
+let test_counter_exact_multidomain () =
+  let m = Metrics.create ~name:"t" () in
+  let c = Metrics.counter m "hits" in
+  let domains = 4 and per = 10_000 in
+  let ds =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per do
+              Metrics.incr c
+            done))
+  in
+  List.iter Domain.join ds;
+  check Alcotest.int "merged total exact" (domains * per) (Metrics.value c);
+  let snap = Metrics.snapshot m in
+  check Alcotest.int "snapshot agrees" (domains * per) (List.assoc "hits" snap.Metrics.counters)
+
+let test_snapshot_monotone_under_load () =
+  (* Writers increment two counters in lockstep while the main domain
+     snapshots repeatedly: each per-counter total must never decrease
+     from one snapshot to the next (no torn/partial reads). *)
+  let m = Metrics.create ~name:"t" () in
+  let a = Metrics.counter m "a" and b = Metrics.counter m "b" in
+  let stop = Atomic.make false in
+  let ds =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              Metrics.incr a;
+              Metrics.incr b
+            done))
+  in
+  let last_a = ref 0 and last_b = ref 0 in
+  for _ = 1 to 200 do
+    let s = Metrics.snapshot m in
+    let va = List.assoc "a" s.Metrics.counters and vb = List.assoc "b" s.Metrics.counters in
+    if va < !last_a || vb < !last_b then Alcotest.fail "snapshot total went backwards";
+    last_a := va;
+    last_b := vb
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join ds;
+  check Alcotest.bool "saw progress" true (!last_a > 0)
+
+let test_gauge_and_histogram () =
+  let m = Metrics.create ~name:"t" () in
+  let cell = ref 17 in
+  Metrics.gauge m "cell" (fun () -> !cell);
+  let h = Metrics.histogram m "lat_ns" in
+  Metrics.observe h 100.0;
+  Metrics.observe h 3.0;
+  let s = Metrics.snapshot m in
+  check Alcotest.int "gauge read at snapshot" 17 (List.assoc "cell" s.Metrics.gauges);
+  cell := 18;
+  let s2 = Metrics.snapshot m in
+  check Alcotest.int "gauge re-read" 18 (List.assoc "cell" s2.Metrics.gauges);
+  let hist = List.assoc "lat_ns" s.Metrics.hists in
+  check Alcotest.int "hist count" 2 (Zmsq_util.Stats.Histogram.count hist)
+
+let test_merge () =
+  let m1 = Metrics.create ~name:"x" () and m2 = Metrics.create ~name:"y" () in
+  Metrics.add (Metrics.counter m1 "n") 5;
+  Metrics.add (Metrics.counter m2 "n") 7;
+  Metrics.observe (Metrics.histogram m1 "h") 10.0;
+  Metrics.observe (Metrics.histogram m2 "h") 20.0;
+  let s = Metrics.merge (Metrics.snapshot m1) (Metrics.snapshot m2) in
+  check Alcotest.int "counters sum" 12 (List.assoc "n" s.Metrics.counters);
+  check Alcotest.int "hists merge" 2
+    (Zmsq_util.Stats.Histogram.count (List.assoc "h" s.Metrics.hists))
+
+(* {2 Agreement with the legacy Debug.counters view} *)
+
+module Q = Zmsq.Default
+
+let run_mixed q ~threads ~per =
+  let ds =
+    List.init threads (fun i ->
+        Domain.spawn (fun () ->
+            let h = Q.register q in
+            let rng = Zmsq_util.Rng.create ~seed:(0x0B5 + i) () in
+            for _ = 1 to per do
+              if Zmsq_util.Rng.int rng 1000 < 550 then
+                Q.insert h (Zmsq_pq.Elt.of_priority (Zmsq_util.Rng.int rng 1_000_000))
+              else ignore (Q.extract h)
+            done))
+  in
+  List.iter Domain.join ds
+
+let test_debug_counters_match_snapshot () =
+  let q = Q.create () in
+  run_mixed q ~threads:4 ~per:20_000;
+  let d = Q.Debug.counters q in
+  let s = Metrics.snapshot (Q.metrics q) in
+  let v name = List.assoc name s.Metrics.counters in
+  check Alcotest.int "refills" d.Zmsq.refills (v "refills_total");
+  check Alcotest.int "splits" d.Zmsq.splits (v "splits_total");
+  check Alcotest.int "forced_inserts" d.Zmsq.forced_inserts (v "forced_inserts_total");
+  check Alcotest.int "min_swaps" d.Zmsq.min_swaps (v "min_swaps_total");
+  check Alcotest.int "insert_retries" d.Zmsq.insert_retries (v "insert_retries_total");
+  check Alcotest.int "expands" d.Zmsq.expands (v "expands_total");
+  check Alcotest.int "swap_downs" d.Zmsq.swap_downs (v "swap_downs_total");
+  check Alcotest.int "pool_inserts" d.Zmsq.pool_inserts (v "pool_inserts_total");
+  check Alcotest.int "helper_moves" d.Zmsq.helper_moves (v "helper_moves_total");
+  check Alcotest.bool "workload exercised counters" true (v "refills_total" > 0)
+
+let test_obs_off_is_inert () =
+  let q = Q.create ~params:(Zmsq.Params.with_obs Zmsq_obs.Level.Off Zmsq.Params.default) () in
+  run_mixed q ~threads:2 ~per:5_000;
+  let s = Metrics.snapshot (Q.metrics q) in
+  List.iter
+    (fun (name, v) -> check Alcotest.int (name ^ " stays 0") 0 v)
+    s.Metrics.counters;
+  check Alcotest.bool "no trace ring" true (Q.trace q = None)
+
+(* {2 Trace} *)
+
+let test_trace_full_level () =
+  let q = Q.create ~params:(Zmsq.Params.with_obs Zmsq_obs.Level.Full Zmsq.Params.default) () in
+  run_mixed q ~threads:2 ~per:2_000;
+  match Q.trace q with
+  | None -> Alcotest.fail "Full level must allocate a trace ring"
+  | Some tr ->
+      check Alcotest.bool "events recorded" true (Trace.recorded tr > 0);
+      let json = Trace.to_chrome_json tr in
+      check Alcotest.bool "has traceEvents" true
+        (Astring.String.is_infix ~affix:"\"traceEvents\"" json);
+      check Alcotest.bool "has complete events" true
+        (Astring.String.is_infix ~affix:"\"ph\":\"X\"" json);
+      (* Latency histograms fill at Full. *)
+      let s = Metrics.snapshot (Q.metrics q) in
+      let ins = List.assoc "insert_ns" s.Metrics.hists in
+      check Alcotest.bool "insert_ns populated" true (Zmsq_util.Stats.Histogram.count ins > 0)
+
+let test_trace_span_balance () =
+  let tr = Trace.create ~capacity:16 () in
+  Trace.span_begin tr Trace.Insert;
+  Trace.span_end tr Trace.Insert;
+  Trace.instant tr ~arg:3 Trace.Refill;
+  check Alcotest.int "two events" 2 (Trace.recorded tr);
+  (* Overfill: ring keeps the trailing window, counts the overwrites. *)
+  for _ = 1 to 100 do
+    Trace.instant tr Trace.Split
+  done;
+  check Alcotest.bool "bounded" true (Trace.recorded tr <= 16);
+  check Alcotest.bool "dropped counted" true (Trace.dropped tr > 0)
+
+(* {2 Export formats} *)
+
+let demo_snapshot () =
+  let m = Metrics.create ~name:"demo" () in
+  Metrics.add (Metrics.counter m "ops_total") 42;
+  Metrics.gauge m "size" (fun () -> 7);
+  Metrics.observe (Metrics.histogram m "lat_ns") 100.0;
+  Metrics.snapshot m
+
+let test_prometheus_format () =
+  let text = Export.prometheus (demo_snapshot ()) in
+  let has affix = Astring.String.is_infix ~affix text in
+  check Alcotest.bool "counter type line" true (has "# TYPE zmsq_ops_total counter");
+  check Alcotest.bool "counter sample" true (has "zmsq_ops_total 42");
+  check Alcotest.bool "gauge sample" true (has "zmsq_size 7");
+  check Alcotest.bool "histogram +Inf bucket" true (has "zmsq_lat_ns_bucket{le=\"+Inf\"} 1");
+  check Alcotest.bool "histogram count" true (has "zmsq_lat_ns_count 1")
+
+let test_jsonl_line () =
+  let line = Export.jsonl_line (demo_snapshot ()) in
+  check Alcotest.bool "single line" true (not (String.contains line '\n'));
+  check Alcotest.bool "object" true
+    (String.length line > 1 && line.[0] = '{' && line.[String.length line - 1] = '}');
+  check Alcotest.bool "has counters" true
+    (Astring.String.is_infix ~affix:"\"ops_total\":42" line)
+
+let test_json_escaping () =
+  check Alcotest.string "escape" "\"a\\\"b\\n\"" (Json.to_string (Json.Str "a\"b\n"));
+  check Alcotest.string "nan to null" "null" (Json.to_string (Json.Float Float.nan))
+
+(* {2 Table.save_json} *)
+
+let test_table_save_json () =
+  let dir = Filename.temp_file "zmsq_obs" "" in
+  Sys.remove dir;
+  let t =
+    Zmsq_harness.Table.make ~id:"unit_json" ~title:"demo" ~header:[ "threads"; "mops" ]
+      [ [ "1"; "3.5" ]; [ "4"; "0.4" ] ]
+  in
+  let path = Zmsq_harness.Table.save_json ~dir t in
+  check Alcotest.bool "file exists" true (Sys.file_exists path);
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  check Alcotest.bool "id serialized" true
+    (Astring.String.is_infix ~affix:"\"id\":\"unit_json\"" body);
+  check Alcotest.bool "int cell typed" true (Astring.String.is_infix ~affix:"1" body);
+  Sys.remove path;
+  Sys.rmdir dir
+
+let suite =
+  [
+    ("counter exact across domains", `Quick, test_counter_exact_multidomain);
+    ("snapshot monotone under load", `Quick, test_snapshot_monotone_under_load);
+    ("gauge + histogram snapshot", `Quick, test_gauge_and_histogram);
+    ("snapshot merge", `Quick, test_merge);
+    ("Debug.counters == snapshot", `Quick, test_debug_counters_match_snapshot);
+    ("obs off is inert", `Quick, test_obs_off_is_inert);
+    ("trace at Full level", `Quick, test_trace_full_level);
+    ("trace span balance + ring bound", `Quick, test_trace_span_balance);
+    ("prometheus exposition", `Quick, test_prometheus_format);
+    ("jsonl line", `Quick, test_jsonl_line);
+    ("json escaping", `Quick, test_json_escaping);
+    ("table save_json", `Quick, test_table_save_json);
+  ]

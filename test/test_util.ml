@@ -140,6 +140,33 @@ let test_histogram_merge () =
   check Alcotest.int "merged count" 2 (Stats.Histogram.count m);
   check Alcotest.int "a unchanged" 1 (Stats.Histogram.count a)
 
+let test_histogram_bucket0 () =
+  (* Bucket 0 conflates everything below 2.0 — including zero, negatives
+     and sub-1ns values — and must also absorb NaN rather than crash or
+     index out of bounds. *)
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.add h) [ 0.0; 0.3; 1.999; -5.0; Float.nan; Float.neg_infinity ];
+  check Alcotest.int "count" 6 (Stats.Histogram.count h);
+  (match Stats.Histogram.buckets h with
+  | [ (ub, n) ] ->
+      check (Alcotest.float 1e-9) "single bucket ub" 2.0 ub;
+      check Alcotest.int "all six conflated" 6 n
+  | bs -> Alcotest.failf "expected one bucket, got %d" (List.length bs));
+  check (Alcotest.float 1e-9) "p99 is bucket-0 ub" 2.0 (Stats.Histogram.percentile h 99.0)
+
+let test_histogram_buckets () =
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.add h) [ 1.0; 3.0; 3.5; 1000.0 ];
+  let bs = Stats.Histogram.buckets h in
+  check Alcotest.int "three populated buckets" 3 (List.length bs);
+  check Alcotest.bool "ascending upper bounds" true
+    (List.sort compare bs = bs);
+  check Alcotest.int "counts total" 4 (List.fold_left (fun a (_, n) -> a + n) 0 bs);
+  (* 3.0 and 3.5 share the (2,4] bucket. *)
+  check Alcotest.bool "pair bucket present" true (List.mem (4.0, 2) bs);
+  check (Alcotest.list (Alcotest.pair (Alcotest.float 1e-9) Alcotest.int))
+    "empty histogram" [] (Stats.Histogram.buckets (Stats.Histogram.create ()))
+
 let prop_percentile_bounds =
   QCheck.Test.make ~name:"percentile within min/max" ~count:200
     QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0)) (float_bound_inclusive 100.0))
@@ -188,6 +215,8 @@ let suite =
     ("stats empty", `Quick, test_stats_empty);
     ("histogram basic", `Quick, test_histogram);
     ("histogram merge", `Quick, test_histogram_merge);
+    ("histogram bucket-0 conflation", `Quick, test_histogram_bucket0);
+    ("histogram buckets accessor", `Quick, test_histogram_buckets);
     qtest prop_percentile_bounds;
     ("env parsing", `Quick, test_env_defaults);
     ("timing monotonic", `Quick, test_timing_monotonic);
