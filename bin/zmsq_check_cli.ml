@@ -1,0 +1,105 @@
+(* Model-checker driver: runs the scenario suite from {!Zmsq_check.Scenarios}
+   and exits non-zero when any expectation is violated — a pass-expected
+   scenario failing, or a seeded-bug scenario going undetected. Every
+   detected failure is replayed from its reported schedule before being
+   trusted, so CI greenness also certifies replayability. *)
+
+let usage () =
+  prerr_endline
+    "usage: zmsq_check [--list] [--scenario NAME] [--skip-expected-fail] [--scale N]";
+  prerr_endline "  --list               print scenario names and modes, then exit";
+  prerr_endline "  --scenario NAME      run only NAME";
+  prerr_endline "  --skip-expected-fail run only the pass-expected regressions";
+  prerr_endline "  --scale N            multiply random-mode execution counts by N";
+  exit 2
+
+let () =
+  let only = ref None in
+  let list = ref false in
+  let skip_fail = ref false in
+  let scale = ref 1 in
+  let rec parse = function
+    | [] -> ()
+    | "--list" :: rest ->
+        list := true;
+        parse rest
+    | "--scenario" :: name :: rest ->
+        only := Some name;
+        parse rest
+    | "--skip-expected-fail" :: rest ->
+        skip_fail := true;
+        parse rest
+    | "--scale" :: n :: rest ->
+        (match int_of_string_opt n with Some v when v > 0 -> scale := v | _ -> usage ());
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let entries =
+    Zmsq_check.Scenarios.all
+    |> List.filter (fun e ->
+           (match !only with
+           | Some n -> e.Zmsq_check.Scenarios.scenario.Zmsq_check.Explore.name = n
+           | None -> true)
+           && not (!skip_fail && e.Zmsq_check.Scenarios.expect_fail))
+  in
+  if entries = [] then begin
+    prerr_endline "no matching scenario";
+    exit 2
+  end;
+  if !list then begin
+    List.iter
+      (fun e ->
+        Printf.printf "%-28s %s%s\n" e.Zmsq_check.Scenarios.scenario.Zmsq_check.Explore.name
+          (match e.Zmsq_check.Scenarios.mode with
+          | Zmsq_check.Scenarios.Dfs -> "dfs"
+          | Zmsq_check.Scenarios.Rand { executions; seed } ->
+              Printf.sprintf "random x%d seed=%d" executions seed)
+          (if e.Zmsq_check.Scenarios.expect_fail then "  [seeded bug]" else ""))
+      entries;
+    exit 0
+  end;
+  let failures = ref 0 in
+  List.iter
+    (fun e ->
+      let open Zmsq_check.Scenarios in
+      let e =
+        match e.mode with
+        | Rand r when !scale > 1 ->
+            { e with mode = Rand { r with executions = r.executions * !scale } }
+        | _ -> e
+      in
+      let name = e.scenario.Zmsq_check.Explore.name in
+      let t0 = Unix.gettimeofday () in
+      let result = run_entry e in
+      let dt = Unix.gettimeofday () -. t0 in
+      match (result, e.expect_fail) with
+      | Zmsq_check.Explore.Pass s, false ->
+          Printf.printf "PASS %-28s %d executions%s (%.2fs)\n" name s.executions
+            (if s.complete then ", state space exhausted" else " (bounded)")
+            dt
+      | Zmsq_check.Explore.Pass s, true ->
+          incr failures;
+          Printf.printf "FAIL %-28s seeded bug NOT detected in %d executions (%.2fs)\n" name
+            s.executions dt
+      | Zmsq_check.Explore.Fail r, true -> (
+          (* A detected seeded bug must also replay from its schedule. *)
+          match Zmsq_check.Explore.replay ~max_steps:e.max_steps e.scenario r.schedule with
+          | Zmsq_check.Explore.Fail r' ->
+              Printf.printf "PASS %-28s seeded bug detected and replayed: %s (%.2fs)\n" name
+                r'.reason dt
+          | Zmsq_check.Explore.Pass _ ->
+              incr failures;
+              Printf.printf "FAIL %-28s bug detected but replay did not reproduce (%.2fs)\n"
+                name dt;
+              print_string (Zmsq_check.Explore.pp_report r))
+      | Zmsq_check.Explore.Fail r, false ->
+          incr failures;
+          Printf.printf "FAIL %-28s (%.2fs)\n" name dt;
+          print_string (Zmsq_check.Explore.pp_report r))
+    entries;
+  if !failures > 0 then begin
+    Printf.printf "%d scenario(s) failed\n" !failures;
+    exit 1
+  end
+  else print_endline "all scenarios ok"

@@ -1,0 +1,27 @@
+(* Lock-discipline lint driver: walks [.ml] files under the given roots
+   (default [lib/]) and reports findings from {!Zmsq_check.Lint}. Exit
+   status 1 when anything is flagged — wired as a CI merge gate. *)
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Array.fold_left (fun acc f -> walk acc (Filename.concat path f)) acc (Sys.readdir path)
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let () =
+  let roots = match Array.to_list Sys.argv with _ :: (_ :: _ as r) -> r | _ -> [ "lib" ] in
+  let files =
+    roots
+    |> List.concat_map (fun r ->
+           if Sys.file_exists r then walk [] r
+           else begin
+             Printf.eprintf "zmsq_lint: no such path: %s\n" r;
+             exit 2
+           end)
+    |> List.sort compare
+  in
+  let findings = List.concat_map Zmsq_check.Lint.lint_file files in
+  List.iter (fun f -> print_endline (Zmsq_check.Lint.pp_finding f)) findings;
+  Printf.printf "zmsq_lint: %d file(s), %d finding(s)\n" (List.length files)
+    (List.length findings);
+  exit (if findings = [] then 0 else 1)

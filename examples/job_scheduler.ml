@@ -102,9 +102,8 @@ let () =
   let premium = Zmsq_util.Stats.summarize (latencies true) in
   let standard = Zmsq_util.Stats.summarize (latencies false) in
   let ec_stats =
-    match Q.Debug.eventcount q with
-    | Some ec -> Printf.sprintf "futex sleeps=%d wakes=%d" (Zmsq_sync.Eventcount.sleeps ec)
-                   (Zmsq_sync.Eventcount.wakes ec)
+    match Q.Debug.eventcount_stats q with
+    | Some (sleeps, wakes) -> Printf.sprintf "futex sleeps=%d wakes=%d" sleeps wakes
     | None -> "no eventcount"
   in
   Printf.printf "served %d jobs with %d blocking workers (%s)\n" served workers ec_stats;

@@ -82,11 +82,7 @@ let run_pipeline ~blocking =
   Q.unregister h;
   let wall = float_of_int (Timing.now_ns () - t0) /. 1e9 in
   let cpu = Timing.cpu_seconds () -. cpu0 in
-  let sleeps =
-    match Q.Debug.eventcount q with
-    | Some ec -> Zmsq_sync.Eventcount.sleeps ec
-    | None -> 0
-  in
+  let sleeps = match Q.Debug.eventcount_stats q with Some (s, _) -> s | None -> 0 in
   (total, wall, cpu, sleeps)
 
 let () =

@@ -105,16 +105,15 @@ module Store = struct
     | Some c -> c
     | None ->
         Mutex.lock t.grow_mu;
-        let c =
-          match Atomic.get t.chunks.(ci) with
-          | Some c -> c
-          | None ->
-              let c = Array.make chunk_size (0, 0, 0) in
-              Atomic.set t.chunks.(ci) (Some c);
-              c
-        in
-        Mutex.unlock t.grow_mu;
-        c
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.grow_mu)
+          (fun () ->
+            match Atomic.get t.chunks.(ci) with
+            | Some c -> c
+            | None ->
+                let c = Array.make chunk_size (0, 0, 0) in
+                Atomic.set t.chunks.(ci) (Some c);
+                c)
 
   let add t node =
     let id = Atomic.fetch_and_add t.cursor 1 in

@@ -1,0 +1,271 @@
+(* Interleaving exploration on top of {!Sched}.
+
+   Three modes:
+   - [dfs] — stateless re-execution DFS with DPOR-style pruning: backtrack
+     sets seeded by a race analysis over each terminal execution (last
+     dependent step by another thread), plus sleep sets that skip
+     redundant commutations. Sound but possibly bounded: executions cut by
+     [max_steps] or a [max_executions] budget mark the result incomplete.
+   - [random] — seeded randomized schedules for state spaces too large to
+     exhaust; every failure reports its seed.
+   - [replay] — re-run one exact schedule (from a failure report). *)
+
+module IntSet = Set.Make (Int)
+
+type scenario = {
+  name : string;
+  make : unit -> (unit -> unit) list * (unit -> unit);
+      (** Build fresh shared state (runs once per execution, outside any
+          fiber) and return the thread bodies plus a quiescent final check
+          that raises {!Sched.Violation} on a bad outcome. *)
+}
+
+type report = {
+  scenario : string;
+  reason : string;
+  schedule : int list;
+  trace : string list;
+  seed : int option;
+}
+
+type stats = { executions : int; steps : int; complete : bool }
+type result = Pass of stats | Fail of report
+
+let pp_report r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "scenario %s: %s\n" r.scenario r.reason);
+  (match r.seed with
+  | Some s -> Buffer.add_string b (Printf.sprintf "seed: %d\n" s)
+  | None -> ());
+  Buffer.add_string b
+    (Printf.sprintf "schedule: [%s]\n" (String.concat ";" (List.map string_of_int r.schedule)));
+  Buffer.add_string b "trace:\n";
+  List.iter (fun l -> Buffer.add_string b ("  " ^ l ^ "\n")) r.trace;
+  Buffer.contents b
+
+(* {2 DFS with DPOR-lite} *)
+
+type node = {
+  n_enabled : (int * Sched.opinfo) list;  (** enabled threads + pending ops here *)
+  mutable chosen : int;
+  mutable chosen_op : Sched.opinfo;
+  mutable backtrack : IntSet.t;
+  mutable done_ : IntSet.t;
+  sleep : IntSet.t;
+}
+
+(* Growable stack of nodes (the current schedule prefix). *)
+module Vec = struct
+  type 'a t = { mutable a : 'a array; mutable len : int }
+
+  let create () = { a = [||]; len = 0 }
+  let len v = v.len
+  let get v i = v.a.(i)
+
+  let push v x =
+    if v.len = Array.length v.a then begin
+      let n = max 64 (2 * Array.length v.a) in
+      let a = Array.make n x in
+      Array.blit v.a 0 a 0 v.len;
+      v.a <- a
+    end;
+    v.a.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let truncate v n = v.len <- n
+end
+
+let trace_of steps = List.rev_map (fun (tid, info) -> Printf.sprintf "t%d: %s" tid (Sched.describe info)) steps
+
+let schedule_of steps = List.rev_map fst steps
+
+let fail_report ~scenario ~reason ~steps ~seed =
+  { scenario = scenario.name; reason; schedule = schedule_of steps; trace = trace_of steps; seed }
+
+let dfs ?(max_steps = 2000) ?(max_executions = 50_000) scenario =
+  let stack = Vec.create () in
+  let executions = ref 0 in
+  let total_steps = ref 0 in
+  let complete = ref true in
+  let failure = ref None in
+  (* One execution: replay [prefix_len] choices from the stack, then extend
+     with the lowest enabled thread not in the sleep set. *)
+  let run_one prefix_len =
+    let depth = ref 0 in
+    let next_sleep = ref IntSet.empty in
+    let steps = ref [] in
+    let advance node t =
+      node.chosen <- t;
+      node.chosen_op <- List.assoc t node.n_enabled;
+      node.backtrack <- IntSet.add t node.backtrack;
+      next_sleep :=
+        IntSet.filter
+          (fun q ->
+            match List.assoc_opt q node.n_enabled with
+            | Some op -> not (Sched.dependent op node.chosen_op)
+            | None -> false)
+          (IntSet.remove t (IntSet.union node.sleep node.done_));
+      Some t
+    in
+    let choose ~enabled =
+      let d = !depth in
+      incr depth;
+      if d < prefix_len then begin
+        (* Replaying an already-materialized prefix: deterministic, so the
+           recorded choice is guaranteed to be enabled again. *)
+        let node = Vec.get stack d in
+        next_sleep := IntSet.empty;
+        (* sleeps below the prefix are recomputed by [advance] *)
+        advance node node.chosen
+      end
+      else begin
+        let sleep = if d = 0 then IntSet.empty else !next_sleep in
+        let node =
+          if d < Vec.len stack then Vec.get stack d
+          else begin
+            let node =
+              {
+                n_enabled = enabled;
+                chosen = -1;
+                chosen_op = { Sched.kind = Sched.Get; obj = -1 };
+                backtrack = IntSet.empty;
+                done_ = IntSet.empty;
+                sleep;
+              }
+            in
+            Vec.push stack node;
+            node
+          end
+        in
+        match List.find_opt (fun (t, _) -> not (IntSet.mem t node.sleep)) enabled with
+        | None -> None (* sleep-set blocked: provably redundant execution *)
+        | Some (t, _) -> advance node t
+      end
+    in
+    let on_step ~tid ~info = steps := (tid, info) :: !steps in
+    incr executions;
+    let res = Sched.run ~max_steps ~make:scenario.make ~choose ~on_step in
+    total_steps := !total_steps + List.length !steps;
+    (res, !steps)
+  in
+  (* Replay choices for nodes [0..d-1] come from the stack; [run_one] needs
+     the prefix replay to also recompute child sleep sets, which [advance]
+     does in both branches. The subtlety: a replayed node's [next_sleep]
+     feeds the first fresh node after the prefix. *)
+  let rec drive prefix_len =
+    if !executions > max_executions then complete := false
+    else begin
+      let res, steps = run_one prefix_len in
+      (match res with
+      | Sched.Exec_ok -> ()
+      | Sched.Exec_stopped -> () (* pruned by sleep sets *)
+      | Sched.Exec_bounded -> complete := false
+      | Sched.Exec_deadlock why ->
+          failure := Some (fail_report ~scenario ~reason:("deadlock: " ^ why) ~steps ~seed:None)
+      | Sched.Exec_violation why ->
+          failure := Some (fail_report ~scenario ~reason:why ~steps ~seed:None));
+      if !failure = None then begin
+        (* Race analysis: seed backtrack points from dependent step pairs. *)
+        let n = Vec.len stack in
+        for i = 1 to n - 1 do
+          let ni = Vec.get stack i in
+          let rec find j =
+            if j < 0 then ()
+            else begin
+              let nj = Vec.get stack j in
+              if nj.chosen <> ni.chosen && Sched.dependent nj.chosen_op ni.chosen_op then begin
+                if List.mem_assoc ni.chosen nj.n_enabled then
+                  nj.backtrack <- IntSet.add ni.chosen nj.backtrack
+                else
+                  nj.backtrack <-
+                    List.fold_left (fun s (t, _) -> IntSet.add t s) nj.backtrack nj.n_enabled
+              end
+              else find (j - 1)
+            end
+          in
+          find (i - 1)
+        done;
+        (* Deepest node with an unexplored, non-sleeping backtrack choice. *)
+        let rec deepest d =
+          if d < 0 then None
+          else begin
+            let node = Vec.get stack d in
+            let cand =
+              IntSet.diff node.backtrack
+                (IntSet.add node.chosen (IntSet.union node.done_ node.sleep))
+            in
+            if IntSet.is_empty cand then deepest (d - 1) else Some (d, IntSet.min_elt cand)
+          end
+        in
+        match deepest (Vec.len stack - 1) with
+        | None -> ()
+        | Some (d, t) ->
+            let node = Vec.get stack d in
+            node.done_ <- IntSet.add node.chosen node.done_;
+            node.chosen <- t;
+            Vec.truncate stack (d + 1);
+            drive (d + 1)
+      end
+    end
+  in
+  drive 0;
+  match !failure with
+  | Some r -> Fail r
+  | None -> Pass { executions = !executions; steps = !total_steps; complete = !complete }
+
+(* {2 Random mode} *)
+
+let random ?(max_steps = 5000) ~executions ~seed scenario =
+  let failure = ref None in
+  let total = ref 0 in
+  let i = ref 0 in
+  while !failure = None && !i < executions do
+    let rng = Zmsq_util.Rng.create ~seed:(seed + !i) () in
+    let steps = ref [] in
+    let choose ~enabled =
+      let n = List.length enabled in
+      let t, _ = List.nth enabled (Zmsq_util.Rng.int rng n) in
+      Some t
+    in
+    let on_step ~tid ~info = steps := (tid, info) :: !steps in
+    let res = Sched.run ~max_steps ~make:scenario.make ~choose ~on_step in
+    total := !total + List.length !steps;
+    (match res with
+    | Sched.Exec_ok | Sched.Exec_bounded | Sched.Exec_stopped -> ()
+    | Sched.Exec_deadlock why ->
+        failure :=
+          Some (fail_report ~scenario ~reason:("deadlock: " ^ why) ~steps:!steps ~seed:(Some (seed + !i)))
+    | Sched.Exec_violation why ->
+        failure := Some (fail_report ~scenario ~reason:why ~steps:!steps ~seed:(Some (seed + !i))));
+    incr i
+  done;
+  match !failure with
+  | Some r -> Fail r
+  | None -> Pass { executions; steps = !total; complete = false }
+
+(* {2 Replay} *)
+
+let replay ?(max_steps = 5000) scenario schedule =
+  let remaining = ref schedule in
+  let steps = ref [] in
+  let choose ~enabled =
+    match !remaining with
+    | tid :: rest ->
+        remaining := rest;
+        if List.mem_assoc tid enabled then Some tid
+        else
+          Sched.violation "replay diverged: t%d not enabled (enabled: %s)" tid
+            (String.concat "," (List.map (fun (t, _) -> string_of_int t) enabled))
+    | [] -> ( (* schedule exhausted: finish deterministically *)
+        match enabled with
+        | (t, _) :: _ -> Some t
+        | [] -> None)
+  in
+  let on_step ~tid ~info = steps := (tid, info) :: !steps in
+  match Sched.run ~max_steps ~make:scenario.make ~choose ~on_step with
+  | Sched.Exec_ok -> Pass { executions = 1; steps = List.length !steps; complete = false }
+  | Sched.Exec_bounded | Sched.Exec_stopped ->
+      Fail (fail_report ~scenario ~reason:"replay hit step bound" ~steps:!steps ~seed:None)
+  | Sched.Exec_deadlock why ->
+      Fail (fail_report ~scenario ~reason:("deadlock: " ^ why) ~steps:!steps ~seed:None)
+  | Sched.Exec_violation why -> Fail (fail_report ~scenario ~reason:why ~steps:!steps ~seed:None)

@@ -1,0 +1,262 @@
+(* Source-level lock-discipline lint over the library code.
+
+   Three rules, all driven by structured comments so the discipline is
+   declared where it applies (see ANALYSIS.md for the full semantics):
+
+   - [raise-under-lock] (R1): a [Mutex.lock] must be followed within a few
+     lines by a [Fun.protect] that owns the matching unlock — otherwise an
+     exception between lock and unlock leaks the mutex. (Trylock-style
+     node locks are exempt: their release paths are branch-explicit.)
+   - [guarded-by] (R2): a field annotated [(* lint: guarded-by <lock> *)]
+     may only be accessed in scopes showing lock evidence: an
+     acquire-family call, a [Mutex.lock], a [with_<lock>] wrapper, or an
+     explicit [(* lint: holds <lock> *)] / [(* lint: quiescent *)]
+     annotation.
+   - [raw-primitive] (R3): files marked [(* lint: prim-functorized *)]
+     must reach atomics/mutexes/pauses through their [PRIM] parameter —
+     literal [Stdlib.Atomic], [Stdlib.Mutex] or [Domain.cpu_relax] tokens
+     mean a code path escapes the checker.
+
+   Findings on lines carrying [(* lint: allow <rule> *)] are suppressed.
+   The engine is purely textual (line-based with indentation-scoped
+   function blocks): cheap, dependency-free and testable on snippets; it
+   trades soundness for zero false positives on this codebase's idioms. *)
+
+type finding = { file : string; line : int; rule : string; message : string }
+
+let pp_finding f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.message
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let suppressed line rule = contains line ("lint: allow " ^ rule)
+
+let indent_of line =
+  let n = String.length line in
+  let rec go i = if i < n && line.[i] = ' ' then go (i + 1) else i in
+  go 0
+
+let is_blank line = String.trim line = ""
+
+(* A "scope" is a top-level-ish definition: a [let] at the shallowest
+   indentation seen since the last [struct]/[sig] opener. Nested lets stay
+   inside their enclosing scope. *)
+type scope = { start : int; stop : int }
+
+let starts_with pre s =
+  String.length s >= String.length pre && String.sub s 0 (String.length pre) = pre
+
+let scopes_of lines =
+  let n = Array.length lines in
+  let scopes = ref [] in
+  let cur_start = ref (-1) in
+  let cur_indent = ref max_int in
+  let close stop =
+    if !cur_start >= 0 then scopes := { start = !cur_start; stop } :: !scopes;
+    cur_start := -1
+  in
+  for i = 0 to n - 1 do
+    let line = lines.(i) in
+    let t = String.trim line in
+    if contains line "= struct" || contains line "= sig" || starts_with "module " t then begin
+      (* entering a new module body resets the scope indentation level *)
+      if !cur_start >= 0 then close (i - 1);
+      cur_indent := max_int
+    end
+    else if starts_with "let " t || starts_with "let[" t || starts_with "and " t then begin
+      let ind = indent_of line in
+      if ind <= !cur_indent then begin
+        if !cur_start >= 0 then close (i - 1);
+        cur_start := i;
+        cur_indent := ind
+      end
+    end
+  done;
+  close (n - 1);
+  List.rev !scopes
+
+(* {2 R1: raise-under-lock} *)
+
+let mutex_lock_re = Str.regexp "Mutex\\.lock\\b"
+let fun_protect_re = Str.regexp "Fun\\.protect"
+
+let check_raise_under_lock ~file lines =
+  let n = Array.length lines in
+  let findings = ref [] in
+  for i = 0 to n - 1 do
+    let line = lines.(i) in
+    let trimmed = String.trim line in
+    let statement_position =
+      (* Only statement-position acquisitions ([Mutex.lock m;]) are
+         flagged; value bindings like [let acquire = P.Mutex.lock] are
+         aliases, not critical-section entries. *)
+      String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = ';'
+    in
+    if
+      (try ignore (Str.search_forward mutex_lock_re line 0); true with Not_found -> false)
+      && statement_position
+      && (not (suppressed line "raise-under-lock"))
+      && not (starts_with "(*" trimmed)
+    then begin
+      (* Fun.protect must appear on this line or within the next 3
+         non-blank lines — the lock-then-protect idiom. *)
+      let ok = ref false in
+      let seen = ref 0 in
+      let j = ref i in
+      while (not !ok) && !seen <= 3 && !j < n do
+        let l = lines.(!j) in
+        if not (is_blank l) then begin
+          if (try ignore (Str.search_forward fun_protect_re l 0); true with Not_found -> false)
+          then ok := true;
+          incr seen
+        end;
+        incr j
+      done;
+      if not !ok then
+        findings :=
+          {
+            file;
+            line = i + 1;
+            rule = "raise-under-lock";
+            message =
+              "Mutex.lock without a Fun.protect release nearby; an exception here leaks the \
+               lock";
+          }
+          :: !findings
+    end
+  done;
+  !findings
+
+(* {2 R2: guarded-by} *)
+
+let guarded_by_re = Str.regexp "(\\* lint: guarded-by \\([A-Za-z0-9_']+\\) \\*)"
+let field_name_re = Str.regexp "\\(mutable +\\)?\\([a-z_][A-Za-z0-9_']*\\) *:"
+
+(* Collect [(field, lock)] pairs declared by guarded-by annotations. *)
+let guarded_fields lines =
+  let acc = ref [] in
+  Array.iter
+    (fun line ->
+      match Str.search_forward guarded_by_re line 0 with
+      | _ ->
+          let lock = Str.matched_group 1 line in
+          (match Str.search_forward field_name_re line 0 with
+          | _ -> acc := (Str.matched_group 2 line, lock) :: !acc
+          | exception Not_found -> ())
+      | exception Not_found -> ())
+    lines;
+  !acc
+
+let scope_text lines scope =
+  let b = Buffer.create 256 in
+  for i = scope.start to scope.stop do
+    Buffer.add_string b lines.(i);
+    Buffer.add_char b '\n'
+  done;
+  Buffer.contents b
+
+(* The scope shows evidence of holding [lock]. The line just above the
+   scope's first line (a comment block) is included so annotations placed
+   above the [let] count. *)
+let holds_evidence lines scope lock =
+  let above = if scope.start > 0 then lines.(scope.start - 1) ^ "\n" else "" in
+  let text = above ^ scope_text lines scope in
+  contains text "acquire"
+  || contains text "Mutex.lock"
+  || contains text ("with_" ^ lock)
+  || contains text ("lint: holds " ^ lock)
+  || contains text "lint: quiescent"
+
+let check_guarded_by ~file lines =
+  let fields = guarded_fields lines in
+  if fields = [] then []
+  else begin
+    let scopes = scopes_of lines in
+    let findings = ref [] in
+    List.iter
+      (fun (field, lock) ->
+        (* The leading \b stops [Atomic.set] matching via its lowercase
+           tail ([tomic.set]); receivers must be whole lowercase idents. *)
+        let access_re =
+          Str.regexp ("\\b[a-z_][A-Za-z0-9_']*\\." ^ Str.quote field ^ "\\b")
+        in
+        List.iter
+          (fun scope ->
+            if not (holds_evidence lines scope lock) then
+              for i = scope.start to scope.stop do
+                let line = lines.(i) in
+                if
+                  (try ignore (Str.search_forward access_re line 0); true
+                   with Not_found -> false)
+                  && not (suppressed line "guarded-by")
+                then
+                  findings :=
+                    {
+                      file;
+                      line = i + 1;
+                      rule = "guarded-by";
+                      message =
+                        Printf.sprintf
+                          "field '%s' is guarded by '%s' but this scope shows no lock \
+                           evidence (acquire/with_%s/lint: holds)"
+                          field lock lock;
+                    }
+                    :: !findings
+              done)
+          scopes)
+      fields;
+    !findings
+  end
+
+(* {2 R3: raw primitives in functorized files} *)
+
+let raw_tokens = [ "Stdlib.Atomic"; "Stdlib.Mutex"; "Domain.cpu_relax" ]
+
+let check_raw_prims ~file lines =
+  (* Exact-line match: prose that merely *mentions* the marker (doc
+     comments in intf.ml, this file) must not opt a file in. *)
+  let marked = Array.exists (fun l -> String.trim l = "(* lint: prim-functorized *)") lines in
+  if not marked then []
+  else begin
+    let findings = ref [] in
+    Array.iteri
+      (fun i line ->
+        List.iter
+          (fun tok ->
+            if contains line tok && not (suppressed line "raw-primitive") then
+              findings :=
+                {
+                  file;
+                  line = i + 1;
+                  rule = "raw-primitive";
+                  message =
+                    Printf.sprintf
+                      "'%s' in a prim-functorized file bypasses the PRIM parameter (and the \
+                       checker)"
+                      tok;
+                }
+                :: !findings)
+          raw_tokens)
+      lines;
+    !findings
+  end
+
+(* {2 Driver} *)
+
+let lint_source ~file content =
+  let lines = Array.of_list (String.split_on_char '\n' content) in
+  let fs =
+    check_raise_under_lock ~file lines
+    @ check_guarded_by ~file lines
+    @ check_raw_prims ~file lines
+  in
+  List.sort (fun a b -> compare (a.line, a.rule) (b.line, b.rule)) fs
+
+let lint_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  lint_source ~file:path content

@@ -1,0 +1,313 @@
+(* The model-checked scenario suite.
+
+   Regression scenarios run the *real* functorized modules (Eventcount,
+   Hazard, Lock, Zmsq) under the schedulable primitives and must pass;
+   seeded-bug scenarios run deliberately broken protocols and must fail
+   with a replayable trace — they are the checker's own regression tests:
+   if a seeded bug stops being detected, the checker lost coverage. *)
+
+module P = Shim.Prim
+module EC = Zmsq_sync.Eventcount.Make (Shim.Prim)
+module HP = Zmsq_hp.Hazard.Make (Shim.Prim)
+module ML = Zmsq_sync.Lock.Make (Shim.Prim)
+module Elt = Zmsq_pq.Elt
+
+(* {2 Eventcount} *)
+
+(* Real eventcount, [producers] signalling / [consumers] waiting on one
+   slot with no optimistic spin. The no-lost-wakeup property needs no
+   explicit assertion: a lost wake leaves a consumer asleep forever, which
+   the scheduler reports as a deadlock. *)
+let ec_real ~producers ~consumers =
+  {
+    Explore.name = Printf.sprintf "ec-%dx%d" producers consumers;
+    make =
+      (fun () ->
+        let ec = EC.create ~slots:1 ~spin:0 ~initial:0 () in
+        let produced = P.Atomic.make 0 in
+        let producer () =
+          P.Atomic.incr produced;
+          EC.signal_after_insert ec
+        in
+        let consumer () = EC.wait_before_extract ec in
+        let bodies =
+          List.init producers (fun _ -> producer) @ List.init consumers (fun _ -> consumer)
+        in
+        let final () =
+          if P.Atomic.get produced <> producers then
+            Sched.violation "produced %d, expected %d" (P.Atomic.get produced) producers
+        in
+        (bodies, final));
+  }
+
+(* Minimal eventcount model: one futex word (bit 0 = sleepers advertised,
+   bits 1.. = sequence) plus a [ready] flag. The correct consumer re-checks
+   [ready] *after* publishing the sleeper bit; the seeded bug skips that
+   re-check, opening the classic lost-wakeup window: the producer's signal
+   lands between the consumer's readiness check and its sleeper-bit CAS,
+   after which nothing ever bumps the word again. *)
+let ec_mini ~buggy =
+  {
+    Explore.name = (if buggy then "ec-mini-lost-wakeup" else "ec-mini");
+    make =
+      (fun () ->
+        let word = P.Futex.create 0 in
+        let ready = P.Atomic.make false in
+        let producer () =
+          P.Atomic.set ready true;
+          let rec bump () =
+            let w = P.Futex.get word in
+            let next = (((w lsr 1) + 1) lsl 1) land max_int in
+            if P.Futex.compare_and_set word w next then begin
+              if w land 1 = 1 then P.Futex.wake word
+            end
+            else bump ()
+          in
+          bump ()
+        in
+        let consumer () =
+          let rec wait_loop () =
+            if not (P.Atomic.get ready) then begin
+              let w = P.Futex.get word in
+              if w land 1 = 1 then begin
+                if buggy then P.Futex.wait word w
+                else if not (P.Atomic.get ready) then P.Futex.wait word w;
+                wait_loop ()
+              end
+              else if P.Futex.compare_and_set word w (w lor 1) then begin
+                (* seeded bug: sleep without re-checking readiness *)
+                if buggy then P.Futex.wait word (w lor 1)
+                else if not (P.Atomic.get ready) then P.Futex.wait word (w lor 1);
+                wait_loop ()
+              end
+              else wait_loop ()
+            end
+          in
+          wait_loop ()
+        in
+        ([ producer; consumer ], fun () -> ()));
+  }
+
+(* {2 Hazard pointers} *)
+
+type hnode = { mutable freed : bool; tag : int }
+
+(* Writer swaps the shared pointer and retires the old node
+   ([scan_threshold = 1] recycles at the first unprotected scan); reader
+   acquires it through the hazard-pointer protocol and asserts it is not
+   reading recycled memory. The buggy reader publishes without
+   re-validating — the textbook use-after-retire race. *)
+let hazard ~buggy =
+  {
+    Explore.name = (if buggy then "hazard-publish-race" else "hazard-protect");
+    make =
+      (fun () ->
+        let dom =
+          HP.create ~slots_per_thread:1 ~max_threads:2 ~scan_threshold:1
+            ~recycle:(fun n -> n.freed <- true)
+            ()
+        in
+        let th_w = HP.register dom in
+        let th_r = HP.register dom in
+        let n0 = { freed = false; tag = 0 } in
+        let n1 = { freed = false; tag = 1 } in
+        let src = P.Atomic.make n0 in
+        let writer () =
+          let old = P.Atomic.get src in
+          P.Atomic.set src n1;
+          HP.retire th_w old
+        in
+        let reader () =
+          let n =
+            if buggy then begin
+              (* seeded bug: publish without the re-validation loop *)
+              let n = P.Atomic.get src in
+              HP.set th_r ~slot:0 n;
+              n
+            end
+            else HP.protect th_r ~slot:0 src
+          in
+          if n.freed then Sched.violation "hazard: read of recycled node %d" n.tag;
+          HP.clear th_r ~slot:0
+        in
+        ([ writer; reader ], fun () -> ()));
+  }
+
+(* {2 Locks} *)
+
+(* Mutual exclusion of the real TATAS spin lock: the critical section
+   contains a yield point (a shared atomic bump), so any mutual-exclusion
+   violation is observable as two fibers inside it at once. *)
+let lock_mutex (module L : Zmsq_sync.Lock.S) lname =
+  {
+    Explore.name = Printf.sprintf "lock-%s-mutual-exclusion" lname;
+    make =
+      (fun () ->
+        let lock = L.create () in
+        let scratch = P.Atomic.make 0 in
+        let in_crit = ref false in
+        let body () =
+          L.acquire lock;
+          if !in_crit then Sched.violation "lock %s: two fibers in critical section" lname;
+          in_crit := true;
+          P.Atomic.incr scratch;
+          in_crit := false;
+          L.release lock
+        in
+        let final () =
+          if P.Atomic.get scratch <> 2 then
+            Sched.violation "lock %s: %d critical sections, expected 2" lname
+              (P.Atomic.get scratch)
+        in
+        ([ body; body ], final));
+  }
+
+let tatas_mutex = lock_mutex (module ML.Tatas) "tatas"
+let ticket_mutex = lock_mutex (module ML.Ticket) "ticket"
+
+(* {2 ZMSQ} *)
+
+(* Strict-mode parameters shrunk to the smallest interesting tree, with
+   observability off and blocking (enabledness-modeled) per-node locks so
+   the state space is spent on the algorithm rather than on spin loops. *)
+let model_params =
+  {
+    Zmsq.Params.strict with
+    target_len = 4;
+    lock_policy = Zmsq.Params.Blocking;
+    blocking = false;
+    leaky = true;
+    forced_insert = true;
+    min_swap = false;
+    split = false;
+    pool_insert = false;
+    initial_levels = 1;
+    forced_min_level = 0;
+    obs = Zmsq_obs.Level.Off;
+  }
+
+type qop = Ins of int | Ext
+
+(* Run [per_thread] operation scripts against strict (batch = 0) ZMSQ and
+   check the recorded history against the sequential max-queue spec.
+   Timestamps are scheduler step counters, so real-time order pruning in
+   [Linearize.check] is exact. The functor is re-applied per execution so
+   functor-level state (the handle-seed counter) cannot drift between
+   executions — a determinism requirement for replay. *)
+let zmsq_lin ~name ~scripts =
+  {
+    Explore.name;
+    make =
+      (fun () ->
+        let module Q = Zmsq.Make_prim (Shim.Prim) (Shim.Lock) (Zmsq.List_set) in
+        let q = Q.create ~params:model_params () in
+        let ops = ref [] in
+        let record event start_ns =
+          ops :=
+            { Zmsq_harness.Linearize.event; start_ns; finish_ns = Sched.now_step () } :: !ops
+        in
+        let body script =
+          let h = Q.register q in
+          fun () ->
+            List.iter
+              (fun op ->
+                let t0 = Sched.now_step () in
+                match op with
+                | Ins v ->
+                    Q.insert h v;
+                    record (Zmsq_harness.Linearize.Insert v) t0
+                | Ext ->
+                    let v = Q.extract h in
+                    record
+                      (Zmsq_harness.Linearize.Extract
+                         (if Elt.is_none v then None else Some v))
+                      t0)
+              script
+        in
+        let bodies = List.map body scripts in
+        let final () =
+          if not (Zmsq_harness.Linearize.check !ops) then
+            Sched.violation "non-linearizable history (%d ops)" (List.length !ops)
+        in
+        (bodies, final));
+  }
+
+let zmsq_strict_lin =
+  zmsq_lin ~name:"zmsq-strict-lin"
+    ~scripts:[ [ Ins 5; Ins 3; Ext ]; [ Ins 7; Ext; Ext ] ]
+
+(* Structural check under concurrent insert/extract: after the fibers
+   quiesce, the mound invariant (parent.max >= child.max), the cache
+   coherence of every node and element conservation must all hold. *)
+let zmsq_mound =
+  {
+    Explore.name = "zmsq-mound-invariant";
+    make =
+      (fun () ->
+        let module Q = Zmsq.Make_prim (Shim.Prim) (Shim.Lock) (Zmsq.List_set) in
+        let q = Q.create ~params:model_params () in
+        let extracted = ref [] in
+        let inserted = [ [ 9; 4; 6 ]; [ 8; 2 ] ] in
+        let body vals =
+          let h = Q.register q in
+          fun () ->
+            List.iter (fun v -> Q.insert h v) vals;
+            let v = Q.extract h in
+            if not (Elt.is_none v) then extracted := v :: !extracted
+        in
+        let bodies = List.map body inserted in
+        let final () =
+          if not (Q.Debug.check_invariant q) then Sched.violation "mound invariant broken";
+          let remaining = Q.Debug.elements q in
+          let all = List.sort compare (List.concat inserted) in
+          let seen = List.sort compare (!extracted @ remaining) in
+          if all <> seen then
+            Sched.violation "element conservation broken: %d in, %d accounted"
+              (List.length all) (List.length seen)
+        in
+        (bodies, final));
+  }
+
+(* {2 Registry} *)
+
+type mode = Dfs | Rand of { executions : int; seed : int }
+
+type entry = {
+  scenario : Explore.scenario;
+  mode : mode;
+  expect_fail : bool;
+  max_steps : int;
+  max_executions : int;  (** DFS budget; ignored in [Rand] mode *)
+}
+
+let all =
+  [
+    { scenario = ec_real ~producers:1 ~consumers:1; mode = Dfs; expect_fail = false;
+      max_steps = 400; max_executions = 50_000 };
+    { scenario = ec_real ~producers:2 ~consumers:2; mode = Dfs; expect_fail = false;
+      max_steps = 600; max_executions = 30_000 };
+    { scenario = ec_mini ~buggy:false; mode = Dfs; expect_fail = false;
+      max_steps = 300; max_executions = 50_000 };
+    { scenario = ec_mini ~buggy:true; mode = Dfs; expect_fail = true;
+      max_steps = 300; max_executions = 50_000 };
+    { scenario = hazard ~buggy:false; mode = Dfs; expect_fail = false;
+      max_steps = 400; max_executions = 50_000 };
+    { scenario = hazard ~buggy:true; mode = Dfs; expect_fail = true;
+      max_steps = 400; max_executions = 50_000 };
+    { scenario = tatas_mutex; mode = Dfs; expect_fail = false;
+      max_steps = 200; max_executions = 20_000 };
+    { scenario = ticket_mutex; mode = Dfs; expect_fail = false;
+      max_steps = 200; max_executions = 20_000 };
+    { scenario = zmsq_strict_lin; mode = Rand { executions = 300; seed = 0x51ED };
+      expect_fail = false; max_steps = 4000; max_executions = 0 };
+    { scenario = zmsq_mound; mode = Rand { executions = 300; seed = 0xA11CE };
+      expect_fail = false; max_steps = 4000; max_executions = 0 };
+  ]
+
+let find name = List.find_opt (fun e -> e.scenario.Explore.name = name) all
+
+let run_entry e =
+  match e.mode with
+  | Dfs -> Explore.dfs ~max_steps:e.max_steps ~max_executions:e.max_executions e.scenario
+  | Rand { executions; seed } ->
+      Explore.random ~max_steps:e.max_steps ~executions ~seed e.scenario

@@ -1,0 +1,217 @@
+(* Deterministic single-domain scheduler: the execution engine under every
+   model-checking run. Simulated threads are effect-based fibers; each
+   primitive operation (atomic load/store/CAS/FAA, mutex op, futex op) is a
+   single yield point. The scheduler owns all interleaving decisions, so an
+   execution is fully determined by the sequence of thread choices — which
+   is what makes failing schedules replayable. *)
+
+type kind =
+  | Get
+  | Set
+  | Exchange
+  | Cas
+  | Faa
+  | Lock
+  | Trylock
+  | Unlock
+  | Fwait
+  | Fwake
+  | Resume  (** a sleeping thread resuming after a futex wake *)
+
+type opinfo = { kind : kind; obj : int }
+
+let kind_name = function
+  | Get -> "get"
+  | Set -> "set"
+  | Exchange -> "xchg"
+  | Cas -> "cas"
+  | Faa -> "faa"
+  | Lock -> "lock"
+  | Trylock -> "trylock"
+  | Unlock -> "unlock"
+  | Fwait -> "fwait"
+  | Fwake -> "fwake"
+  | Resume -> "resume"
+
+let describe { kind; obj } = Printf.sprintf "%s #%d" (kind_name kind) obj
+
+(* Dependency relation for DPOR: two steps commute unless they touch the
+   same object and at least one mutates it. Everything except a plain load
+   is treated as a mutation (futex wait/wake mutate the sleeper queue). *)
+let is_read = function Get -> true | _ -> false
+let dependent a b = a.obj = b.obj && not (is_read a.kind && is_read b.kind)
+
+type 'a run_result =
+  | Ret of 'a
+  | Sleep_then of 'a  (** park the fiber; deliver ['a] once woken *)
+
+type 'a yield_spec = { info : opinfo; enabled : unit -> bool; run : unit -> 'a run_result }
+type _ Effect.t += Yield : 'a yield_spec -> 'a Effect.t
+
+type pending = Pending : 'a yield_spec * ('a, unit) Effect.Deep.continuation -> pending
+
+type parked = { fobj : int; resume : unit -> unit }
+
+type slot_state =
+  | Ready of pending
+  | Sleeping of parked
+  | Woken of parked
+  | Finished
+
+type ctx = {
+  mutable slots : slot_state array;
+  mutable current : int;  (** running thread id, [-1] outside fibers *)
+  mutable steps : int;
+  mutable objs : int;  (** object-id source: deterministic per execution *)
+  mutable active : bool;
+}
+
+let ctx = { slots = [||]; current = -1; steps = 0; objs = 0; active = false }
+
+let fresh_obj () =
+  let o = ctx.objs in
+  ctx.objs <- o + 1;
+  o
+
+let now_step () = ctx.steps
+let current () = ctx.current
+let in_fiber () = ctx.active && ctx.current >= 0
+
+exception Violation of string
+exception Fiber_exn of int * exn
+
+let violation fmt = Printf.ksprintf (fun m -> raise (Violation m)) fmt
+let always () = true
+
+let op ?(enabled = always) ~kind ~obj run =
+  if in_fiber () then Effect.perform (Yield { info = { kind; obj }; enabled; run })
+  else
+    (* Outside fibers (scenario [make] / final checks): execute directly,
+       invisibly to the exploration. *)
+    match run () with
+    | Ret v -> v
+    | Sleep_then _ -> failwith "Sched: blocking operation outside a fiber"
+
+let simple ~kind ~obj f = op ~kind ~obj (fun () -> Ret (f ()))
+
+let wake_thread tid =
+  match ctx.slots.(tid) with
+  | Sleeping s -> ctx.slots.(tid) <- Woken s
+  | _ -> ()
+
+(* {2 Execution} *)
+
+type exec_result =
+  | Exec_ok
+  | Exec_deadlock of string
+  | Exec_violation of string
+  | Exec_bounded
+  | Exec_stopped  (** the chooser gave up (sleep-set blocked) *)
+
+let start tid body =
+  ctx.current <- tid;
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc = (fun () -> ctx.slots.(tid) <- Finished);
+      exnc = (fun e -> raise (Fiber_exn (tid, e)));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield spec ->
+              Some
+                (fun (k : (a, _) continuation) -> ctx.slots.(tid) <- Ready (Pending (spec, k)))
+          | _ -> None);
+    };
+  ctx.current <- -1
+
+let pending_info tid =
+  match ctx.slots.(tid) with
+  | Ready (Pending (spec, _)) -> spec.info
+  | Woken { fobj; _ } -> { kind = Resume; obj = fobj }
+  | _ -> invalid_arg "Sched.pending_info"
+
+let enabled_list () =
+  let acc = ref [] in
+  for tid = Array.length ctx.slots - 1 downto 0 do
+    match ctx.slots.(tid) with
+    | Ready (Pending (spec, _)) -> if spec.enabled () then acc := (tid, spec.info) :: !acc
+    | Woken { fobj; _ } -> acc := (tid, { kind = Resume; obj = fobj }) :: !acc
+    | Sleeping _ | Finished -> ()
+  done;
+  !acc
+
+let execute tid =
+  (match ctx.slots.(tid) with
+  | Ready (Pending (spec, k)) -> (
+      ctx.current <- tid;
+      ctx.steps <- ctx.steps + 1;
+      match spec.run () with
+      | Ret v -> Effect.Deep.continue k v
+      | Sleep_then v ->
+          ctx.slots.(tid) <-
+            Sleeping { fobj = spec.info.obj; resume = (fun () -> Effect.Deep.continue k v) })
+  | Woken { resume; _ } ->
+      ctx.current <- tid;
+      ctx.steps <- ctx.steps + 1;
+      resume ()
+  | Sleeping _ | Finished -> invalid_arg "Sched.execute: thread not schedulable");
+  ctx.current <- -1
+
+let all_finished () =
+  Array.for_all (function Finished -> true | _ -> false) ctx.slots
+
+(* One controlled execution. [make] builds the shared state and returns the
+   thread bodies plus a final (quiescent) check; [choose] picks the next
+   thread among the enabled ones; [on_step] observes each executed step. *)
+let run ~max_steps ~make ~choose ~on_step =
+  ctx.active <- true;
+  ctx.current <- -1;
+  ctx.steps <- 0;
+  ctx.objs <- 0;
+  let result =
+    try
+      let bodies, final_check = make () in
+      ctx.slots <- Array.make (List.length bodies) Finished;
+      List.iteri start bodies;
+      let rec loop () =
+        if ctx.steps >= max_steps then Exec_bounded
+        else
+          match enabled_list () with
+          | [] ->
+              if all_finished () then
+                match final_check () with
+                | () -> Exec_ok
+                | exception Violation m -> Exec_violation m
+                | exception e ->
+                    Exec_violation
+                      (Printf.sprintf "final check raised %s" (Printexc.to_string e))
+              else begin
+                let stuck = ref [] in
+                Array.iteri
+                  (fun tid -> function
+                    | Finished -> ()
+                    | Sleeping { fobj; _ } ->
+                        stuck := Printf.sprintf "t%d asleep on #%d" tid fobj :: !stuck
+                    | Ready _ | Woken _ -> stuck := Printf.sprintf "t%d blocked" tid :: !stuck)
+                  ctx.slots;
+                Exec_deadlock (String.concat ", " (List.rev !stuck))
+              end
+          | enabled -> (
+              match choose ~enabled with
+              | None -> Exec_stopped
+              | Some tid ->
+                  let info = pending_info tid in
+                  execute tid;
+                  on_step ~tid ~info;
+                  loop ())
+      in
+      loop ()
+    with
+    | Violation m -> Exec_violation m
+    | Fiber_exn (tid, e) ->
+        Exec_violation (Printf.sprintf "t%d raised %s" tid (Printexc.to_string e))
+  in
+  ctx.current <- -1;
+  ctx.active <- false;
+  result

@@ -1,0 +1,123 @@
+(* The schedulable implementation of {!Zmsq_prim.Intf.PRIM}: plain mutable
+   cells whose every access is a {!Sched} yield point. Functor-applying the
+   production code to [Shim.Prim] puts the identical algorithm under the
+   model checker's control. *)
+
+module Prim : Zmsq_prim.Intf.PRIM = struct
+  module Atomic = struct
+    type 'a t = { id : int; mutable v : 'a }
+
+    let make v = { id = Sched.fresh_obj (); v }
+    let get t = Sched.simple ~kind:Sched.Get ~obj:t.id (fun () -> t.v)
+    let set t x = Sched.simple ~kind:Sched.Set ~obj:t.id (fun () -> t.v <- x)
+
+    let exchange t x =
+      Sched.simple ~kind:Sched.Exchange ~obj:t.id (fun () ->
+          let old = t.v in
+          t.v <- x;
+          old)
+
+    let compare_and_set t expect replace =
+      Sched.simple ~kind:Sched.Cas ~obj:t.id (fun () ->
+          if t.v == expect then begin
+            t.v <- replace;
+            true
+          end
+          else false)
+
+    let fetch_and_add t d =
+      Sched.simple ~kind:Sched.Faa ~obj:t.id (fun () ->
+          let old = t.v in
+          t.v <- old + d;
+          old)
+
+    let incr t = ignore (fetch_and_add t 1)
+    let decr t = ignore (fetch_and_add t (-1))
+  end
+
+  module Mutex = struct
+    type t = { id : int; mutable held : bool }
+
+    let create () = { id = Sched.fresh_obj (); held = false }
+
+    (* Blocking acquisition is modeled as a step that is *disabled* while
+       the mutex is held — no spinning executions exist, and a thread stuck
+       here with no possible unlocker surfaces as a deadlock. *)
+    let lock t =
+      Sched.op ~kind:Sched.Lock ~obj:t.id
+        ~enabled:(fun () -> not t.held)
+        (fun () ->
+          if t.held then Sched.violation "model mutex #%d: lock while held" t.id;
+          t.held <- true;
+          Sched.Ret ())
+
+    let try_lock t =
+      Sched.simple ~kind:Sched.Trylock ~obj:t.id (fun () ->
+          if t.held then false
+          else begin
+            t.held <- true;
+            true
+          end)
+
+    let unlock t =
+      Sched.simple ~kind:Sched.Unlock ~obj:t.id (fun () ->
+          if not t.held then Sched.violation "model mutex #%d: unlock while free" t.id;
+          t.held <- false)
+  end
+
+  module Futex = struct
+    type t = { id : int; mutable v : int; mutable sleepers : int list }
+
+    let create v = { id = Sched.fresh_obj (); v; sleepers = [] }
+    let get t = Sched.simple ~kind:Sched.Get ~obj:t.id (fun () -> t.v)
+
+    let compare_and_set t expect replace =
+      Sched.simple ~kind:Sched.Cas ~obj:t.id (fun () ->
+          if t.v = expect then begin
+            t.v <- replace;
+            true
+          end
+          else false)
+
+    (* Real futex semantics: the value check and the transition to sleep
+       are one atomic step. A wake that happens *before* this step makes
+       the check fail (value changed) or is lost exactly as the kernel
+       would lose it — which is what lost-wakeup checking is about. *)
+    let wait t expect =
+      Sched.op ~kind:Sched.Fwait ~obj:t.id (fun () ->
+          if t.v <> expect then Sched.Ret ()
+          else begin
+            t.sleepers <- Sched.current () :: t.sleepers;
+            Sched.Sleep_then ()
+          end)
+
+    let wait_for t expect ~timeout_ns:_ =
+      (* The model never times out: a deadline that must fire to make
+         progress is a liveness bug and shows up as a deadlock. *)
+      wait t expect;
+      true
+
+    let wake t =
+      Sched.simple ~kind:Sched.Fwake ~obj:t.id (fun () ->
+          let sleepers = t.sleepers in
+          t.sleepers <- [];
+          List.iter Sched.wake_thread sleepers)
+  end
+
+  let cpu_relax () = ()
+  let name = "model"
+end
+
+(* A lock for model-checking ZMSQ itself: acquire/release are single yield
+   points with mutex-style enabledness, so checking the queue does not pay
+   the state-space cost of exploring spin loops inside TAS/TATAS (those are
+   covered by their own mutual-exclusion scenario). *)
+module Lock : Zmsq_sync.Lock.S = struct
+  type t = Prim.Mutex.t
+
+  let create () = Prim.Mutex.create ()
+  let acquire = Prim.Mutex.lock
+  let try_acquire = Prim.Mutex.try_lock
+  let release = Prim.Mutex.unlock
+  let name = "model"
+end

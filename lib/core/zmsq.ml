@@ -1,3 +1,5 @@
+(* lint: prim-functorized *)
+
 module Params = Params
 module Set_intf = Set_intf
 module List_set = List_set
@@ -5,8 +7,6 @@ module Array_set = Array_set
 module Lazy_set = Lazy_set
 module Rng = Zmsq_util.Rng
 module Elt = Zmsq_pq.Elt
-module Eventcount = Zmsq_sync.Eventcount
-module Hazard = Zmsq_hp.Hazard
 module Metrics = Zmsq_obs.Metrics
 module Trace = Zmsq_obs.Trace
 module Obs_level = Zmsq_obs.Level
@@ -47,17 +47,23 @@ module type S = sig
     val elements : t -> Zmsq_pq.Elt.t list
     val pool_level : t -> int
     val counters : t -> counters
-    val eventcount : t -> Zmsq_sync.Eventcount.t option
+    val eventcount_stats : t -> (int * int) option
     val hazard_domain_stats : t -> (int * int * int) option
   end
 end
 
 let max_levels = 28
 
-module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
+module Make_prim (P : Zmsq_prim.Intf.PRIM) (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S =
+struct
+  module Atomic = P.Atomic
+  module Mutex = P.Mutex
+  module Eventcount = Zmsq_sync.Eventcount.Make (P)
+  module Hazard = Zmsq_hp.Hazard.Make (P)
+
   type tnode = {
     lock : L.t;
-    set : Set.t; (* guarded by [lock] *)
+    set : Set.t; (* lint: guarded-by lock *)
     max : Elt.t Atomic.t; (* caches, written under [lock], read anywhere *)
     min : Elt.t Atomic.t;
     count : int Atomic.t;
@@ -73,6 +79,7 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
     }
 
   (* Refresh the cached fields from the set (under the node's lock). *)
+  (* lint: holds lock *)
   let refresh n =
     Atomic.set n.max (Set.max_elt n.set);
     Atomic.set n.min (Set.min_elt n.set);
@@ -219,18 +226,17 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
 
   let expand q observed_leaf =
     Mutex.lock q.expand_mu;
-    if Atomic.get q.leaf_level = observed_leaf then begin
-      let next = observed_leaf + 1 in
-      if next >= max_levels then begin
-        Mutex.unlock q.expand_mu;
-        failwith "Zmsq: tree height limit reached"
-      end;
-      Atomic.set q.levels.(next) (Array.init (1 lsl next) (fun _ -> fresh_tnode ()));
-      Atomic.set q.leaf_level next;
-      tick q q.mc.c_expands;
-      note q Trace.Expand
-    end;
-    Mutex.unlock q.expand_mu
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock q.expand_mu)
+      (fun () ->
+        if Atomic.get q.leaf_level = observed_leaf then begin
+          let next = observed_leaf + 1 in
+          if next >= max_levels then failwith "Zmsq: tree height limit reached";
+          Atomic.set q.levels.(next) (Array.init (1 lsl next) (fun _ -> fresh_tnode ()));
+          Atomic.set q.leaf_level next;
+          tick q q.mc.c_expands;
+          note q Trace.Expand
+        end)
 
   (* {2 Locking helpers} *)
 
@@ -335,6 +341,7 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
       split_node q (level + 1) (2 * slot) left
     else L.release left.lock
 
+  (* lint: holds lock *)
   let insert_as_max q level slot node e =
     Set.insert node.set e;
     Atomic.set node.max e;
@@ -537,7 +544,7 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
       (* Wait for lagging consumers holding indexes into the old pool. *)
       for i = 0 to q.pool_fill - 1 do
         while not (Elt.is_none (Atomic.get q.pool.(i))) do
-          Domain.cpu_relax ()
+          P.cpu_relax ()
         done
       done;
       let count = Set.size root.set in
@@ -570,7 +577,7 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
         if not (Elt.is_none v) then finish v
         else if Atomic.get q.size = 0 then Elt.none
         else begin
-          Domain.cpu_relax ();
+          P.cpu_relax ();
           loop ()
         end
       end
@@ -731,12 +738,15 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
       done;
       !acc
 
+    (* lint: quiescent *)
     let elements q =
       fold_nodes q (fun acc _ _ n -> List.rev_append (Set.to_list n.set) acc) (pool_elements q)
 
+    (* lint: quiescent *)
     let node_counts q =
       List.rev (fold_nodes q (fun acc _ _ n -> Set.size n.set :: acc) []) |> Array.of_list
 
+    (* lint: quiescent *)
     let check_invariant q =
       let caches_ok =
         fold_nodes q
@@ -792,7 +802,8 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
         helper_moves = Metrics.value q.mc.c_helper_moves;
       }
 
-    let eventcount q = q.ec
+    let eventcount_stats q =
+      Option.map (fun ec -> (Eventcount.sleeps ec, Eventcount.wakes ec)) q.ec
 
     let hazard_domain_stats q =
       Option.map
@@ -800,6 +811,9 @@ module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S = struct
         q.hp
   end
 end
+
+module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S =
+  Make_prim (Zmsq_prim.Native) (L) (Set)
 
 module Default = Make (Zmsq_sync.Lock.Tatas) (List_set)
 module Array_q = Make (Zmsq_sync.Lock.Tatas) (Array_set)

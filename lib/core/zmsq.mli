@@ -119,14 +119,22 @@ module type S = sig
 
     val counters : t -> counters
 
-    val eventcount : t -> Zmsq_sync.Eventcount.t option
+    val eventcount_stats : t -> (int * int) option
+    (** (sleeps, wakes) of the eventcount when [params.blocking]. *)
 
     val hazard_domain_stats : t -> (int * int * int) option
     (** (retired, recycled, scans) when hazard pointers are active. *)
   end
 end
 
+module Make_prim (P : Zmsq_prim.Intf.PRIM) (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S
+(** The fully general form: every atomic access, mutex operation, futex
+    wait and [cpu_relax] goes through [P]. [zmsq_check] instantiates this
+    with schedulable primitives to model-check the queue; production code
+    should use {!Make}. *)
+
 module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : S
+(** [Make_prim] applied to the native primitives ({!Zmsq_prim.Native}). *)
 
 module Default : S
 (** TATAS trylocks + sorted-list sets — the paper's default configuration. *)

@@ -96,9 +96,7 @@ let run mode spec =
     Array.fold_left Zmsq_util.Stats.Histogram.merge (Zmsq_util.Stats.Histogram.create ()) results
   in
   let sleeps, wakes =
-    match Q.Debug.eventcount q with
-    | Some ec -> (Zmsq_sync.Eventcount.sleeps ec, Zmsq_sync.Eventcount.wakes ec)
-    | None -> (0, 0)
+    match Q.Debug.eventcount_stats q with Some sw -> sw | None -> (0, 0)
   in
   {
     mean_latency_ns = Zmsq_util.Stats.Histogram.mean hist;

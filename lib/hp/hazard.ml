@@ -1,155 +1,195 @@
-type 'a record = {
-  active : bool Atomic.t;
-  slots : 'a option Atomic.t array;
-  mutable retired : 'a list;
-  mutable retired_len : int;
-}
+(* lint: prim-functorized *)
 
-type 'a t = {
-  records : 'a record array;
-  slots_per_thread : int;
-  scan_threshold : int;
-  recycle : 'a -> unit;
-  (* Retired nodes inherited from unregistered threads. *)
-  orphans_mu : Mutex.t;
-  mutable orphans : 'a list;
-  mutable orphans_len : int;
-  retired_total : int Atomic.t;
-  recycled_total : int Atomic.t;
-  scans : int Atomic.t;
-}
+module type S = sig
+  type 'a atomic_src
+  type 'a t
+  type 'a thread
 
-type 'a thread = { dom : 'a t; record : 'a record }
+  val create :
+    ?slots_per_thread:int ->
+    ?max_threads:int ->
+    ?scan_threshold:int ->
+    recycle:('a -> unit) ->
+    unit ->
+    'a t
 
-let create ?(slots_per_thread = 3) ?(max_threads = 128) ?scan_threshold ~recycle () =
-  if slots_per_thread <= 0 || max_threads <= 0 then invalid_arg "Hazard.create";
-  let scan_threshold =
-    match scan_threshold with
-    | Some v -> max 1 v
-    | None -> 2 * max_threads * slots_per_thread
-  in
-  {
-    records =
-      Array.init max_threads (fun _ ->
-          {
-            active = Atomic.make false;
-            slots = Array.init slots_per_thread (fun _ -> Atomic.make None);
-            retired = [];
-            retired_len = 0;
-          });
-    slots_per_thread;
-    scan_threshold;
-    recycle;
-    orphans_mu = Mutex.create ();
-    orphans = [];
-    orphans_len = 0;
-    retired_total = Atomic.make 0;
-    recycled_total = Atomic.make 0;
-    scans = Atomic.make 0;
+  val register : 'a t -> 'a thread
+  val unregister : 'a thread -> unit
+  val protect : 'a thread -> slot:int -> 'a atomic_src -> 'a
+  val set : 'a thread -> slot:int -> 'a -> unit
+  val clear : 'a thread -> slot:int -> unit
+  val clear_all : 'a thread -> unit
+  val retire : 'a thread -> 'a -> unit
+  val flush : 'a thread -> unit
+  val retired_count : 'a t -> int
+  val recycled_count : 'a t -> int
+  val scan_count : 'a t -> int
+  val live_retired : 'a t -> int
+end
+
+module Make (P : Zmsq_prim.Intf.PRIM) = struct
+  module Atomic = P.Atomic
+  module Mutex = P.Mutex
+
+  type 'a atomic_src = 'a P.Atomic.t
+
+  type 'a record = {
+    active : bool Atomic.t;
+    slots : 'a option Atomic.t array;
+    mutable retired : 'a list;
+    mutable retired_len : int;
   }
 
-let register dom =
-  let n = Array.length dom.records in
-  let rec find i =
-    if i >= n then failwith "Hazard.register: max_threads exceeded"
-    else begin
-      let r = dom.records.(i) in
-      if (not (Atomic.get r.active)) && Atomic.compare_and_set r.active false true then r
-      else find (i + 1)
-    end
-  in
-  { dom; record = find 0 }
+  type 'a t = {
+    records : 'a record array;
+    slots_per_thread : int;
+    scan_threshold : int;
+    recycle : 'a -> unit;
+    (* Retired nodes inherited from unregistered threads. *)
+    orphans_mu : Mutex.t;
+    mutable orphans : 'a list; (* lint: guarded-by orphans_mu *)
+    mutable orphans_len : int;
+    retired_total : int Atomic.t;
+    recycled_total : int Atomic.t;
+    scans : int Atomic.t;
+  }
 
-let set th ~slot v = Atomic.set th.record.slots.(slot) (Some v)
+  type 'a thread = { dom : 'a t; record : 'a record }
 
-let clear th ~slot = Atomic.set th.record.slots.(slot) None
-
-let clear_all th = Array.iter (fun s -> Atomic.set s None) th.record.slots
-
-let protect th ~slot src =
-  let rec go () =
-    let v = Atomic.get src in
-    Atomic.set th.record.slots.(slot) (Some v);
-    (* Re-validate: once the publication is visible, either [src] still
-       points at [v] (so [v] cannot have been recycled) or we retry. *)
-    if Atomic.get src == v then v else go ()
-  in
-  go ()
-
-(* A scan: collect every published pointer, recycle retired nodes that no
-   slot protects, keep the rest for the next scan. *)
-let scan_list dom candidates =
-  Atomic.incr dom.scans;
-  let protected_ = ref [] in
-  Array.iter
-    (fun r ->
-      if Atomic.get r.active then
-        Array.iter
-          (fun s -> match Atomic.get s with Some v -> protected_ := v :: !protected_ | None -> ())
-          r.slots)
-    dom.records;
-  let guarded v = List.exists (fun p -> p == v) !protected_ in
-  let survivors = ref [] in
-  let survivors_len = ref 0 in
-  List.iter
-    (fun v ->
-      if guarded v then begin
-        survivors := v :: !survivors;
-        incr survivors_len
-      end
-      else begin
-        dom.recycle v;
-        Atomic.incr dom.recycled_total
-      end)
-    candidates;
-  (!survivors, !survivors_len)
-
-let take_orphans dom =
-  Mutex.lock dom.orphans_mu;
-  let o = dom.orphans and n = dom.orphans_len in
-  dom.orphans <- [];
-  dom.orphans_len <- 0;
-  Mutex.unlock dom.orphans_mu;
-  (o, n)
-
-let scan th =
-  let dom = th.dom in
-  let orphans, _ = take_orphans dom in
-  let survivors, len = scan_list dom (List.rev_append orphans th.record.retired) in
-  th.record.retired <- survivors;
-  th.record.retired_len <- len
-
-let retire th v =
-  let r = th.record in
-  r.retired <- v :: r.retired;
-  r.retired_len <- r.retired_len + 1;
-  Atomic.incr th.dom.retired_total;
-  if r.retired_len >= th.dom.scan_threshold then scan th
-
-let flush th = scan th
-
-let unregister th =
-  clear_all th;
-  scan th;
-  let r = th.record in
-  if r.retired_len > 0 then begin
-    let dom = th.dom in
+  (* Exception-safe critical section for the orphan list; the scan path can
+     call back into [recycle], which is user code and may raise. *)
+  let with_orphans_mu dom f =
     Mutex.lock dom.orphans_mu;
-    dom.orphans <- List.rev_append r.retired dom.orphans;
-    dom.orphans_len <- dom.orphans_len + r.retired_len;
-    Mutex.unlock dom.orphans_mu;
-    r.retired <- [];
-    r.retired_len <- 0
-  end;
-  Atomic.set r.active false
+    Fun.protect ~finally:(fun () -> Mutex.unlock dom.orphans_mu) f
 
-let retired_count dom = Atomic.get dom.retired_total
-let recycled_count dom = Atomic.get dom.recycled_total
-let scan_count dom = Atomic.get dom.scans
+  let create ?(slots_per_thread = 3) ?(max_threads = 128) ?scan_threshold ~recycle () =
+    if slots_per_thread <= 0 || max_threads <= 0 then invalid_arg "Hazard.create";
+    let scan_threshold =
+      match scan_threshold with
+      | Some v -> max 1 v
+      | None -> 2 * max_threads * slots_per_thread
+    in
+    {
+      records =
+        Array.init max_threads (fun _ ->
+            {
+              active = Atomic.make false;
+              slots = Array.init slots_per_thread (fun _ -> Atomic.make None);
+              retired = [];
+              retired_len = 0;
+            });
+      slots_per_thread;
+      scan_threshold;
+      recycle;
+      orphans_mu = Mutex.create ();
+      orphans = [];
+      orphans_len = 0;
+      retired_total = Atomic.make 0;
+      recycled_total = Atomic.make 0;
+      scans = Atomic.make 0;
+    }
 
-let live_retired dom =
-  let local = Array.fold_left (fun acc r -> acc + r.retired_len) 0 dom.records in
-  Mutex.lock dom.orphans_mu;
-  let o = dom.orphans_len in
-  Mutex.unlock dom.orphans_mu;
-  local + o
+  let register dom =
+    let n = Array.length dom.records in
+    let rec find i =
+      if i >= n then failwith "Hazard.register: max_threads exceeded"
+      else begin
+        let r = dom.records.(i) in
+        if (not (Atomic.get r.active)) && Atomic.compare_and_set r.active false true then r
+        else find (i + 1)
+      end
+    in
+    { dom; record = find 0 }
+
+  let set th ~slot v = Atomic.set th.record.slots.(slot) (Some v)
+
+  let clear th ~slot = Atomic.set th.record.slots.(slot) None
+
+  let clear_all th = Array.iter (fun s -> Atomic.set s None) th.record.slots
+
+  let protect th ~slot src =
+    let rec go () =
+      let v = Atomic.get src in
+      Atomic.set th.record.slots.(slot) (Some v);
+      (* Re-validate: once the publication is visible, either [src] still
+         points at [v] (so [v] cannot have been recycled) or we retry. *)
+      if Atomic.get src == v then v else go ()
+    in
+    go ()
+
+  (* A scan: collect every published pointer, recycle retired nodes that no
+     slot protects, keep the rest for the next scan. *)
+  let scan_list dom candidates =
+    Atomic.incr dom.scans;
+    let protected_ = ref [] in
+    Array.iter
+      (fun r ->
+        if Atomic.get r.active then
+          Array.iter
+            (fun s -> match Atomic.get s with Some v -> protected_ := v :: !protected_ | None -> ())
+            r.slots)
+      dom.records;
+    let guarded v = List.exists (fun p -> p == v) !protected_ in
+    let survivors = ref [] in
+    let survivors_len = ref 0 in
+    List.iter
+      (fun v ->
+        if guarded v then begin
+          survivors := v :: !survivors;
+          incr survivors_len
+        end
+        else begin
+          dom.recycle v;
+          Atomic.incr dom.recycled_total
+        end)
+      candidates;
+    (!survivors, !survivors_len)
+
+  let take_orphans dom =
+    with_orphans_mu dom (fun () ->
+        let o = dom.orphans and n = dom.orphans_len in
+        dom.orphans <- [];
+        dom.orphans_len <- 0;
+        (o, n))
+
+  let scan th =
+    let dom = th.dom in
+    let orphans, _ = take_orphans dom in
+    let survivors, len = scan_list dom (List.rev_append orphans th.record.retired) in
+    th.record.retired <- survivors;
+    th.record.retired_len <- len
+
+  let retire th v =
+    let r = th.record in
+    r.retired <- v :: r.retired;
+    r.retired_len <- r.retired_len + 1;
+    Atomic.incr th.dom.retired_total;
+    if r.retired_len >= th.dom.scan_threshold then scan th
+
+  let flush th = scan th
+
+  let unregister th =
+    clear_all th;
+    scan th;
+    let r = th.record in
+    if r.retired_len > 0 then begin
+      let dom = th.dom in
+      with_orphans_mu dom (fun () ->
+          dom.orphans <- List.rev_append r.retired dom.orphans;
+          dom.orphans_len <- dom.orphans_len + r.retired_len);
+      r.retired <- [];
+      r.retired_len <- 0
+    end;
+    Atomic.set r.active false
+
+  let retired_count dom = Atomic.get dom.retired_total
+  let recycled_count dom = Atomic.get dom.recycled_total
+  let scan_count dom = Atomic.get dom.scans
+
+  let live_retired dom =
+    let local = Array.fold_left (fun acc r -> acc + r.retired_len) 0 dom.records in
+    let o = with_orphans_mu dom (fun () -> dom.orphans_len) in
+    local + o
+end
+
+include Make (Zmsq_prim.Native)

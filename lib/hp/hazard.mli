@@ -9,58 +9,73 @@
     leaky comparators.
 
     ZMSQ needs at most two hazard pointers per thread (three with a
-    list-based set); the default [slots_per_thread] is 3. *)
+    list-based set); the default [slots_per_thread] is 3.
 
-type 'a t
-(** A reclamation domain managing nodes of type ['a]. *)
+    Functorized over {!Zmsq_prim.Intf.PRIM}: the toplevel values are the
+    native instantiation; [zmsq_check] model-checks [Make] applied to
+    schedulable primitives (its retire-vs-protect regression explores the
+    publication / re-validation race exhaustively). *)
 
-type 'a thread
-(** A registered participant. Thread records are single-owner: each domain
-    (or systhread) must register for itself. *)
+module type S = sig
+  type 'a atomic_src
+  (** The atomic cell type protected reads load from ([P.Atomic.t]). *)
 
-val create :
-  ?slots_per_thread:int ->
-  ?max_threads:int ->
-  ?scan_threshold:int ->
-  recycle:('a -> unit) ->
-  unit ->
-  'a t
-(** [create ~recycle ()] builds a domain. [recycle] is invoked on a retired
-    node once no hazard pointer can reach it (e.g. push it onto a free
-    list). [scan_threshold] bounds the retire-list length before a scan
-    (default [2 * max_threads * slots_per_thread]). *)
+  type 'a t
+  (** A reclamation domain managing nodes of type ['a]. *)
 
-val register : 'a t -> 'a thread
-(** Claim a thread record. Raises [Failure] when [max_threads] records are
-    already live. *)
+  type 'a thread
+  (** A registered participant. Thread records are single-owner: each domain
+      (or systhread) must register for itself. *)
 
-val unregister : 'a thread -> unit
-(** Release the record (clears its slots, flushes its retire list into the
-    shared pool for later scans). *)
+  val create :
+    ?slots_per_thread:int ->
+    ?max_threads:int ->
+    ?scan_threshold:int ->
+    recycle:('a -> unit) ->
+    unit ->
+    'a t
+  (** [create ~recycle ()] builds a domain. [recycle] is invoked on a retired
+      node once no hazard pointer can reach it (e.g. push it onto a free
+      list). [scan_threshold] bounds the retire-list length before a scan
+      (default [2 * max_threads * slots_per_thread]). *)
 
-val protect : 'a thread -> slot:int -> 'a Atomic.t -> 'a
-(** [protect th ~slot src] reads [src], publishes the value in [slot], and
-    re-validates until the published value equals the current content of
-    [src] — the standard acquire loop. *)
+  val register : 'a t -> 'a thread
+  (** Claim a thread record. Raises [Failure] when [max_threads] records are
+      already live. *)
 
-val set : 'a thread -> slot:int -> 'a -> unit
-(** Publish a value already known to be reachable (e.g. read under a lock). *)
+  val unregister : 'a thread -> unit
+  (** Release the record (clears its slots, flushes its retire list into the
+      shared pool for later scans). *)
 
-val clear : 'a thread -> slot:int -> unit
+  val protect : 'a thread -> slot:int -> 'a atomic_src -> 'a
+  (** [protect th ~slot src] reads [src], publishes the value in [slot], and
+      re-validates until the published value equals the current content of
+      [src] — the standard acquire loop. *)
 
-val clear_all : 'a thread -> unit
+  val set : 'a thread -> slot:int -> 'a -> unit
+  (** Publish a value already known to be reachable (e.g. read under a lock). *)
 
-val retire : 'a thread -> 'a -> unit
-(** Mark a node logically removed; it is recycled after some later scan
-    finds no slot holding it. *)
+  val clear : 'a thread -> slot:int -> unit
 
-val flush : 'a thread -> unit
-(** Force a scan of this thread's retire list now (tests/teardown). *)
+  val clear_all : 'a thread -> unit
 
-(** {2 Instrumentation} *)
+  val retire : 'a thread -> 'a -> unit
+  (** Mark a node logically removed; it is recycled after some later scan
+      finds no slot holding it. *)
 
-val retired_count : 'a t -> int
-val recycled_count : 'a t -> int
-val scan_count : 'a t -> int
-val live_retired : 'a t -> int
-(** Nodes retired but not yet recycled. *)
+  val flush : 'a thread -> unit
+  (** Force a scan of this thread's retire list now (tests/teardown). *)
+
+  (** {2 Instrumentation} *)
+
+  val retired_count : 'a t -> int
+  val recycled_count : 'a t -> int
+  val scan_count : 'a t -> int
+
+  val live_retired : 'a t -> int
+  (** Nodes retired but not yet recycled. *)
+end
+
+module Make (P : Zmsq_prim.Intf.PRIM) : S with type 'a atomic_src = 'a P.Atomic.t
+
+include S with type 'a atomic_src = 'a Stdlib.Atomic.t

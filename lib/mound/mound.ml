@@ -48,16 +48,15 @@ let node_at q level slot = (Atomic.get q.levels.(level)).(slot)
 
 let expand q observed_leaf =
   Mutex.lock q.expand_mu;
-  if Atomic.get q.leaf_level = observed_leaf then begin
-    let next = observed_leaf + 1 in
-    if next >= max_levels then begin
-      Mutex.unlock q.expand_mu;
-      failwith "Mound: tree height limit reached"
-    end;
-    Atomic.set q.levels.(next) (Array.init (1 lsl next) (fun _ -> fresh_tnode ()));
-    Atomic.set q.leaf_level next
-  end;
-  Mutex.unlock q.expand_mu
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock q.expand_mu)
+    (fun () ->
+      if Atomic.get q.leaf_level = observed_leaf then begin
+        let next = observed_leaf + 1 in
+        if next >= max_levels then failwith "Mound: tree height limit reached";
+        Atomic.set q.levels.(next) (Array.init (1 lsl next) (fun _ -> fresh_tnode ()));
+        Atomic.set q.leaf_level next
+      end)
 
 (* Binary search on the path from (level, slot) to the root for the deepest
    node N with N.max <= e; the parent of N (if any) has parent.max > e.

@@ -41,30 +41,36 @@ type t = {
 let global_mu = Mutex.create ()
 let global : t Weak.t ref = ref (Weak.create 8)
 
+(* Exception-safe critical section; registration paths run user-adjacent
+   code (weak-array growth) that may raise. *)
+let with_mu mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
 let register_global t =
-  Mutex.lock global_mu;
-  (* Reuse a cleared slot before growing. *)
-  let w = !global in
-  let len = Weak.length w in
-  let rec find i = if i >= len then None else if Weak.check w i then find (i + 1) else Some i in
-  (match find 0 with
-  | Some i -> Weak.set w i (Some t)
-  | None ->
-      let w' = Weak.create (2 * len) in
-      Weak.blit w 0 w' 0 len;
-      Weak.set w' len (Some t);
-      global := w');
-  Mutex.unlock global_mu
+  with_mu global_mu (fun () ->
+      (* Reuse a cleared slot before growing. *)
+      let w = !global in
+      let len = Weak.length w in
+      let rec find i =
+        if i >= len then None else if Weak.check w i then find (i + 1) else Some i
+      in
+      match find 0 with
+      | Some i -> Weak.set w i (Some t)
+      | None ->
+          let w' = Weak.create (2 * len) in
+          Weak.blit w 0 w' 0 len;
+          Weak.set w' len (Some t);
+          global := w')
 
 let live_registries () =
-  Mutex.lock global_mu;
-  let w = !global in
-  let acc = ref [] in
-  for i = Weak.length w - 1 downto 0 do
-    match Weak.get w i with Some t -> acc := t :: !acc | None -> ()
-  done;
-  Mutex.unlock global_mu;
-  !acc
+  with_mu global_mu (fun () ->
+      let w = !global in
+      let acc = ref [] in
+      for i = Weak.length w - 1 downto 0 do
+        match Weak.get w i with Some t -> acc := t :: !acc | None -> ()
+      done;
+      !acc)
 
 (* {2 Construction} *)
 
@@ -76,35 +82,27 @@ let create ?(name = "zmsq") () =
 let name t = t.name
 
 let counter t cname =
-  Mutex.lock t.mu;
-  let c =
-    match List.assoc_opt cname t.counters with
-    | Some c -> c
-    | None ->
-        let c = { c_slots = Array.init (nslots * stride) (fun _ -> Atomic.make 0) } in
-        t.counters <- t.counters @ [ (cname, c) ];
-        c
-  in
-  Mutex.unlock t.mu;
-  c
+  with_mu t.mu (fun () ->
+      match List.assoc_opt cname t.counters with
+      | Some c -> c
+      | None ->
+          let c = { c_slots = Array.init (nslots * stride) (fun _ -> Atomic.make 0) } in
+          t.counters <- t.counters @ [ (cname, c) ];
+          c)
 
 let gauge t gname read =
-  Mutex.lock t.mu;
-  if not (List.mem_assoc gname t.gauges) then t.gauges <- t.gauges @ [ (gname, { g_read = read }) ];
-  Mutex.unlock t.mu
+  with_mu t.mu (fun () ->
+      if not (List.mem_assoc gname t.gauges) then
+        t.gauges <- t.gauges @ [ (gname, { g_read = read }) ])
 
 let histogram t hname =
-  Mutex.lock t.mu;
-  let h =
-    match List.assoc_opt hname t.hists with
-    | Some h -> h
-    | None ->
-        let h = { h_slots = Array.init nslots (fun _ -> Atomic.make None) } in
-        t.hists <- t.hists @ [ (hname, h) ];
-        h
-  in
-  Mutex.unlock t.mu;
-  h
+  with_mu t.mu (fun () ->
+      match List.assoc_opt hname t.hists with
+      | Some h -> h
+      | None ->
+          let h = { h_slots = Array.init nslots (fun _ -> Atomic.make None) } in
+          t.hists <- t.hists @ [ (hname, h) ];
+          h)
 
 (* {2 Hot-path updates} *)
 
@@ -147,9 +145,9 @@ type snapshot = {
 }
 
 let snapshot t =
-  Mutex.lock t.mu;
-  let counters = t.counters and gauges = t.gauges and hists = t.hists in
-  Mutex.unlock t.mu;
+  let counters, gauges, hists =
+    with_mu t.mu (fun () -> (t.counters, t.gauges, t.hists))
+  in
   {
     taken_ns = Zmsq_util.Timing.now_ns ();
     counters = List.map (fun (n, c) -> (n, value c)) counters;

@@ -1,13 +1,27 @@
-type t = { min_spins : int; max_spins : int; mutable current : int }
+(* lint: prim-functorized *)
 
-let create ?(min_spins = 4) ?(max_spins = 1024) () =
-  if min_spins <= 0 || max_spins < min_spins then invalid_arg "Backoff.create";
-  { min_spins; max_spins; current = min_spins }
+module type S = sig
+  type t
 
-let once t =
-  for _ = 1 to t.current do
-    Domain.cpu_relax ()
-  done;
-  t.current <- min t.max_spins (t.current * 2)
+  val create : ?min_spins:int -> ?max_spins:int -> unit -> t
+  val once : t -> unit
+  val reset : t -> unit
+end
 
-let reset t = t.current <- t.min_spins
+module Make (P : Zmsq_prim.Intf.PRIM) = struct
+  type t = { min_spins : int; max_spins : int; mutable current : int }
+
+  let create ?(min_spins = 4) ?(max_spins = 1024) () =
+    if min_spins <= 0 || max_spins < min_spins then invalid_arg "Backoff.create";
+    { min_spins; max_spins; current = min_spins }
+
+  let once t =
+    for _ = 1 to t.current do
+      P.cpu_relax ()
+    done;
+    t.current <- min t.max_spins (t.current * 2)
+
+  let reset t = t.current <- t.min_spins
+end
+
+include Make (Zmsq_prim.Native)

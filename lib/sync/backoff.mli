@@ -1,10 +1,16 @@
 (** Bounded exponential backoff for contended retry loops. *)
 
-type t
+module type S = sig
+  type t
 
-val create : ?min_spins:int -> ?max_spins:int -> unit -> t
+  val create : ?min_spins:int -> ?max_spins:int -> unit -> t
 
-val once : t -> unit
-(** Spin for the current delay, then double it (up to the bound). *)
+  val once : t -> unit
+  (** Spin for the current delay, then double it (up to the bound). *)
 
-val reset : t -> unit
+  val reset : t -> unit
+end
+
+module Make (P : Zmsq_prim.Intf.PRIM) : S
+
+include S

@@ -1,115 +1,95 @@
-type t = {
-  slots : Futex.t array;
-  mask : int;
-  spin : int;
-  inserts : int Atomic.t; (* wake tickets: total completed insertions *)
-  extracts : int Atomic.t; (* sleep tickets: total extraction attempts *)
-  sleep_count : int Atomic.t;
-  wake_count : int Atomic.t;
-}
+(* lint: prim-functorized *)
 
-let create ?(slots = 16) ?(spin = 512) ~initial () =
-  if slots <= 0 || initial < 0 then invalid_arg "Eventcount.create";
-  (* Round up to a power of two so [mod] is a mask. *)
-  let n = ref 1 in
-  while !n < slots do
-    n := !n * 2
-  done;
-  {
-    slots = Array.init !n (fun _ -> Futex.create 0);
-    mask = !n - 1;
-    spin;
-    inserts = Atomic.make initial;
-    extracts = Atomic.make 0;
-    sleep_count = Atomic.make 0;
-    wake_count = Atomic.make 0;
+module type S = sig
+  type t
+
+  val create : ?slots:int -> ?spin:int -> initial:int -> unit -> t
+  val signal_after_insert : t -> unit
+  val wait_before_extract : t -> unit
+  val wait_before_extract_for : t -> timeout_ns:int -> bool
+  val would_sleep : t -> bool
+  val sleeps : t -> int
+  val wakes : t -> int
+end
+
+module Make (P : Zmsq_prim.Intf.PRIM) = struct
+  module Atomic = P.Atomic
+  module Futex = P.Futex
+
+  type t = {
+    slots : Futex.t array;
+    mask : int;
+    spin : int;
+    inserts : int Atomic.t; (* wake tickets: total completed insertions *)
+    extracts : int Atomic.t; (* sleep tickets: total extraction attempts *)
+    sleep_count : int Atomic.t;
+    wake_count : int Atomic.t;
   }
 
-(* Slot word layout: bit 0 = "sleepers present", bits 1.. = sequence number.
-   Every signal bumps the sequence and clears the sleeper bit; the bump is
-   what makes a concurrent [Futex.wait] on the old value return. *)
-
-let signal_after_insert t =
-  let ticket = Atomic.fetch_and_add t.inserts 1 in
-  let slot = t.slots.(ticket land t.mask) in
-  let rec bump () =
-    let word = Futex.get slot in
-    let next = (((word lsr 1) + 1) lsl 1) land max_int in
-    if Futex.compare_and_set slot word next then word land 1 = 1 else bump ()
-  in
-  if bump () then begin
-    Atomic.incr t.wake_count;
-    Futex.wake slot
-  end
-
-let ready t ticket = Atomic.get t.inserts > ticket
-
-let wait_before_extract t =
-  let ticket = Atomic.fetch_and_add t.extracts 1 in
-  if not (ready t ticket) then begin
-    let slot = t.slots.(ticket land t.mask) in
-    (* Optimistic spin: most handoffs complete without a syscall. *)
-    let spun = ref 0 in
-    while (not (ready t ticket)) && !spun < t.spin do
-      Domain.cpu_relax ();
-      incr spun
+  let create ?(slots = 16) ?(spin = 512) ~initial () =
+    if slots <= 0 || initial < 0 then invalid_arg "Eventcount.create";
+    (* Round up to a power of two so [mod] is a mask. *)
+    let n = ref 1 in
+    while !n < slots do
+      n := !n * 2
     done;
-    let rec sleep_loop () =
-      if not (ready t ticket) then begin
-        let word = Futex.get slot in
-        if word land 1 = 1 then begin
-          (* Sleepers already advertised on this slot. *)
-          if not (ready t ticket) then begin
-            Atomic.incr t.sleep_count;
-            Futex.wait slot word
-          end;
-          sleep_loop ()
-        end
-        else if Futex.compare_and_set slot word (word lor 1) then begin
-          (* Re-check after publishing the sleeper bit: a signal that
-             follows our CAS must see the bit (atomics are SC), so waiting
-             on the bit-set value cannot lose the wake. *)
-          if not (ready t ticket) then begin
-            Atomic.incr t.sleep_count;
-            Futex.wait slot (word lor 1)
-          end;
-          sleep_loop ()
-        end
-        else sleep_loop ()
-      end
-    in
-    sleep_loop ()
-  end
+    {
+      slots = Array.init !n (fun _ -> Futex.create 0);
+      mask = !n - 1;
+      spin;
+      inserts = Atomic.make initial;
+      extracts = Atomic.make 0;
+      sleep_count = Atomic.make 0;
+      wake_count = Atomic.make 0;
+    }
 
-let wait_before_extract_for t ~timeout_ns =
-  let ticket = Atomic.fetch_and_add t.extracts 1 in
-  if ready t ticket then true
-  else begin
-    let result =
-      let deadline = Zmsq_util.Timing.now_ns () + timeout_ns in
+  (* Slot word layout: bit 0 = "sleepers present", bits 1.. = sequence number.
+     Every signal bumps the sequence and clears the sleeper bit; the bump is
+     what makes a concurrent [Futex.wait] on the old value return. *)
+
+  let signal_after_insert t =
+    let ticket = Atomic.fetch_and_add t.inserts 1 in
+    let slot = t.slots.(ticket land t.mask) in
+    let rec bump () =
+      let word = Futex.get slot in
+      let next = (((word lsr 1) + 1) lsl 1) land max_int in
+      if Futex.compare_and_set slot word next then word land 1 = 1 else bump ()
+    in
+    if bump () then begin
+      Atomic.incr t.wake_count;
+      Futex.wake slot
+    end
+
+  let ready t ticket = Atomic.get t.inserts > ticket
+
+  let wait_before_extract t =
+    let ticket = Atomic.fetch_and_add t.extracts 1 in
+    if not (ready t ticket) then begin
       let slot = t.slots.(ticket land t.mask) in
+      (* Optimistic spin: most handoffs complete without a syscall. *)
       let spun = ref 0 in
       while (not (ready t ticket)) && !spun < t.spin do
-        Domain.cpu_relax ();
+        P.cpu_relax ();
         incr spun
       done;
       let rec sleep_loop () =
-        if ready t ticket then true
-        else if Zmsq_util.Timing.now_ns () >= deadline then false
-        else begin
-          let remaining = deadline - Zmsq_util.Timing.now_ns () in
+        if not (ready t ticket) then begin
           let word = Futex.get slot in
           if word land 1 = 1 then begin
+            (* Sleepers already advertised on this slot. *)
             if not (ready t ticket) then begin
               Atomic.incr t.sleep_count;
-              ignore (Futex.wait_for slot word ~timeout_ns:remaining)
+              Futex.wait slot word
             end;
             sleep_loop ()
           end
           else if Futex.compare_and_set slot word (word lor 1) then begin
+            (* Re-check after publishing the sleeper bit: a signal that
+               follows our CAS must see the bit (atomics are SC), so waiting
+               on the bit-set value cannot lose the wake. *)
             if not (ready t ticket) then begin
               Atomic.incr t.sleep_count;
-              ignore (Futex.wait_for slot (word lor 1) ~timeout_ns:remaining)
+              Futex.wait slot (word lor 1)
             end;
             sleep_loop ()
           end
@@ -117,15 +97,56 @@ let wait_before_extract_for t ~timeout_ns =
         end
       in
       sleep_loop ()
-    in
-    (* A timed-out waiter returns its ticket with a compensating signal so
-       insert/extract pairing stays aligned; the possible spurious wake is
-       allowed by the semantics. *)
-    if not result then signal_after_insert t;
-    result
-  end
+    end
 
-let would_sleep t = Atomic.get t.inserts <= Atomic.get t.extracts
+  let wait_before_extract_for t ~timeout_ns =
+    let ticket = Atomic.fetch_and_add t.extracts 1 in
+    if ready t ticket then true
+    else begin
+      let result =
+        let deadline = Zmsq_util.Timing.now_ns () + timeout_ns in
+        let slot = t.slots.(ticket land t.mask) in
+        let spun = ref 0 in
+        while (not (ready t ticket)) && !spun < t.spin do
+          P.cpu_relax ();
+          incr spun
+        done;
+        let rec sleep_loop () =
+          if ready t ticket then true
+          else if Zmsq_util.Timing.now_ns () >= deadline then false
+          else begin
+            let remaining = deadline - Zmsq_util.Timing.now_ns () in
+            let word = Futex.get slot in
+            if word land 1 = 1 then begin
+              if not (ready t ticket) then begin
+                Atomic.incr t.sleep_count;
+                ignore (Futex.wait_for slot word ~timeout_ns:remaining)
+              end;
+              sleep_loop ()
+            end
+            else if Futex.compare_and_set slot word (word lor 1) then begin
+              if not (ready t ticket) then begin
+                Atomic.incr t.sleep_count;
+                ignore (Futex.wait_for slot (word lor 1) ~timeout_ns:remaining)
+              end;
+              sleep_loop ()
+            end
+            else sleep_loop ()
+          end
+        in
+        sleep_loop ()
+      in
+      (* A timed-out waiter returns its ticket with a compensating signal so
+         insert/extract pairing stays aligned; the possible spurious wake is
+         allowed by the semantics. *)
+      if not result then signal_after_insert t;
+      result
+    end
 
-let sleeps t = Atomic.get t.sleep_count
-let wakes t = Atomic.get t.wake_count
+  let would_sleep t = Atomic.get t.inserts <= Atomic.get t.extracts
+
+  let sleeps t = Atomic.get t.sleep_count
+  let wakes t = Atomic.get t.wake_count
+end
+
+include Make (Zmsq_prim.Native)

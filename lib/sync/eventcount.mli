@@ -9,37 +9,49 @@
 
     Each slot word packs a sequence number with a "sleepers" low bit, so a
     producer can check from userspace whether anyone is sleeping before
-    paying for a wake. *)
+    paying for a wake.
 
-type t
+    The algorithm is functorized over {!Zmsq_prim.Intf.PRIM}; the toplevel
+    values are the native instantiation, while [zmsq_check] model-checks
+    [Make] applied to schedulable primitives (its no-lost-wakeup regression
+    explores every interleaving of the sleeper-bit publication against the
+    signal path). *)
 
-val create : ?slots:int -> ?spin:int -> initial:int -> unit -> t
-(** [create ~initial ()] prepares the eventcount for a queue that already
-    holds [initial] elements (credits the insert counter). [slots] is the
-    circular buffer size (default 16); [spin] the optimistic spin count
-    before sleeping (default 512). *)
+module type S = sig
+  type t
 
-val signal_after_insert : t -> unit
-(** Must be called after every successful insertion. Cheap when nobody
-    sleeps: one fetch-and-add plus one CAS on a dispersed slot. *)
+  val create : ?slots:int -> ?spin:int -> initial:int -> unit -> t
+  (** [create ~initial ()] prepares the eventcount for a queue that already
+      holds [initial] elements (credits the insert counter). [slots] is the
+      circular buffer size (default 16); [spin] the optimistic spin count
+      before sleeping (default 512). *)
 
-val wait_before_extract : t -> unit
-(** Must be called before every extraction. Returns immediately when the
-    insert counter shows an element is (or will be) available for this
-    ticket; otherwise spins briefly, then blocks on this ticket's slot. *)
+  val signal_after_insert : t -> unit
+  (** Must be called after every successful insertion. Cheap when nobody
+      sleeps: one fetch-and-add plus one CAS on a dispersed slot. *)
 
-val wait_before_extract_for : t -> timeout_ns:int -> bool
-(** Deadline-bounded {!wait_before_extract}: [true] when the matching
-    insert arrived, [false] on timeout. A timed-out waiter re-credits its
-    ticket with a compensating signal, so insert/extract pairing never
-    drifts (at the cost of one possible spurious wakeup). *)
+  val wait_before_extract : t -> unit
+  (** Must be called before every extraction. Returns immediately when the
+      insert counter shows an element is (or will be) available for this
+      ticket; otherwise spins briefly, then blocks on this ticket's slot. *)
 
-val would_sleep : t -> bool
-(** True when the next extraction ticket would find no matching insert —
-    i.e. the queue is (logically) empty. For tests and monitoring. *)
+  val wait_before_extract_for : t -> timeout_ns:int -> bool
+  (** Deadline-bounded {!wait_before_extract}: [true] when the matching
+      insert arrived, [false] on timeout. A timed-out waiter re-credits its
+      ticket with a compensating signal, so insert/extract pairing never
+      drifts (at the cost of one possible spurious wakeup). *)
 
-val sleeps : t -> int
-(** Number of futex waits performed so far (instrumentation). *)
+  val would_sleep : t -> bool
+  (** True when the next extraction ticket would find no matching insert —
+      i.e. the queue is (logically) empty. For tests and monitoring. *)
 
-val wakes : t -> int
-(** Number of futex wakes performed so far (instrumentation). *)
+  val sleeps : t -> int
+  (** Number of futex waits performed so far (instrumentation). *)
+
+  val wakes : t -> int
+  (** Number of futex wakes performed so far (instrumentation). *)
+end
+
+module Make (P : Zmsq_prim.Intf.PRIM) : S
+
+include S

@@ -1,48 +1,4 @@
-type t = { word : int Atomic.t; mu : Mutex.t; cond : Condition.t }
-
-let create v = { word = Atomic.make v; mu = Mutex.create (); cond = Condition.create () }
-
-let get t = Atomic.get t.word
-
-let compare_and_set t expected desired = Atomic.compare_and_set t.word expected desired
-
-(* The mutex only guards the sleep/wake rendezvous. Writers update the word
-   with plain atomics (as userspace futex code does) and then take the mutex
-   in [wake]; because [wait] re-checks the word after taking the mutex, a
-   wake that follows a word change can never be lost. *)
-let wait t expected =
-  if Atomic.get t.word = expected then begin
-    Mutex.lock t.mu;
-    while Atomic.get t.word = expected do
-      Condition.wait t.cond t.mu
-    done;
-    Mutex.unlock t.mu
-  end
-
-let wait_for t expected ~timeout_ns =
-  if timeout_ns <= 0 then Atomic.get t.word <> expected
-  else begin
-    let deadline = Zmsq_util.Timing.now_ns () + timeout_ns in
-    (* brief spin first: most handoffs are fast *)
-    let spins = ref 256 in
-    while !spins > 0 && Atomic.get t.word = expected do
-      Domain.cpu_relax ();
-      decr spins
-    done;
-    let sleep = ref 2e-6 in
-    let rec poll () =
-      if Atomic.get t.word <> expected then true
-      else if Zmsq_util.Timing.now_ns () >= deadline then false
-      else begin
-        Unix.sleepf !sleep;
-        sleep := Float.min 1e-3 (!sleep *. 2.0);
-        poll ()
-      end
-    in
-    poll ()
-  end
-
-let wake t =
-  Mutex.lock t.mu;
-  Condition.broadcast t.cond;
-  Mutex.unlock t.mu
+(* The native futex now lives in [Zmsq_prim.Native] so both the production
+   eventcount and the checker's schedulable variant are built from the same
+   functorized source; this module survives as the historical entry point. *)
+include Zmsq_prim.Native.Futex

@@ -1,3 +1,5 @@
+(* lint: prim-functorized *)
+
 module type S = sig
   type t
 
@@ -8,67 +10,77 @@ module type S = sig
   val name : string
 end
 
-module Tas = struct
-  type t = bool Atomic.t
+(* Every lock is written once against the primitive signature; the native
+   instantiations below are what production code links against, while the
+   checker applies [Make] to its schedulable primitives so the identical
+   acquire/release code runs under controlled interleaving. *)
+module Make (P : Zmsq_prim.Intf.PRIM) = struct
+  module Atomic = P.Atomic
 
-  let create () = Atomic.make false
-  let try_acquire t = not (Atomic.exchange t true)
+  module Tas = struct
+    type t = bool Atomic.t
 
-  let acquire t =
-    while Atomic.exchange t true do
-      Domain.cpu_relax ()
-    done
+    let create () = Atomic.make false
+    let try_acquire t = not (Atomic.exchange t true)
 
-  let release t = Atomic.set t false
-  let name = "tas"
+    let acquire t =
+      while Atomic.exchange t true do
+        P.cpu_relax ()
+      done
+
+    let release t = Atomic.set t false
+    let name = "tas"
+  end
+
+  module Tatas = struct
+    type t = bool Atomic.t
+
+    let create () = Atomic.make false
+    let try_acquire t = (not (Atomic.get t)) && not (Atomic.exchange t true)
+
+    let acquire t =
+      let rec go () =
+        if Atomic.get t then begin
+          P.cpu_relax ();
+          go ()
+        end
+        else if Atomic.exchange t true then go ()
+      in
+      go ()
+
+    let release t = Atomic.set t false
+    let name = "tatas"
+  end
+
+  module Mutex_lock = struct
+    type t = P.Mutex.t
+
+    let create () = P.Mutex.create ()
+    let acquire = P.Mutex.lock
+    let try_acquire = P.Mutex.try_lock
+    let release = P.Mutex.unlock
+    let name = "mutex"
+  end
+
+  module Ticket = struct
+    type t = { next : int Atomic.t; owner : int Atomic.t }
+
+    let create () = { next = Atomic.make 0; owner = Atomic.make 0 }
+
+    let acquire t =
+      let my = Atomic.fetch_and_add t.next 1 in
+      while Atomic.get t.owner <> my do
+        P.cpu_relax ()
+      done
+
+    let try_acquire t =
+      let cur = Atomic.get t.owner in
+      (* Only attempt if the lock appears free (next = owner). *)
+      Atomic.get t.next = cur && Atomic.compare_and_set t.next cur (cur + 1)
+
+    let release t = Atomic.incr t.owner
+    let name = "ticket"
+  end
 end
 
-module Tatas = struct
-  type t = bool Atomic.t
-
-  let create () = Atomic.make false
-  let try_acquire t = (not (Atomic.get t)) && not (Atomic.exchange t true)
-
-  let acquire t =
-    let rec go () =
-      if Atomic.get t then begin
-        Domain.cpu_relax ();
-        go ()
-      end
-      else if Atomic.exchange t true then go ()
-    in
-    go ()
-
-  let release t = Atomic.set t false
-  let name = "tatas"
-end
-
-module Mutex_lock = struct
-  type t = Mutex.t
-
-  let create () = Mutex.create ()
-  let acquire = Mutex.lock
-  let try_acquire = Mutex.try_lock
-  let release = Mutex.unlock
-  let name = "mutex"
-end
-
-module Ticket = struct
-  type t = { next : int Atomic.t; owner : int Atomic.t }
-
-  let create () = { next = Atomic.make 0; owner = Atomic.make 0 }
-
-  let acquire t =
-    let my = Atomic.fetch_and_add t.next 1 in
-    while Atomic.get t.owner <> my do
-      Domain.cpu_relax ()
-    done
-
-  let try_acquire t =
-    let cur = Atomic.get t.owner in
-    (* Only attempt if the lock appears free (next = owner). *)
-    Atomic.get t.next = cur && Atomic.compare_and_set t.next cur (cur + 1)
-
-  let release t = Atomic.incr t.owner
-  let name = "ticket"
-end
+include Make (Zmsq_prim.Native)

@@ -3,7 +3,12 @@
     Every ZMSQ/mound tree node carries one of these. The paper's key insight
     is that [try_acquire]-and-restart beats blocking acquisition for
     optimistic read-before-lock patterns, because a locked node predicts a
-    failed revalidation. *)
+    failed revalidation.
+
+    The implementations are functorized over {!Zmsq_prim.Intf.PRIM} so the
+    identical spin/CAS code also runs under the deterministic concurrency
+    checker ([zmsq_check]); the toplevel modules are the native
+    instantiations. *)
 
 module type S = sig
   type t
@@ -20,6 +25,13 @@ module type S = sig
 
   val name : string
   (** Display name used in benchmark tables. *)
+end
+
+module Make (P : Zmsq_prim.Intf.PRIM) : sig
+  module Tas : S
+  module Tatas : S
+  module Mutex_lock : S
+  module Ticket : S
 end
 
 module Tas : S

@@ -77,6 +77,31 @@ let test_duplicates () =
 
 let test_empty_history () = check Alcotest.bool "empty history" true (L.check [])
 
+let test_double_extract_rejected () =
+  (* one insert cannot satisfy two successful extracts *)
+  let h =
+    [
+      op ~s:0 ~f:1 (L.Insert 7);
+      op ~s:2 ~f:3 (L.Extract (Some 7));
+      op ~s:4 ~f:5 (L.Extract (Some 7));
+    ]
+  in
+  check Alcotest.bool "double extract rejected" false (L.check h)
+
+let test_extract_before_insert_rejected () =
+  (* the extract finishes strictly before its insert starts, so no
+     linearization point ordering can justify it *)
+  let h = [ op ~s:4 ~f:5 (L.Insert 5); op ~s:0 ~f:1 (L.Extract (Some 5)) ] in
+  check Alcotest.bool "extract preceding insert rejected" false (L.check h)
+
+let test_overlapping_empty_allowed () =
+  (* an Extract None overlapping an insert may linearize before it *)
+  let h = [ op ~s:0 ~f:10 (L.Insert 5); op ~s:2 ~f:3 (L.Extract None) ] in
+  check Alcotest.bool "overlapping empty extract fine" true (L.check h);
+  (* but after the insert completes it must be rejected *)
+  let h' = [ op ~s:0 ~f:1 (L.Insert 5); op ~s:2 ~f:3 (L.Extract None) ] in
+  check Alcotest.bool "post-insert empty extract rejected" false (L.check h')
+
 (* {2 Recorded histories from the strict implementations} *)
 
 let strict_instances () =
@@ -136,6 +161,9 @@ let suite =
     ("overlap allows reorder", `Quick, test_overlap_allows_reorder);
     ("duplicates", `Quick, test_duplicates);
     ("empty history", `Quick, test_empty_history);
+    ("double extract rejected", `Quick, test_double_extract_rejected);
+    ("extract before insert rejected", `Quick, test_extract_before_insert_rejected);
+    ("overlapping empty allowed", `Quick, test_overlapping_empty_allowed);
     ("strict queues linearizable", `Slow, test_strict_queues_linearizable);
     ("relaxed queue detected", `Quick, test_relaxed_queue_detected);
   ]

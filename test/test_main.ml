@@ -19,4 +19,5 @@ let () =
       ("harness", Test_harness.suite);
       ("linearize", Test_linearize.suite);
       ("apps", Test_apps.suite);
+      ("check", Test_check.suite);
     ]
