@@ -41,6 +41,8 @@ let latency_tests () =
       ("zmsq-lazy", Zmsq_harness.Instances.zmsq_lazy ());
       ("zmsq-leak", Zmsq_harness.Instances.zmsq_leak ());
       ("zmsq-strict", Zmsq_harness.Instances.zmsq ~params:Zmsq.Params.strict ());
+      ( "zmsq-buffered",
+        Zmsq_harness.Instances.zmsq ~params:Zmsq.Params.(default |> with_buffer_len 64) () );
       ("mound", Zmsq_harness.Instances.mound);
       ("spraylist", Zmsq_harness.Instances.spraylist);
       ("multiqueue", Zmsq_harness.Instances.multiqueue ());

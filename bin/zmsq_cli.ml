@@ -26,13 +26,19 @@ let batch_arg =
 let target_len_arg =
   Arg.(value & opt (some int) None & info [ "target-len" ] ~docv:"L" ~doc:"ZMSQ target set size.")
 
-let factory_of ~queue ~batch ~target_len =
-  match (queue, batch, target_len) with
-  | ("zmsq" | "zmsq-array" | "zmsq-leak" | "zmsq-tas" | "zmsq-mutex"), _, _ ->
+let buffer_len_arg =
+  Arg.(value & opt (some int) None
+       & info [ "buffer-len" ] ~docv:"L"
+           ~doc:"ZMSQ per-handle insert buffer capacity (0, the default, disables buffering).")
+
+let factory_of ~queue ~batch ~target_len ~buffer_len =
+  match queue with
+  | "zmsq" | "zmsq-array" | "zmsq-leak" | "zmsq-tas" | "zmsq-mutex" ->
       let params =
         Zmsq.Params.default
         |> (match batch with Some b -> Zmsq.Params.with_batch b | None -> Fun.id)
-        |> match target_len with Some l -> Zmsq.Params.with_target_len l | None -> Fun.id
+        |> (match target_len with Some l -> Zmsq.Params.with_target_len l | None -> Fun.id)
+        |> match buffer_len with Some l -> Zmsq.Params.with_buffer_len l | None -> Fun.id
       in
       (match queue with
       | "zmsq" -> Zmsq_harness.Instances.zmsq ~params ()
@@ -84,8 +90,8 @@ let throughput_cmd =
     Arg.(value & opt int 500 & info [ "insert-permil" ] ~docv:"P" ~doc:"Insert fraction, per mille.")
   in
   let preload = Arg.(value & opt int 0 & info [ "preload" ] ~docv:"N" ~doc:"Initial elements.") in
-  let run queue threads batch target_len ops mix preload =
-    let factory = factory_of ~queue ~batch ~target_len in
+  let run queue threads batch target_len buffer_len ops mix preload =
+    let factory = factory_of ~queue ~batch ~target_len ~buffer_len in
     let spec =
       {
         Zmsq_harness.Throughput.default_spec with
@@ -100,15 +106,17 @@ let throughput_cmd =
       mops ops threads mix preload
   in
   Cmd.v (Cmd.info "throughput" ~doc:"Measure mixed insert/extract throughput")
-    Term.(const run $ queue_arg $ threads_arg $ batch_arg $ target_len_arg $ ops $ mix $ preload)
+    Term.(
+      const run $ queue_arg $ threads_arg $ batch_arg $ target_len_arg $ buffer_len_arg $ ops
+      $ mix $ preload)
 
 (* {2 accuracy} *)
 
 let accuracy_cmd =
   let qsize = Arg.(value & opt int 65536 & info [ "qsize" ] ~docv:"N" ~doc:"Initial queue size.") in
   let extracts = Arg.(value & opt int 6553 & info [ "extracts" ] ~docv:"N" ~doc:"Extractions.") in
-  let run queue threads batch target_len qsize extracts =
-    let factory = factory_of ~queue ~batch ~target_len in
+  let run queue threads batch target_len buffer_len qsize extracts =
+    let factory = factory_of ~queue ~batch ~target_len ~buffer_len in
     let pct =
       Zmsq_harness.Accuracy.run factory
         { Zmsq_harness.Accuracy.qsize; extracts; threads; seed = 0xACC }
@@ -117,7 +125,9 @@ let accuracy_cmd =
       extracts extracts qsize
   in
   Cmd.v (Cmd.info "accuracy" ~doc:"Measure extraction accuracy (Table 1 protocol)")
-    Term.(const run $ queue_arg $ threads_arg $ batch_arg $ target_len_arg $ qsize $ extracts)
+    Term.(
+      const run $ queue_arg $ threads_arg $ batch_arg $ target_len_arg $ buffer_len_arg $ qsize
+      $ extracts)
 
 (* {2 sssp} *)
 
@@ -128,7 +138,7 @@ let sssp_cmd =
              ~doc:"artist | politician | livejournal | grid | er | ba:<n>:<m>")
   in
   let check = Arg.(value & flag & info [ "check" ] ~doc:"Validate against Dijkstra.") in
-  let run queue threads batch target_len graph check =
+  let run queue threads batch target_len buffer_len graph check =
     let rng = Zmsq_util.Rng.create ~seed:0x6EA () in
     let g =
       match String.split_on_char ':' graph with
@@ -142,7 +152,7 @@ let sssp_cmd =
             ~max_weight:100
       | _ -> failwith ("unknown graph spec: " ^ graph)
     in
-    let factory = factory_of ~queue ~batch ~target_len in
+    let factory = factory_of ~queue ~batch ~target_len ~buffer_len in
     let dist, st = Zmsq_harness.Sssp.run_checked ~check factory ~graph:g ~threads in
     let reached = Array.fold_left (fun a d -> if d < Zmsq_graph.Dijkstra.infinity_dist then a + 1 else a) 0 dist in
     Printf.printf
@@ -153,17 +163,19 @@ let sssp_cmd =
       (if check then " [validated]" else "")
   in
   Cmd.v (Cmd.info "sssp" ~doc:"Run parallel SSSP on a generated graph")
-    Term.(const run $ queue_arg $ threads_arg $ batch_arg $ target_len_arg $ graph_arg $ check)
+    Term.(
+      const run $ queue_arg $ threads_arg $ batch_arg $ target_len_arg $ buffer_len_arg
+      $ graph_arg $ check)
 
 (* {2 knapsack} *)
 
 let knapsack_cmd =
   let items = Arg.(value & opt int 36 & info [ "items" ] ~docv:"N" ~doc:"Number of items.") in
-  let run queue threads batch target_len items =
+  let run queue threads batch target_len buffer_len items =
     let rng = Zmsq_util.Rng.create ~seed:0xCAFE () in
     let inst = Zmsq_apps.Knapsack.generate rng ~n:items ~tightness:0.35 () in
     let opt = Zmsq_apps.Knapsack.solve_dp inst in
-    let factory = factory_of ~queue ~batch ~target_len in
+    let factory = factory_of ~queue ~batch ~target_len ~buffer_len in
     let v, st = Zmsq_apps.Knapsack.solve_bb (factory ()) inst ~threads in
     Printf.printf
       "%s: value %d (dp oracle %d, %s) in %.3f s — %d explored, %d pruned\n" queue v opt
@@ -173,17 +185,18 @@ let knapsack_cmd =
     if v <> opt then exit 1
   in
   Cmd.v (Cmd.info "knapsack" ~doc:"Parallel branch-and-bound knapsack (validated against DP)")
-    Term.(const run $ queue_arg $ threads_arg $ batch_arg $ target_len_arg $ items)
+    Term.(
+      const run $ queue_arg $ threads_arg $ batch_arg $ target_len_arg $ buffer_len_arg $ items)
 
 (* {2 linearize} *)
 
 let linearize_cmd =
   let rounds = Arg.(value & opt int 20 & info [ "rounds" ] ~docv:"N" ~doc:"Histories to check.") in
   let ops = Arg.(value & opt int 6 & info [ "ops" ] ~docv:"N" ~doc:"Ops per thread per history.") in
-  let run queue threads batch target_len rounds ops =
+  let run queue threads batch target_len buffer_len rounds ops =
     let target_len = target_len in
     let batch = match batch with Some b -> Some b | None -> Some 0 (* strict by default *) in
-    let factory = factory_of ~queue ~batch ~target_len in
+    let factory = factory_of ~queue ~batch ~target_len ~buffer_len in
     let failures = ref 0 in
     for round = 1 to rounds do
       let inst = factory () in
@@ -209,7 +222,9 @@ let linearize_cmd =
   Cmd.v
     (Cmd.info "linearize"
        ~doc:"Check recorded concurrent histories against the strict max-queue specification")
-    Term.(const run $ queue_arg $ threads_arg $ batch_arg $ target_len_arg $ rounds $ ops)
+    Term.(
+      const run $ queue_arg $ threads_arg $ batch_arg $ target_len_arg $ buffer_len_arg $ rounds
+      $ ops)
 
 (* {2 stats / trace}
 
@@ -218,10 +233,11 @@ let linearize_cmd =
 
 module DQ = Zmsq.Default
 
-let zmsq_params ~batch ~target_len ~obs =
+let zmsq_params ~batch ~target_len ~buffer_len ~obs =
   Zmsq.Params.default
   |> (match batch with Some b -> Zmsq.Params.with_batch b | None -> Fun.id)
   |> (match target_len with Some l -> Zmsq.Params.with_target_len l | None -> Fun.id)
+  |> (match buffer_len with Some l -> Zmsq.Params.with_buffer_len l | None -> Fun.id)
   |> Zmsq.Params.with_obs obs
 
 (* [threads] domains each run [ops / threads] 50/50 insert/extract
@@ -238,6 +254,8 @@ let spawn_mixed_workers q ~threads ~ops ~finished =
               DQ.insert h (Zmsq_pq.Elt.of_priority (Zmsq_util.Rng.int rng (1 lsl 20)))
             else ignore (DQ.extract h)
           done;
+          (* unregister flushes any buffered backlog and frees the HP slot *)
+          DQ.unregister h;
           Atomic.incr finished))
 
 let stats_cmd =
@@ -258,9 +276,9 @@ let stats_cmd =
     Arg.(value & flag
          & info [ "full" ] ~doc:"Obs level Full: latency histograms and trace ring, not just counters.")
   in
-  let run threads batch target_len ops interval jsonl prom full =
+  let run threads batch target_len buffer_len ops interval jsonl prom full =
     let obs = if full then Zmsq_obs.Level.Full else Zmsq_obs.Level.Counters in
-    let q = DQ.create ~params:(zmsq_params ~batch ~target_len ~obs) () in
+    let q = DQ.create ~params:(zmsq_params ~batch ~target_len ~buffer_len ~obs) () in
     let finished = Atomic.make 0 in
     let t0 = Unix.gettimeofday () in
     let doms = spawn_mixed_workers q ~threads ~ops ~finished in
@@ -285,7 +303,9 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run a mixed workload while periodically printing live metric snapshots")
-    Term.(const run $ threads_arg $ batch_arg $ target_len_arg $ ops $ interval $ jsonl $ prom $ full)
+    Term.(
+      const run $ threads_arg $ batch_arg $ target_len_arg $ buffer_len_arg $ ops $ interval
+      $ jsonl $ prom $ full)
 
 let trace_cmd =
   let ops = Arg.(value & opt int 200_000 & info [ "ops" ] ~docv:"N" ~doc:"Total operations.") in
@@ -293,8 +313,10 @@ let trace_cmd =
     Arg.(value & opt string "results/trace.json"
          & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Chrome trace destination.")
   in
-  let run threads batch target_len ops out =
-    let q = DQ.create ~params:(zmsq_params ~batch ~target_len ~obs:Zmsq_obs.Level.Full) () in
+  let run threads batch target_len buffer_len ops out =
+    let q =
+      DQ.create ~params:(zmsq_params ~batch ~target_len ~buffer_len ~obs:Zmsq_obs.Level.Full) ()
+    in
     let finished = Atomic.make 0 in
     let doms = spawn_mixed_workers q ~threads ~ops ~finished in
     List.iter Domain.join doms;
@@ -310,7 +332,7 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Record a mixed workload at obs level Full and dump a Chrome trace_event JSON")
-    Term.(const run $ threads_arg $ batch_arg $ target_len_arg $ ops $ out)
+    Term.(const run $ threads_arg $ batch_arg $ target_len_arg $ buffer_len_arg $ ops $ out)
 
 let () =
   let info = Cmd.info "zmsq_cli" ~doc:"ZMSQ relaxed priority queue — reproduction driver" in

@@ -268,6 +268,141 @@ let zmsq_mound =
         (bodies, final));
   }
 
+(* {2 ZMSQ per-domain insert buffering}
+
+   [buffer_len = target_len = 8] gives a starting flush threshold of 2
+   (buffer_len / 4), so the first insert of a handle genuinely stages and
+   the second publishes — the interleavings the buffering layer adds
+   (stage vs extract, demand vs flush, flush vs flush) all appear within
+   tiny scripts. *)
+
+let buffer_params = { model_params with Zmsq.Params.target_len = 8; buffer_len = 8 }
+
+(* Flush-vs-extract interleavings: both fibers stage, flush (by threshold
+   or unregister) and extract concurrently; afterwards the mound invariant
+   must hold, nothing may be lost or duplicated, and no element may remain
+   staged ([unregister] always publishes the backlog). *)
+let zmsq_buffer_conserve =
+  {
+    Explore.name = "zmsq-buffer-conserve";
+    make =
+      (fun () ->
+        let module Q = Zmsq.Make_prim (Shim.Prim) (Shim.Lock) (Zmsq.List_set) in
+        let q = Q.create ~params:buffer_params () in
+        let extracted = ref [] in
+        let inserted = [ [ 9; 4; 6 ]; [ 8; 2 ] ] in
+        let body vals =
+          let h = Q.register q in
+          fun () ->
+            List.iter (fun v -> Q.insert h v) vals;
+            let v = Q.extract h in
+            if not (Elt.is_none v) then extracted := v :: !extracted;
+            Q.unregister h
+        in
+        let bodies = List.map body inserted in
+        let final () =
+          if not (Q.Debug.check_invariant q) then Sched.violation "mound invariant broken";
+          if Q.Debug.buffered q <> 0 then
+            Sched.violation "%d elements still staged after unregister" (Q.Debug.buffered q);
+          let remaining = Q.Debug.elements q in
+          let all = List.sort compare (List.concat inserted) in
+          let seen = List.sort compare (!extracted @ remaining) in
+          if all <> seen then
+            Sched.violation "element conservation broken: %d in, %d accounted"
+              (List.length all) (List.length seen)
+        in
+        (bodies, final));
+  }
+
+(* The no-stranded-element property: the producer fiber ends with an
+   element still staged in its buffer (no unregister); a concurrent
+   consumer may observe a momentarily empty published queue (and raises
+   the flush demand), but once the producer's handle is released every
+   element must be reachable again. *)
+let zmsq_buffer_no_strand =
+  {
+    Explore.name = "zmsq-buffer-no-strand";
+    make =
+      (fun () ->
+        let module Q = Zmsq.Make_prim (Shim.Prim) (Shim.Lock) (Zmsq.List_set) in
+        let q = Q.create ~params:buffer_params () in
+        let ha = Q.register q in
+        let hb = Q.register q in
+        let extracted = ref [] in
+        let producer () =
+          (* One insert stays below the flush threshold: deliberately
+             leaves the element staged when the fiber ends. *)
+          Q.insert ha 5
+        in
+        let consumer () =
+          for _ = 1 to 2 do
+            let v = Q.extract hb in
+            if not (Elt.is_none v) then extracted := v :: !extracted
+          done
+        in
+        let final () =
+          (* Releasing the producer's handle publishes its backlog... *)
+          Q.unregister ha;
+          Q.unregister hb;
+          if Q.Debug.buffered q <> 0 then
+            Sched.violation "%d elements still staged after unregister" (Q.Debug.buffered q);
+          (* ...after which every element is extractable again. *)
+          let hc = Q.register q in
+          let rec drain acc =
+            let v = Q.extract hc in
+            if Elt.is_none v then acc else drain (v :: acc)
+          in
+          let rest = drain [] in
+          Q.unregister hc;
+          let seen = List.sort compare (!extracted @ rest) in
+          if seen <> [ 5 ] then
+            Sched.violation "element lost or duplicated: %d accounted" (List.length seen)
+        in
+        ([ producer; consumer ], final));
+  }
+
+(* Eventcount wakeup through the buffering layer: the consumer may go to
+   sleep while the producer's elements are still staged (extract sets the
+   flush demand before reporting empty), so the producer's later flush
+   must both publish and signal — a missing signal is a lost wakeup, which
+   the scheduler reports as a deadlock. *)
+let zmsq_buffer_wakeup =
+  {
+    Explore.name = "zmsq-buffer-wakeup";
+    make =
+      (fun () ->
+        let module Q = Zmsq.Make_prim (Shim.Prim) (Shim.Lock) (Zmsq.List_set) in
+        let q = Q.create ~params:{ buffer_params with Zmsq.Params.blocking = true } () in
+        let ha = Q.register q in
+        let hb = Q.register q in
+        let got = ref Elt.none in
+        let producer () =
+          Q.insert ha 5;
+          (* The second insert crosses the flush threshold (or honors a
+             pending demand) and must wake the sleeping consumer. *)
+          Q.insert ha 9;
+          Q.unregister ha
+        in
+        let consumer () =
+          got := Q.extract_blocking hb;
+          Q.unregister hb
+        in
+        let final () =
+          if Elt.is_none !got then Sched.violation "blocking extract returned none";
+          let hc = Q.register q in
+          let rec drain acc =
+            let v = Q.extract hc in
+            if Elt.is_none v then acc else drain (v :: acc)
+          in
+          let rest = drain [] in
+          Q.unregister hc;
+          let seen = List.sort compare (!got :: rest) in
+          if seen <> [ 5; 9 ] then
+            Sched.violation "element lost or duplicated: %d accounted" (List.length seen)
+        in
+        ([ producer; consumer ], final));
+  }
+
 (* {2 Registry} *)
 
 type mode = Dfs | Rand of { executions : int; seed : int }
@@ -302,6 +437,15 @@ let all =
       expect_fail = false; max_steps = 4000; max_executions = 0 };
     { scenario = zmsq_mound; mode = Rand { executions = 300; seed = 0xA11CE };
       expect_fail = false; max_steps = 4000; max_executions = 0 };
+    { scenario = zmsq_buffer_conserve; mode = Rand { executions = 300; seed = 0xB0F1 };
+      expect_fail = false; max_steps = 6000; max_executions = 0 };
+    { scenario = zmsq_buffer_no_strand; mode = Rand { executions = 300; seed = 0xB0F2 };
+      expect_fail = false; max_steps = 6000; max_executions = 0 };
+    (* The eventcount's optimistic spin (512 iterations) makes these
+       executions long; the bound is generous so sleeps are actually
+       reached rather than cut off. *)
+    { scenario = zmsq_buffer_wakeup; mode = Rand { executions = 150; seed = 0xB0F3 };
+      expect_fail = false; max_steps = 20_000; max_executions = 0 };
   ]
 
 let find name = List.find_opt (fun e -> e.scenario.Explore.name = name) all

@@ -12,6 +12,7 @@ type t = {
   pool_insert : bool;
   initial_levels : int;
   forced_min_level : int;
+  buffer_len : int;
   obs : Zmsq_obs.Level.t;
 }
 
@@ -28,6 +29,7 @@ let default =
     pool_insert = false;
     initial_levels = 5;
     forced_min_level = 3;
+    buffer_len = 0;
     obs = Zmsq_obs.Level.from_env ();
   }
 
@@ -37,6 +39,9 @@ let validate p =
   if p.initial_levels < 1 || p.initial_levels > 28 then
     invalid_arg "Params: initial_levels out of range";
   if p.forced_min_level < 0 then invalid_arg "Params: forced_min_level must be >= 0";
+  if p.buffer_len < 0 then invalid_arg "Params: buffer_len must be >= 0";
+  if p.buffer_len > p.target_len then
+    invalid_arg "Params: buffer_len must be <= target_len";
   p
 
 let strict = { default with batch = 0 }
@@ -53,11 +58,13 @@ let dynamic ~ratio_num ~ratio_den ~threads =
 
 let with_batch batch p = validate { p with batch }
 let with_target_len target_len p = validate { p with target_len }
+let with_buffer_len buffer_len p = validate { p with buffer_len }
 let with_obs obs p = { p with obs }
 
 let pp fmt p =
-  Format.fprintf fmt "batch=%d target_len=%d lock=%s%s%s obs=%s" p.batch p.target_len
+  Format.fprintf fmt "batch=%d target_len=%d lock=%s%s%s%s obs=%s" p.batch p.target_len
     (match p.lock_policy with Trylock -> "try" | Blocking -> "block")
     (if p.blocking then " +blocking" else "")
     (if p.leaky then " +leaky" else "")
+    (if p.buffer_len > 0 then Printf.sprintf " buf=%d" p.buffer_len else "")
     (Zmsq_obs.Level.to_string p.obs)

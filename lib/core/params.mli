@@ -31,6 +31,22 @@ type t = {
   forced_min_level : int;
       (** forced insert / min-swap are forbidden above this level; the paper
           excludes the top three levels, i.e. 3. *)
+  buffer_len : int;
+      (** extension (after Williams & Sanders' MultiQueue insertion buffers):
+          capacity of the per-handle local insert buffer. Inserts are staged
+          locally and published into the tree as one bulk leaf insertion when
+          the buffer fills (or earlier — see the flush policy in DESIGN.md).
+          An adaptive policy grows the effective fill threshold up to
+          [buffer_len] under node-trylock contention and shrinks it when
+          contention subsides; a consumer that finds the shared structure
+          empty while elements remain buffered raises a flush demand that
+          producers honor on their next operation, and blocking extractors
+          flush their own buffer before sleeping, so elements are never
+          stranded. Widens the relaxation window from [batch] to
+          [batch + ndomains * buffer_len]. [0] (the default) disables
+          buffering entirely and is bit-for-bit the unbuffered
+          implementation. Must be [<= target_len] so a flush fits in one
+          leaf set without immediately violating the split bound. *)
   obs : Zmsq_obs.Level.t;
       (** instrumentation level: [Off] (nothing), [Counters] (sharded event
           counters only — the default, near-zero cost), or [Full] (latency
@@ -62,6 +78,11 @@ val dynamic : ratio_num:int -> ratio_den:int -> threads:int -> t
 
 val with_batch : int -> t -> t
 val with_target_len : int -> t -> t
+
+val with_buffer_len : int -> t -> t
+(** Sets the per-handle insert-buffer capacity (re-validating, so raises
+    if it exceeds [target_len]). [0] disables buffering. *)
+
 val with_obs : Zmsq_obs.Level.t -> t -> t
 
 val pp : Format.formatter -> t -> unit

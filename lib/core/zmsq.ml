@@ -21,6 +21,8 @@ type counters = {
   swap_downs : int;
   pool_inserts : int;
   helper_moves : int;
+  buf_flushes : int;
+  buf_claims : int;
 }
 
 module type S = sig
@@ -34,6 +36,7 @@ module type S = sig
 
   val extract_blocking : handle -> Zmsq_pq.Elt.t
   val extract_timeout : handle -> timeout_ns:int -> Zmsq_pq.Elt.t
+  val flush : handle -> unit
   val is_empty : t -> bool
   val peek : t -> Zmsq_pq.Elt.t
   val helper_pass : ?visits:int -> handle -> int
@@ -46,6 +49,7 @@ module type S = sig
     val node_counts : t -> int array
     val elements : t -> Zmsq_pq.Elt.t list
     val pool_level : t -> int
+    val buffered : t -> int
     val counters : t -> counters
     val eventcount_stats : t -> (int * int) option
     val hazard_domain_stats : t -> (int * int * int) option
@@ -98,6 +102,12 @@ struct
     c_swap_downs : Metrics.counter;
     c_pool_inserts : Metrics.counter;
     c_helper_moves : Metrics.counter;
+    c_buf_claims : Metrics.counter;
+    c_buf_flush_full : Metrics.counter;
+    c_buf_flush_demand : Metrics.counter;
+    c_buf_flush_drain : Metrics.counter;
+    c_buf_flush_unregister : Metrics.counter;
+    c_buf_flush_manual : Metrics.counter;
   }
 
   type mhists = {
@@ -105,6 +115,7 @@ struct
     h_extract : Metrics.histogram;
     h_refill : Metrics.histogram;
     h_helper : Metrics.histogram;
+    h_flush : Metrics.histogram;
   }
 
   type t = {
@@ -116,6 +127,9 @@ struct
     pool : Elt.t Atomic.t array;
     pool_next : int Atomic.t;
     mutable pool_fill : int; (* last refill size; guarded by the root lock *)
+    buffer_on : bool; (* params.buffer_len > 0, hoisted for the hot paths *)
+    buffered : int Atomic.t; (* staged in handle buffers; excluded from [size] *)
+    flush_demand : bool Atomic.t; (* consumer -> producers: publish your backlog *)
     ec : Eventcount.t option;
     hp : tnode Hazard.t option; (* None in leaky mode *)
     obs_on : bool; (* params.obs <> Off, hoisted for the hot paths *)
@@ -126,7 +140,16 @@ struct
     tr : Trace.t option; (* Some iff obs_full *)
   }
 
-  type handle = { q : t; rng : Rng.t; hp_thread : tnode Hazard.thread option }
+  type handle = {
+    q : t;
+    rng : Rng.t;
+    hp_thread : tnode Hazard.thread option;
+    buf : Elt.t array; (* staged inserts, sorted ascending in [0, buf_n) *)
+    mutable buf_n : int;
+    mutable buf_target : int; (* adaptive fill threshold in [1, buffer_len] *)
+    (* [buf]/[buf_n]/[buf_target] are owned by the registering domain
+       (handles must not be shared); only [q.buffered] is cross-domain. *)
+  }
 
   let name = Printf.sprintf "zmsq(%s,%s)" Set.name L.name
   let exact_emptiness = true
@@ -150,6 +173,9 @@ struct
         pool = Array.init (max params.batch 1) (fun _ -> Atomic.make Elt.none);
         pool_next = Atomic.make (-1);
         pool_fill = 0;
+        buffer_on = params.buffer_len > 0;
+        buffered = Atomic.make 0;
+        flush_demand = Atomic.make false;
         ec = (if params.blocking then Some (Eventcount.create ~initial:0 ()) else None);
         hp =
           (if params.leaky then None
@@ -168,6 +194,12 @@ struct
             c_swap_downs = Metrics.counter metrics "swap_downs_total";
             c_pool_inserts = Metrics.counter metrics "pool_inserts_total";
             c_helper_moves = Metrics.counter metrics "helper_moves_total";
+            c_buf_claims = Metrics.counter metrics "buf_claims_total";
+            c_buf_flush_full = Metrics.counter metrics "buf_flush_full_total";
+            c_buf_flush_demand = Metrics.counter metrics "buf_flush_demand_total";
+            c_buf_flush_drain = Metrics.counter metrics "buf_flush_drain_total";
+            c_buf_flush_unregister = Metrics.counter metrics "buf_flush_unregister_total";
+            c_buf_flush_manual = Metrics.counter metrics "buf_flush_manual_total";
           };
         mh =
           {
@@ -175,6 +207,7 @@ struct
             h_extract = Metrics.histogram metrics "extract_ns";
             h_refill = Metrics.histogram metrics "refill_ns";
             h_helper = Metrics.histogram metrics "helper_pass_ns";
+            h_flush = Metrics.histogram metrics "buf_flush_ns";
           };
         tr = (if Obs_level.tracing params.obs then Some (Trace.create ()) else None);
       }
@@ -184,6 +217,7 @@ struct
     Metrics.gauge metrics "pool_level" (fun () ->
         let n = Atomic.get q.pool_next in
         if q.params.batch = 0 || n < 0 then 0 else n + 1);
+    Metrics.gauge metrics "buffered" (fun () -> Atomic.get q.buffered);
     q
 
   let params t = t.params
@@ -202,9 +236,10 @@ struct
       q;
       rng = Rng.create ~seed:(Atomic.fetch_and_add handle_seed 0x9E3779B9) ();
       hp_thread = Option.map Hazard.register q.hp;
+      buf = Array.make q.params.buffer_len Elt.none;
+      buf_n = 0;
+      buf_target = max 1 (q.params.buffer_len / 4);
     }
-
-  let unregister h = Option.iter Hazard.unregister h.hp_thread
 
   let length q = Atomic.get q.size
 
@@ -251,9 +286,10 @@ struct
 
   (* Probe random leaves for a starting position: either a leaf whose max
      is <= e (then binary-search the root path), or — below the top
-     [forced_min_level] levels — a non-full leaf that can absorb e in a
-     non-head position. *)
-  let rec select_position h e =
+     [forced_min_level] levels — a leaf with room for [room] more elements
+     that can absorb them in non-head positions. [room = 1] for a single
+     insertion; bulk buffer flushes pass the buffer occupancy. *)
+  let rec select_position ~room h e =
     let q = h.q in
     let leaf = Atomic.get q.leaf_level in
     let width = 1 lsl leaf in
@@ -267,7 +303,7 @@ struct
         else if
           q.params.forced_insert
           && leaf > q.params.forced_min_level
-          && Atomic.get node.count < q.params.target_len
+          && Atomic.get node.count + room <= q.params.target_len
         then Some (slot, true)
         else probe (i + 1)
       end
@@ -276,7 +312,7 @@ struct
     | Some (slot, force) -> (leaf, slot, force)
     | None ->
         expand q leaf;
-        select_position h e
+        select_position ~room h e
 
   (* Binary search over the path from [(leaf, slot)] to the root for the
      shallowest ancestor whose max is <= e; its parent's max exceeds e.
@@ -449,7 +485,7 @@ struct
     Atomic.incr q.size;
     let e = match try_pool_displace q e with v when Elt.is_none v -> e | displaced -> displaced in
     let rec attempt () =
-      let leaf, slot, force = select_position h e in
+      let leaf, slot, force = select_position ~room:1 h e in
       if force then begin
         let node = protect_node h ~hpslot:0 leaf slot in
         if not (forced_insert_at q node e) then begin
@@ -468,10 +504,197 @@ struct
     attempt ();
     match q.ec with None -> () | Some ec -> Eventcount.signal_after_insert ec
 
+  (* {2 Per-domain insert buffering (DESIGN.md "Operation buffering")}
+
+     With [params.buffer_len > 0] each handle stages inserts in a small
+     sorted array and publishes the whole backlog into the tree as one bulk
+     leaf insertion, amortizing the tree walk and the node trylock over
+     [buf_target] elements (after Williams & Sanders' MultiQueue insertion
+     buffers, arXiv:2504.11652, and the k-LSM's thread-local staging).
+     Staged elements are counted in [q.buffered], not [q.size]: they become
+     visible to other domains only at the flush, which widens the
+     relaxation window to [batch + ndomains * buffer_len]. Three mechanisms
+     keep elements from being stranded in a buffer: an extractor that
+     drains the published structure flushes its own backlog ([Drain]) and
+     raises [flush_demand] for everyone else's; every producer honors
+     [flush_demand] at its next insert ([Demand]); and [unregister] always
+     flushes. Blocking extractors reach the [Drain] flush through the plain
+     [extract] they wrap, so they publish their own backlog before
+     sleeping, and the flush signals the eventcount once per published
+     element so a sleeping consumer is woken. *)
+
+  type flush_reason =
+    | Full  (** the buffer reached the adaptive fill threshold *)
+    | Demand  (** a starved consumer raised [flush_demand] *)
+    | Drain  (** the flushing handle itself drained the published queue *)
+    | Unregister
+    | Manual  (** an explicit [flush h] call *)
+
+  let flush_counter q = function
+    | Full -> q.mc.c_buf_flush_full
+    | Demand -> q.mc.c_buf_flush_demand
+    | Drain -> q.mc.c_buf_flush_drain
+    | Unregister -> q.mc.c_buf_flush_unregister
+    | Manual -> q.mc.c_buf_flush_manual
+
+  (* lint: holds lock *)
+  let bulk_insert_all node buf n =
+    for i = 0 to n - 1 do
+      Set.insert node.set buf.(i)
+    done;
+    refresh node
+
+  (* Bulk counterpart of [forced_insert_at]: the whole buffer joins a node
+     with room to spare, in non-head positions. Validated against the
+     buffer's max, so no buffered element can exceed the node's max. *)
+  let bulk_forced_insert_at q node buf n =
+    if not (acquire_policy q node.lock) then false
+    else begin
+      let ok =
+        buf.(n - 1) <= Atomic.get node.max
+        && Atomic.get node.count + n <= q.params.target_len
+      in
+      if ok then begin
+        bulk_insert_all node buf n;
+        tick q q.mc.c_forced;
+        note q Trace.Forced_insert
+      end;
+      L.release node.lock;
+      ok
+    end
+
+  (* Bulk counterpart of [regular_insert], positioned by the buffer's max
+     [bmax]: every other buffered element is <= bmax, so landing them all
+     in the node that accepts bmax as its new max cannot raise that max
+     above the parent's — the mound invariant is checked once for the
+     strongest element. No min-swap on the bulk path; an oversized result
+     reuses the set-split machinery exactly as a single insertion would. *)
+  let bulk_regular_insert h level slot buf n =
+    let q = h.q in
+    let bmax = buf.(n - 1) in
+    let insert_and_split node =
+      bulk_insert_all node buf n;
+      if
+        q.params.split
+        && Set.size node.set > 2 * q.params.target_len
+        && level < Atomic.get q.leaf_level
+      then split_node q level slot node
+      else L.release node.lock
+    in
+    if level = 0 then begin
+      let root = protect_node h ~hpslot:0 0 0 in
+      if not (acquire_policy q root.lock) then false
+      else if Atomic.get root.max > bmax then begin
+        L.release root.lock;
+        false
+      end
+      else begin
+        insert_and_split root;
+        true
+      end
+    end
+    else begin
+      let parent = protect_node h ~hpslot:1 (level - 1) (slot / 2) in
+      let node = protect_node h ~hpslot:0 level slot in
+      if not (acquire_policy q parent.lock) then false
+      else if not (acquire_policy q node.lock) then begin
+        L.release parent.lock;
+        false
+      end
+      else if bmax < Atomic.get node.max || bmax >= Atomic.get parent.max then begin
+        L.release node.lock;
+        L.release parent.lock;
+        false
+      end
+      else begin
+        L.release parent.lock;
+        insert_and_split node;
+        true
+      end
+    end
+
+  let bulk_flush h reason =
+    let q = h.q in
+    let n = h.buf_n in
+    if n > 0 then begin
+      let t0 = if q.obs_full then Zmsq_util.Timing.now_ns () else 0 in
+      let bmax = h.buf.(n - 1) in
+      (* Same publication discipline as a single insert: the elements are
+         counted into [size] before they land (extractors spin rather than
+         report a false empty) and leave [buffered] only afterwards. *)
+      ignore (Atomic.fetch_and_add q.size n);
+      let fails = ref 0 in
+      let rec attempt () =
+        let leaf, slot, force = select_position ~room:n h bmax in
+        let ok =
+          if force then bulk_forced_insert_at q (protect_node h ~hpslot:0 leaf slot) h.buf n
+          else begin
+            let ilevel, islot = search_position h leaf slot bmax in
+            bulk_regular_insert h ilevel islot h.buf n
+          end
+        in
+        if not ok then begin
+          incr fails;
+          tick q q.mc.c_retries;
+          attempt ()
+        end
+      in
+      attempt ();
+      h.buf_n <- 0;
+      ignore (Atomic.fetch_and_add q.buffered (-n));
+      (* Adaptive fill threshold: node-trylock contention during the flush
+         (the same events the obs registry counts as [insert_retries_total])
+         doubles the threshold toward the [buffer_len] cap — bigger windows
+         mean fewer, better-amortized flushes under contention. Uncontended
+         flushes shrink it back, tightening the relaxation window; consumer
+         demand halves it so a starved consumer is not starved again by the
+         very next window. *)
+      let cap = q.params.buffer_len in
+      let minimum = max 1 (cap / 8) in
+      (match reason with
+      | Demand | Drain -> h.buf_target <- max minimum (h.buf_target / 2)
+      | Full | Unregister | Manual ->
+          if !fails > 0 then h.buf_target <- min cap (2 * h.buf_target)
+          else h.buf_target <- max minimum (h.buf_target - 1));
+      (match reason with Demand -> Atomic.set q.flush_demand false | _ -> ());
+      tick q (flush_counter q reason);
+      (match q.tr with Some tr -> Trace.instant tr ~arg:n Trace.Buf_flush | None -> ());
+      if q.obs_full then
+        Metrics.observe q.mh.h_flush (float_of_int (Zmsq_util.Timing.now_ns () - t0));
+      match q.ec with
+      | None -> ()
+      | Some ec ->
+          for _ = 1 to n do
+            Eventcount.signal_after_insert ec
+          done
+    end
+
+  let buf_insert h e =
+    let q = h.q in
+    if Atomic.get q.flush_demand && h.buf_n > 0 then bulk_flush h Demand;
+    (* Sorted ascending insertion shift; the handle's best staged element
+       stays at the top index for O(1) claims in [extract]. *)
+    let i = ref h.buf_n in
+    while !i > 0 && h.buf.(!i - 1) > e do
+      h.buf.(!i) <- h.buf.(!i - 1);
+      decr i
+    done;
+    h.buf.(!i) <- e;
+    h.buf_n <- h.buf_n + 1;
+    Atomic.incr q.buffered;
+    if h.buf_n >= h.buf_target then bulk_flush h Full
+
+  let flush h = if h.q.buffer_on && h.buf_n > 0 then bulk_flush h Manual
+
+  let unregister h =
+    if h.q.buffer_on && h.buf_n > 0 then bulk_flush h Unregister;
+    Option.iter Hazard.unregister h.hp_thread
+
   let insert h e =
     if Elt.is_none e then invalid_arg "Zmsq.insert: none";
     let q = h.q in
-    if not q.obs_full then insert_aux h e
+    if q.buffer_on then buf_insert h e
+    else if not q.obs_full then insert_aux h e
     else begin
       (match q.tr with Some tr -> Trace.span_begin tr Trace.Insert | None -> ());
       let t0 = Zmsq_util.Timing.now_ns () in
@@ -567,6 +790,41 @@ struct
       reserved
     end
 
+  (* The best element an extraction could currently be handed without
+     touching our buffer: the stronger of the pool's next claim (while the
+     pool is live) and the root's cached max. A buffered element may be
+     claimed locally only when it beats this — i.e. when it beats every
+     published element — which keeps the relaxation bound intact. (The
+     tempting weaker rule, "beats the pool's weakest staged element",
+     admits unbounded claim chains: each fresh insert is claimed straight
+     back while the pool never drains, so the true max can starve
+     arbitrarily long. Beating everything published bounds the gap: a
+     claim is then outranked only by other domains' buffers, which hold at
+     most [(ndomains - 1) * buffer_len] elements.) With [batch = 0] this
+     degenerates to "beats the root's max", which keeps single-handle
+     strict mode exact. *)
+  let best_staged q =
+    let root_max = Atomic.get (node_at q 0 0).max in
+    let next = Atomic.get q.pool_next in
+    if q.params.batch > 0 && next >= 0 && next < Array.length q.pool then begin
+      let pool_best = Atomic.get q.pool.(next) in
+      if pool_best > root_max then pool_best else root_max
+    end
+    else root_max
+
+  let try_buf_claim h =
+    if h.buf_n = 0 then Elt.none
+    else begin
+      let head = h.buf.(h.buf_n - 1) in
+      if head > best_staged h.q then begin
+        h.buf_n <- h.buf_n - 1;
+        Atomic.decr h.q.buffered;
+        tick h.q h.q.mc.c_buf_claims;
+        head
+      end
+      else Elt.none
+    end
+
   let extract_aux h =
     let q = h.q in
     let rec loop () =
@@ -575,7 +833,23 @@ struct
       else begin
         let v = extract_pool h in
         if not (Elt.is_none v) then finish v
-        else if Atomic.get q.size = 0 then Elt.none
+        else if Atomic.get q.size = 0 then
+          if q.buffer_on && h.buf_n > 0 then begin
+            (* The published structure is drained but our own backlog is
+               not: publish it and retry, so extract still succeeds on a
+               queue this handle knows to be nonempty. *)
+            bulk_flush h Drain;
+            loop ()
+          end
+          else begin
+            if q.buffer_on && Atomic.get q.buffered > 0 then
+              (* Elements are staged in other domains' buffers, out of our
+                 reach: demand a flush (honored at their next operation and
+                 signalled through the eventcount) and report empty —
+                 emptiness is exact w.r.t. published elements. *)
+              Atomic.set q.flush_demand true;
+            Elt.none
+          end
         else begin
           P.cpu_relax ();
           loop ()
@@ -585,7 +859,11 @@ struct
       Atomic.decr q.size;
       v
     in
-    loop ()
+    if q.buffer_on then begin
+      let v = try_buf_claim h in
+      if not (Elt.is_none v) then v else loop ()
+    end
+    else loop ()
 
   let extract h =
     let q = h.q in
@@ -730,6 +1008,8 @@ struct
       let n = Atomic.get q.pool_next in
       if q.params.batch = 0 || n < 0 then 0 else n + 1
 
+    let buffered q = Atomic.get q.buffered
+
     let pool_elements q =
       let acc = ref [] in
       for i = 0 to q.pool_fill - 1 do
@@ -800,6 +1080,13 @@ struct
         swap_downs = Metrics.value q.mc.c_swap_downs;
         pool_inserts = Metrics.value q.mc.c_pool_inserts;
         helper_moves = Metrics.value q.mc.c_helper_moves;
+        buf_flushes =
+          Metrics.value q.mc.c_buf_flush_full
+          + Metrics.value q.mc.c_buf_flush_demand
+          + Metrics.value q.mc.c_buf_flush_drain
+          + Metrics.value q.mc.c_buf_flush_unregister
+          + Metrics.value q.mc.c_buf_flush_manual;
+        buf_claims = Metrics.value q.mc.c_buf_claims;
       }
 
     let eventcount_stats q =

@@ -10,11 +10,22 @@
     Guarantees (Section 3.7):
     - [extract] returns {!Zmsq_pq.Elt.none} only when the queue is truly
       empty at that instant ([exact_emptiness = true]);
-    - with [batch = b], the true maximum is returned at least once in any
-      [b + 1] consecutive extractions, and [k * (b + 1)] consecutive
-      extractions return a superset of the top [k] elements — independent
-      of the thread count;
-    - [batch = 0] degrades to a strict (exact) priority queue;
+    - with [batch = b] and [buffer_len = 0], the true maximum is returned
+      at least once in any [b + 1] consecutive extractions, and
+      [k * (b + 1)] consecutive extractions return a superset of the top
+      [k] elements — independent of the thread count;
+    - with per-domain insert buffering on ([buffer_len = l], an extension
+      after Williams & Sanders' MultiQueue insertion buffers), up to [l]
+      elements per registered handle may additionally be staged outside
+      the shared structure, widening the window to
+      [b + ndomains * l] — the true maximum among {e published} elements
+      still returns within [b + 1] extractions, and a staged maximum is
+      published no later than the owning handle's [buffer_len]-th
+      subsequent insert, its next drained extract, or its [unregister];
+    - [batch = 0] (with [buffer_len = 0]) degrades to a strict (exact)
+      priority queue; [batch = 0] with buffering remains exact for a
+      single handle (the local claim rule only fires when the staged head
+      beats everything published);
     - consumers may block on an empty queue ({!S.extract_blocking}) via the
       futex-style eventcount of Section 3.6;
     - optimistic accesses are protected by hazard pointers unless
@@ -44,6 +55,8 @@ type counters = {
   swap_downs : int;  (** set exchanges during invariant repair *)
   pool_inserts : int;  (** direct pool displacements (Section 5 extension) *)
   helper_moves : int;  (** elements promoted by helper passes (Section 5 extension) *)
+  buf_flushes : int;  (** per-domain insert buffers published into the tree *)
+  buf_claims : int;  (** extractions served from the caller's own buffer *)
 }
 
 module type S = sig
@@ -69,6 +82,13 @@ module type S = sig
       timeout. Same [params.blocking] requirement. Mirrors the timed pops
       production queues expose (e.g. Folly's
       [RelaxedConcurrentPriorityQueue::try_pop_until]). *)
+
+  val flush : handle -> unit
+  (** Publish the handle's staged inserts into the tree immediately
+      (no-op when the buffer is empty or [params.buffer_len = 0]). Useful
+      before a quiescent inspection and for tests; normal code never needs
+      it — the flush policy (see {!Params.t.buffer_len} and DESIGN.md)
+      publishes automatically. *)
 
   val is_empty : t -> bool
   (** Exact at any instant (the global element count is zero). *)
@@ -116,6 +136,11 @@ module type S = sig
 
     val pool_level : t -> int
     (** Elements currently claimable from the pool (0 if empty). *)
+
+    val buffered : t -> int
+    (** Elements currently staged in per-domain insert buffers (excluded
+        from [length] and {!elements} until flushed; 0 when
+        [params.buffer_len = 0]). *)
 
     val counters : t -> counters
 

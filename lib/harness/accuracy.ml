@@ -18,6 +18,60 @@ let top_k_set keys k =
   done;
   tbl
 
+(* {2 Rank-error oracle}
+
+   A sequential mirror of the queue contents for relaxation-bound tests:
+   the test [add]s every key it inserts and [observe]s every extraction,
+   obtaining that extraction's rank error — the number of elements that
+   were live and strictly greater than the returned one (0 = the true
+   maximum was returned). ZMSQ's bound says the gap between rank-0
+   observations never exceeds [batch + ndomains * buffer_len]; see
+   {!max_zero_gap}. Single-owner (wrap in a mutex to observe from several
+   threads, or funnel observations through one domain). *)
+module Oracle = struct
+  module M = Map.Make (Int)
+
+  (* key -> multiplicity of live elements *)
+  type t = { mutable live : int M.t; mutable n : int }
+
+  let create () = { live = M.empty; n = 0 }
+
+  let add t e =
+    if Elt.is_none e then invalid_arg "Oracle.add: none";
+    t.live <- M.update e (fun c -> Some (1 + Option.value c ~default:0)) t.live;
+    t.n <- t.n + 1
+
+  let live t = t.n
+
+  let rank t e =
+    let _, _, above = M.split e t.live in
+    M.fold (fun _ c acc -> acc + c) above 0
+
+  let observe t e =
+    match M.find_opt e t.live with
+    | None -> invalid_arg "Oracle.observe: element not live"
+    | Some c ->
+        let r = rank t e in
+        t.live <- (if c = 1 then M.remove e t.live else M.add e (c - 1) t.live);
+        t.n <- t.n - 1;
+        r
+end
+
+(* Longest run of consecutive non-zero rank errors: [max_zero_gap ranks <=
+   k] iff every window of [k + 1] consecutive extractions returned the
+   then-true maximum at least once. *)
+let max_zero_gap ranks =
+  let best = ref 0 and cur = ref 0 in
+  List.iter
+    (fun r ->
+      if r = 0 then cur := 0
+      else begin
+        incr cur;
+        if !cur > !best then best := !cur
+      end)
+    ranks;
+  !best
+
 let run factory spec =
   validate spec;
   let inst = factory () in

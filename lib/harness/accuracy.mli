@@ -7,6 +7,36 @@
 
 type spec = { qsize : int; extracts : int; threads : int; seed : int }
 
+(** Sequential mirror of the live queue contents, yielding each
+    extraction's {e rank error} — how many live elements were strictly
+    greater than the one returned (0 = the true maximum). The machinery
+    behind the relaxation-bound property tests: ZMSQ guarantees the gap
+    between rank-0 extractions never exceeds
+    [batch + ndomains * buffer_len]. Single-owner; serialize access when
+    observing from several threads. *)
+module Oracle : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> Zmsq_pq.Elt.t -> unit
+  (** Record an inserted element as live (multiset semantics). *)
+
+  val observe : t -> Zmsq_pq.Elt.t -> int
+  (** Rank error of an extraction; removes the element from the live set.
+      Raises [Invalid_argument] if it was never added. *)
+
+  val rank : t -> Zmsq_pq.Elt.t -> int
+  (** Rank error without removing. *)
+
+  val live : t -> int
+end
+
+val max_zero_gap : int list -> int
+(** Longest run of consecutive non-zero rank errors in an observation
+    sequence: [max_zero_gap ranks <= k] iff every window of [k + 1]
+    consecutive extractions contained the then-true maximum. *)
+
 val run : Instances.factory -> spec -> float
 (** Percentage in [0, 100]. Retries around relaxed queues' spurious empty
     answers so exactly [extracts] elements are obtained. *)

@@ -9,6 +9,7 @@ type kind =
   | Helper_pass
   | Sleep
   | Wake
+  | Buf_flush
 
 let kind_name = function
   | Insert -> "insert"
@@ -21,6 +22,7 @@ let kind_name = function
   | Helper_pass -> "helper_pass"
   | Sleep -> "ec_sleep"
   | Wake -> "ec_wake"
+  | Buf_flush -> "buf_flush"
 
 let kind_code = function
   | Insert -> 0
@@ -33,6 +35,7 @@ let kind_code = function
   | Helper_pass -> 7
   | Sleep -> 8
   | Wake -> 9
+  | Buf_flush -> 10
 
 let kind_of_code = function
   | 0 -> Insert
@@ -44,7 +47,8 @@ let kind_of_code = function
   | 6 -> Min_swap
   | 7 -> Helper_pass
   | 8 -> Sleep
-  | _ -> Wake
+  | 9 -> Wake
+  | _ -> Buf_flush
 
 (* One ring per domain slot. A span is recorded on [span_end] as a
    complete event (begin timestamp + duration), which keeps the dump

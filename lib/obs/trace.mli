@@ -26,6 +26,7 @@ type kind =
   | Helper_pass
   | Sleep
   | Wake
+  | Buf_flush  (** a per-domain insert buffer published into the tree *)
 
 val kind_name : kind -> string
 

@@ -127,11 +127,47 @@ let prop_random_ops (module Q : ZQ) name =
 
 (* {2 Concurrent stress} *)
 
-let concurrent_multiset (module Q : ZQ) ~params () =
+let concurrent_multiset (module Q : ZQ) ?(ops_per_thread = 20_000) ~params () =
   let q = Q.create ~params () in
-  let ok, _ = Conc_util.multiset_stress (module Q) q ~threads:4 ~ops_per_thread:20_000 in
+  let ok, _ = Conc_util.multiset_stress (module Q) q ~threads:4 ~ops_per_thread in
   check Alcotest.bool "multiset preserved" true ok;
-  check Alcotest.bool "invariant after stress" true (Q.Debug.check_invariant q)
+  check Alcotest.bool "invariant after stress" true (Q.Debug.check_invariant q);
+  (* every worker unregistered, so nothing may remain staged locally *)
+  check Alcotest.int "no stranded buffered elements" 0 (Q.Debug.buffered q)
+
+(* The paper's evaluation ablates batch size, set capacity and lock
+   discipline; generate the concurrent smoke tests over that matrix
+   instead of hand-picking single points. Smaller per-thread op counts
+   than the single-config stress keep the whole matrix affordable. *)
+let concurrent_matrix =
+  let pol_name = function P.Trylock -> "trylock" | P.Blocking -> "blocking" in
+  List.concat_map
+    (fun (batch, target_len) ->
+      List.map
+        (fun lock_policy ->
+          let params = P.validate { P.default with P.batch; target_len; lock_policy } in
+          let name =
+            Printf.sprintf "concurrent multiset b=%d t=%d %s" batch target_len
+              (pol_name lock_policy)
+          in
+          (name, `Slow, concurrent_multiset (module Zmsq.Default : ZQ) ~ops_per_thread:12_000 ~params))
+        [ P.Trylock; P.Blocking ])
+    [ (0, 8); (16, 16); (48, 72) ]
+
+(* Buffered variants of the stress: local staging + bulk flushes racing
+   extract-side claims and demand flushes across 4 domains. *)
+let concurrent_buffered =
+  List.map
+    (fun (label, (module Q : ZQ), lock_policy) ->
+      let params = P.validate { P.default with P.buffer_len = 16; lock_policy } in
+      ( Printf.sprintf "concurrent multiset buffered (%s)" label,
+        `Slow,
+        concurrent_multiset (module Q) ~ops_per_thread:12_000 ~params ))
+    [
+      ("list trylock", (module Zmsq.Default : ZQ), P.Trylock);
+      ("array trylock", (module Zmsq.Array_q : ZQ), P.Trylock);
+      ("mutex blocking", (module Zmsq.Mutex_q : ZQ), P.Blocking);
+    ]
 
 (* {2 Blocking} *)
 
@@ -439,6 +475,141 @@ let test_tiny_target_len_bounded_tree () =
   check Alcotest.int "all extractable" 30_000 (List.length out);
   Q.unregister h
 
+(* {2 Per-handle insert buffering} *)
+
+let buffered_params ?(batch = 0) ?(buffer_len = 8) () =
+  P.validate { P.strict with P.batch; target_len = 16; buffer_len }
+
+let test_buffer_params_validate () =
+  Alcotest.check_raises "negative buffer_len"
+    (Invalid_argument "Params: buffer_len must be >= 0") (fun () ->
+      ignore (P.validate { P.default with P.buffer_len = -1 }));
+  Alcotest.check_raises "buffer_len beyond target_len"
+    (Invalid_argument "Params: buffer_len must be <= target_len") (fun () ->
+      ignore (P.validate { P.default with P.target_len = 8; buffer_len = 9 }));
+  check Alcotest.int "default off" 0 P.default.P.buffer_len;
+  check Alcotest.int "with_buffer_len" 8 P.(default |> with_buffer_len 8).P.buffer_len
+
+(* One element stays local (the initial fill threshold is buffer_len/4 =
+   2); an explicit flush publishes it into the tree. *)
+let test_buffer_stage_and_flush () =
+  let module Q = Zmsq.Default in
+  let q = Q.create ~params:(buffered_params ()) () in
+  let h = Q.register q in
+  Q.insert h (Elt.of_priority 1);
+  check Alcotest.int "staged locally" 1 (Q.Debug.buffered q);
+  check Alcotest.int "not yet published" 0 (Q.length q);
+  Q.flush h;
+  check Alcotest.int "buffer drained" 0 (Q.Debug.buffered q);
+  check Alcotest.int "published" 1 (Q.length q);
+  let c = Q.Debug.counters q in
+  check Alcotest.bool "flush counted" true (c.Zmsq.buf_flushes > 0);
+  check Alcotest.int "element survives the flush" 1 (Elt.priority (Q.extract h));
+  check Alcotest.bool "empty after" true (Elt.is_none (Q.extract h));
+  Q.unregister h
+
+(* Reaching the fill threshold publishes the whole buffer in one bulk
+   insertion, without any explicit flush. *)
+let test_buffer_fill_triggers_flush () =
+  let module Q = Zmsq.Default in
+  let q = Q.create ~params:(buffered_params ()) () in
+  let h = Q.register q in
+  Q.insert h (Elt.of_priority 3);
+  Q.insert h (Elt.of_priority 7);
+  check Alcotest.int "auto-flushed at threshold" 0 (Q.Debug.buffered q);
+  check Alcotest.int "both published" 2 (Q.length q);
+  check Alcotest.int "max first" 7 (Elt.priority (Q.extract h));
+  check Alcotest.int "then the other" 3 (Elt.priority (Q.extract h));
+  Q.unregister h
+
+(* A staged element that beats everything published is claimed straight
+   from the owner's buffer. *)
+let test_buffer_local_claim () =
+  let module Q = Zmsq.Default in
+  let q = Q.create ~params:(buffered_params ()) () in
+  let h = Q.register q in
+  Q.insert h (Elt.of_priority 5);
+  check Alcotest.int "staged" 1 (Q.Debug.buffered q);
+  check Alcotest.int "claimed from own buffer" 5 (Elt.priority (Q.extract h));
+  check Alcotest.int "buffer empty after claim" 0 (Q.Debug.buffered q);
+  let c = Q.Debug.counters q in
+  check Alcotest.bool "claim counted" true (c.Zmsq.buf_claims > 0);
+  Q.unregister h
+
+(* Unregistering flushes the backlog: elements are never stranded in a
+   dead handle's buffer. *)
+let test_buffer_unregister_flushes () =
+  let module Q = Zmsq.Default in
+  let q = Q.create ~params:(buffered_params ()) () in
+  let h1 = Q.register q in
+  Q.insert h1 (Elt.of_priority 9);
+  check Alcotest.int "staged on h1" 1 (Q.Debug.buffered q);
+  Q.unregister h1;
+  check Alcotest.int "flushed by unregister" 0 (Q.Debug.buffered q);
+  let h2 = Q.register q in
+  check Alcotest.int "recovered via fresh handle" 9 (Elt.priority (Q.extract h2));
+  Q.unregister h2
+
+(* A consumer that finds the shared structure empty while another
+   handle holds a backlog raises the flush demand; the producer honors
+   it on its next insert, publishing the stranded element. *)
+let test_buffer_demand_flush () =
+  let module Q = Zmsq.Default in
+  let q = Q.create ~params:(buffered_params ()) () in
+  let producer = Q.register q in
+  let consumer = Q.register q in
+  Q.insert producer (Elt.of_priority 7);
+  check Alcotest.int "staged on producer" 1 (Q.Debug.buffered q);
+  (* consumer can't see it yet: it reports empty and raises the demand *)
+  check Alcotest.bool "consumer misses staged element" true
+    (Elt.is_none (Q.extract consumer));
+  Q.insert producer (Elt.of_priority 3);
+  check Alcotest.int "demand flush published the backlog" 0 (Q.Debug.buffered q);
+  check Alcotest.int "consumer now sees the max" 7 (Elt.priority (Q.extract consumer));
+  check Alcotest.int "and the rest" 3 (Elt.priority (Q.extract consumer));
+  Q.unregister producer;
+  Q.unregister consumer
+
+(* buffer_len = 0 must be bit-for-bit the unbuffered queue: the buffering
+   paths never run. *)
+let test_buffer_zero_inert () =
+  let module Q = Zmsq.Default in
+  let q = Q.create ~params:(P.static 8) () in
+  let h = Q.register q in
+  let rng = Rng.create ~seed:0xB0F () in
+  for _ = 1 to 10_000 do
+    Q.insert h (Elt.of_priority (Rng.int rng 1_000_000));
+    if Rng.bool rng then ignore (Q.extract h)
+  done;
+  Q.flush h (* a no-op without buffering *);
+  check Alcotest.int "nothing ever buffered" 0 (Q.Debug.buffered q);
+  let c = Q.Debug.counters q in
+  check Alcotest.int "no flushes" 0 c.Zmsq.buf_flushes;
+  check Alcotest.int "no claims" 0 c.Zmsq.buf_claims;
+  Q.unregister h
+
+(* Strict single-handle extraction order survives buffering: the local
+   claim rule only fires when the staged head beats everything
+   published. *)
+let test_buffer_strict_order () =
+  let module Q = Zmsq.Default in
+  let q = Q.create ~params:(buffered_params ~buffer_len:16 ()) () in
+  let h = Q.register q in
+  let rng = Rng.create ~seed:0xB1F () in
+  let keys = Array.init 5_000 (fun _ -> Rng.int rng 1_000_000) in
+  Array.iter (fun k -> Q.insert h (Elt.of_priority k)) keys;
+  let sorted = Array.copy keys in
+  Array.sort (fun a b -> compare b a) sorted;
+  Array.iteri
+    (fun i want ->
+      let e = Q.extract h in
+      if Elt.priority e <> want then
+        Alcotest.failf "buffered strict order broken at %d: got %d want %d" i
+          (Elt.priority e) want)
+    sorted;
+  check Alcotest.bool "drained" true (Elt.is_none (Q.extract h));
+  Q.unregister h
+
 let mk name f = (name, `Quick, f)
 
 let suite =
@@ -458,12 +629,12 @@ let suite =
     qtest (prop_random_ops (module Zmsq.Default) "zmsq-list");
     qtest (prop_random_ops (module Zmsq.Array_q) "zmsq-array");
     qtest (prop_random_ops (module Zmsq.Lazy_q) "zmsq-lazy");
-    ("concurrent multiset (list)", `Slow, concurrent_multiset (module Zmsq.Default) ~params:(P.static 16));
-    ("concurrent multiset (array)", `Slow, concurrent_multiset (module Zmsq.Array_q) ~params:(P.static 16));
-    ("concurrent multiset (lazy)", `Slow, concurrent_multiset (module Zmsq.Lazy_q) ~params:(P.static 16));
-    ("concurrent multiset (strict)", `Slow, concurrent_multiset (module Zmsq.Default) ~params:P.strict);
-    ("concurrent multiset (blocking locks)", `Slow,
-      concurrent_multiset (module Zmsq.Mutex_q)
+    ("concurrent multiset (array)", `Slow,
+      concurrent_multiset (module Zmsq.Array_q) ~ops_per_thread:20_000 ~params:(P.static 16));
+    ("concurrent multiset (lazy)", `Slow,
+      concurrent_multiset (module Zmsq.Lazy_q) ~ops_per_thread:20_000 ~params:(P.static 16));
+    ("concurrent multiset (mutex blocking)", `Slow,
+      concurrent_multiset (module Zmsq.Mutex_q) ~ops_per_thread:20_000
         ~params:{ (P.static 16) with P.lock_policy = P.Blocking });
     ("blocking handoff", `Slow, blocking_handoff (module Zmsq.Default));
     mk "extract_timeout" test_extract_timeout;
@@ -482,4 +653,13 @@ let suite =
     mk "split pressure" test_split_pressure;
     mk "tiny target_len bounded tree" test_tiny_target_len_bounded_tree;
     mk "peek and is_empty" test_peek_and_is_empty;
+    mk "buffer params validate" test_buffer_params_validate;
+    mk "buffer stage and flush" test_buffer_stage_and_flush;
+    mk "buffer fill triggers flush" test_buffer_fill_triggers_flush;
+    mk "buffer local claim" test_buffer_local_claim;
+    mk "buffer unregister flushes" test_buffer_unregister_flushes;
+    mk "buffer demand flush" test_buffer_demand_flush;
+    mk "buffer_len=0 inert" test_buffer_zero_inert;
+    mk "buffer strict order" test_buffer_strict_order;
   ]
+  @ concurrent_matrix @ concurrent_buffered
