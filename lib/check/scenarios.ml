@@ -12,6 +12,20 @@ module HP = Zmsq_hp.Hazard.Make (Shim.Prim)
 module ML = Zmsq_sync.Lock.Make (Shim.Prim)
 module Elt = Zmsq_pq.Elt
 
+(* A model-level gate for scenario choreography: [wait] blocks through the
+   scheduler's enabledness (not a spin loop, so DFS stays finite) until
+   [set] has run. Gates order scenario *phases* — e.g. "the one-shot
+   producer inserts only after the consumer's demand is up" — without
+   constraining the interleavings inside each phase. *)
+let gate () =
+  let obj = Sched.fresh_obj () in
+  let flag = ref false in
+  let set () = Sched.simple ~kind:Sched.Set ~obj (fun () -> flag := true) in
+  let wait () =
+    Sched.op ~kind:Sched.Lock ~obj ~enabled:(fun () -> !flag) (fun () -> Sched.Ret ())
+  in
+  (set, wait)
+
 (* {2 Eventcount} *)
 
 (* Real eventcount, [producers] signalling / [consumers] waiting on one
@@ -403,6 +417,421 @@ let zmsq_buffer_wakeup =
         ([ producer; consumer ], final));
   }
 
+(* {2 PR 4 liveness regressions: seeded-bug / fixed-code pairs}
+
+   Each of the three fixed liveness bugs gets (a) a miniature protocol
+   twin — like [ec_mini] — whose [~buggy] variant reproduces the pre-fix
+   ordering and must be *detected* (deadlock or violation), keeping the
+   checker honest about its coverage; and (b) a real-queue scenario that
+   must pass on the fixed code and fails deterministically when the fix is
+   reverted. *)
+
+(* Shared eventcount-style helpers for the miniature twins: one futex word
+   with bit 0 = sleepers advertised, bits 1.. = sequence. *)
+let mini_signal word =
+  let rec bump () =
+    let w = P.Futex.get word in
+    let next = (((w lsr 1) + 1) lsl 1) land max_int in
+    if P.Futex.compare_and_set word w next then begin
+      if w land 1 = 1 then P.Futex.wake word
+    end
+    else bump ()
+  in
+  bump ()
+
+(* Correct sleeper: publish the sleeper bit, re-check [ready], sleep. *)
+let mini_sleep_until word ready =
+  let rec sleep () =
+    if not (ready ()) then begin
+      let w = P.Futex.get word in
+      if w land 1 = 1 then begin
+        if not (ready ()) then P.Futex.wait word w;
+        sleep ()
+      end
+      else if P.Futex.compare_and_set word w (w lor 1) then begin
+        if not (ready ()) then P.Futex.wait word (w lor 1);
+        sleep ()
+      end
+      else sleep ()
+    end
+  in
+  sleep ()
+
+(* Twin of the [extract_timeout] deadline bug: the consumer's time budget
+   is exhausted while the element is provably present (the gate stands in
+   for "the matching insert landed during the last wait window, and the
+   timed-out ticket was re-credited by the compensating signal"). Giving up
+   without one final non-blocking poll — the pre-fix behaviour — misses an
+   element the deadline semantics allow claiming. *)
+let timeout_mini ~buggy =
+  {
+    Explore.name =
+      (if buggy then "timeout-mini-skip-final-poll" else "timeout-mini-final-poll");
+    make =
+      (fun () ->
+        let item = P.Atomic.make 0 in
+        let claimed = ref false in
+        let arrived, await_arrival = gate () in
+        let producer () =
+          P.Atomic.set item 1;
+          arrived ()
+        in
+        let consumer () =
+          await_arrival ();
+          (* Deadline already passed: no waiting allowed from here on. *)
+          if not buggy then
+            (* fixed: one final non-blocking attempt *)
+            if P.Atomic.get item = 1 then begin
+              P.Atomic.set item 0;
+              claimed := true
+            end
+        in
+        let final () =
+          if not !claimed then
+            Sched.violation "timed extract gave up on a provably nonempty queue"
+        in
+        ([ producer; consumer ], final));
+  }
+
+(* Twin of the [buf_insert] demand-ordering bug: the producer honors the
+   consumer's flush demand *before* staging its element (pre-fix order).
+   A one-shot producer whose only insert arrives after the demand then
+   stages invisibly and never publishes or signals; the consumer, asleep
+   on the futex, is never woken — reported as a deadlock. The fixed order
+   (stage, then honor demand) publishes and wakes. *)
+let buf_mini ~buggy =
+  {
+    Explore.name = (if buggy then "buf-mini-demand-prestage" else "buf-mini-demand");
+    make =
+      (fun () ->
+        let staged = P.Atomic.make 0 in
+        let published = P.Atomic.make 0 in
+        let word = P.Futex.create 0 in
+        let demanded, await_demand = gate () in
+        let publish () =
+          P.Atomic.set published (P.Atomic.get published + P.Atomic.get staged);
+          P.Atomic.set staged 0;
+          mini_signal word
+        in
+        let producer () =
+          await_demand ();
+          if buggy then begin
+            (* pre-fix: demand checked against the *old* backlog — empty *)
+            if P.Atomic.get staged > 0 then publish ();
+            P.Atomic.set staged 1
+          end
+          else begin
+            (* fixed: stage first, then honor the (known-raised) demand *)
+            P.Atomic.set staged 1;
+            publish ()
+          end
+        in
+        let consumer () =
+          if P.Atomic.get published = 0 then begin
+            demanded ();
+            mini_sleep_until word (fun () -> P.Atomic.get published > 0)
+          end
+        in
+        let final () =
+          if P.Atomic.get staged > 0 && P.Atomic.get published = 0 then
+            Sched.violation "element stranded in the producer's buffer"
+        in
+        ([ producer; consumer ], final));
+  }
+
+(* Twin of the bulk-flush signalling contract behind [Eventcount.signal_n]:
+   a bulk publication of n elements must bump *every* slot covered by the
+   credited ticket range. The buggy variant wakes only the first covered
+   slot, so the sleeper parked on the second ticket's slot stays asleep
+   forever — the lost-wakeup shape [signal_n] has to avoid while replacing
+   n individual signals with min(n, slots) bumps. *)
+let bulk_mini ~buggy =
+  {
+    Explore.name = (if buggy then "bulk-mini-single-wake" else "bulk-mini-wake-all");
+    make =
+      (fun () ->
+        let count = P.Atomic.make 0 in
+        let slot0 = P.Futex.create 0 in
+        let slot1 = P.Futex.create 0 in
+        let producer () =
+          (* Bulk credit: both tickets become ready at once... *)
+          P.Atomic.set count 2;
+          (* ...then the covered slots are signalled — or, seeded bug,
+             only the first one. *)
+          mini_signal slot0;
+          if not buggy then mini_signal slot1
+        in
+        let consumer need slot () =
+          mini_sleep_until slot (fun () -> P.Atomic.get count >= need)
+        in
+        ([ producer; consumer 1 slot0; consumer 2 slot1 ], fun () -> ()));
+  }
+
+(* Real-queue regression for the [extract_timeout] fix: a zero-budget timed
+   extract is exactly the deadline path (no wait ever happens), so on the
+   pre-fix code it unconditionally returns [none] — including against the
+   quiesced, provably nonempty queue in the final check. On the fixed code
+   it degrades to a plain try-pop and must claim. *)
+let zmsq_timeout_poll =
+  {
+    Explore.name = "zmsq-timeout-poll";
+    make =
+      (fun () ->
+        let module Q = Zmsq.Make_prim (Shim.Prim) (Shim.Lock) (Zmsq.List_set) in
+        let q = Q.create ~params:{ model_params with Zmsq.Params.blocking = true } () in
+        let hp = Q.register q in
+        let hc = Q.register q in
+        let got = ref Elt.none in
+        let producer () = Q.insert hp 7 in
+        let consumer () =
+          (* Racing the insert: a miss here is legal (queue may still be
+             empty)... *)
+          let v = Q.extract_timeout hc ~timeout_ns:0 in
+          if not (Elt.is_none v) then got := v
+        in
+        let final () =
+          if Elt.is_none !got then begin
+            (* ...but after quiescence the element is definitely published:
+               a zero-budget poll must claim it. *)
+            let v = Q.extract_timeout hc ~timeout_ns:0 in
+            if Elt.is_none v then
+              Sched.violation "zero-budget timed extract missed a present element"
+          end
+        in
+        ([ producer; consumer ], final));
+  }
+
+(* Real-queue regression for the [buf_insert] fix — the one-shot-producer
+   case of [zmsq_buffer_wakeup]: an idle producer leaves an element staged
+   (making [buffered] nonzero), the consumer's failed extract raises the
+   flush demand and sleeps, and then a *different* producer performs
+   exactly one insert and goes silent. The fix publishes that insert (and
+   signals) because demand is honored after staging; pre-fix code checks
+   demand against its empty backlog first, stages invisibly, and the
+   consumer deadlocks. *)
+let zmsq_buffer_wakeup_oneshot =
+  {
+    Explore.name = "zmsq-buffer-wakeup-oneshot";
+    make =
+      (fun () ->
+        let module Q = Zmsq.Make_prim (Shim.Prim) (Shim.Lock) (Zmsq.List_set) in
+        let q = Q.create ~params:{ buffer_params with Zmsq.Params.blocking = true } () in
+        let h1 = Q.register q in
+        let h2 = Q.register q in
+        let hc = Q.register q in
+        let got = ref Elt.none in
+        let staged, await_staged = gate () in
+        let demanded, await_demand = gate () in
+        let idle_producer () =
+          (* One insert stays below the flush threshold; the handle is not
+             unregistered while fibers run, so the element legally remains
+             staged — but it makes the consumer's empty extract raise the
+             flush demand. *)
+          Q.insert h1 5;
+          staged ()
+        in
+        let oneshot_producer () =
+          await_demand ();
+          Q.insert h2 9
+        in
+        let consumer () =
+          await_staged ();
+          let v = Q.extract hc in
+          if not (Elt.is_none v) then got := v
+          else begin
+            demanded ();
+            got := Q.extract_blocking hc
+          end
+        in
+        let final () =
+          if Elt.is_none !got then Sched.violation "consumer extracted nothing";
+          Q.unregister h1;
+          Q.unregister h2;
+          Q.unregister hc;
+          let hd = Q.register q in
+          let rec drain acc =
+            let v = Q.extract hd in
+            if Elt.is_none v then acc else drain (v :: acc)
+          in
+          let rest = drain [] in
+          Q.unregister hd;
+          let seen = List.sort compare (!got :: rest) in
+          if seen <> [ 5; 9 ] then
+            Sched.violation "element lost or duplicated: %d accounted" (List.length seen)
+        in
+        ([ idle_producer; oneshot_producer; consumer ], final));
+  }
+
+(* Real-queue regression for [signal_n]: one bulk flush publishes two
+   elements while two consumers are *provably asleep* on distinct ticket
+   slots — the producer is enabledness-gated on the eventcount's sleep
+   counter, so every execution reaches the interesting state instead of
+   relying on the random scheduler to outlast the 512-iteration optimistic
+   spin. The flush's single [signal_n] call must wake both sleepers; a
+   signalling scheme that under-wakes (e.g. bumping only the first covered
+   slot) leaves one consumer asleep forever — a deadlock. *)
+let zmsq_flush_wakes_all =
+  {
+    Explore.name = "zmsq-flush-wakes-all";
+    make =
+      (fun () ->
+        let module Q = Zmsq.Make_prim (Shim.Prim) (Shim.Lock) (Zmsq.List_set) in
+        let q = Q.create ~params:{ buffer_params with Zmsq.Params.blocking = true } () in
+        let hp = Q.register q in
+        let h1 = Q.register q in
+        let h2 = Q.register q in
+        let got1 = ref Elt.none in
+        let got2 = ref Elt.none in
+        (* Blocks (via enabledness, not spinning) until [n] eventcount
+           sleeps have been recorded. The callback runs outside any fiber,
+           so the model-atomic reads inside [eventcount_stats] execute
+           directly and invisibly. *)
+        let await_sleepers n =
+          let obj = Sched.fresh_obj () in
+          Sched.op ~kind:Sched.Lock ~obj
+            ~enabled:(fun () ->
+              match Q.Debug.eventcount_stats q with Some (s, _) -> s >= n | None -> false)
+            (fun () -> Sched.Ret ())
+        in
+        let producer () =
+          await_sleepers 2;
+          Q.insert hp 5;
+          (* The second insert reaches the flush threshold (or honors a
+             pending demand): one bulk publication covering both
+             elements, one [signal_n] call. *)
+          Q.insert hp 9
+        in
+        let c1 () = got1 := Q.extract_blocking h1 in
+        let c2 () = got2 := Q.extract_blocking h2 in
+        let final () =
+          if Elt.is_none !got1 || Elt.is_none !got2 then
+            Sched.violation "a blocking consumer returned none";
+          let seen = List.sort compare [ !got1; !got2 ] in
+          if seen <> [ 5; 9 ] then
+            Sched.violation "element lost or duplicated across the bulk wake"
+        in
+        ([ producer; c1; c2 ], final));
+  }
+
+(* {2 Chaos mode: the Faulty adapter under the model scheduler}
+
+   The Faulty functor is applied to the shim *inside make*, so each
+   execution gets fresh policy state and per-domain RNG streams — fault
+   decisions are deterministic per schedule and replays reproduce them.
+   Shim-safe knobs only: forced trylock failures (at both the PRIM mutex
+   and the spin-lock try path via [Lock.Faulty]); stalls, wake delays and
+   freezes are native-only concerns exercised by the soak runner. *)
+
+let chaos_seed = 0xFA117
+
+let zmsq_chaos_trylock =
+  {
+    Explore.name = "zmsq-chaos-trylock";
+    make =
+      (fun () ->
+        let module FP = Zmsq_prim.Faulty.Make (Shim.Prim) () in
+        let module FL = Zmsq_sync.Lock.Make (FP) in
+        let module L =
+          Zmsq_sync.Lock.Faulty
+            (FL.Tatas)
+            (struct
+              let fail_try_acquire = FP.Ctl.inject_try_acquire_failure
+            end)
+        in
+        FP.Ctl.install
+          { Zmsq_prim.Faulty.off with seed = chaos_seed; trylock_fail_1in = 3 };
+        let module Q = Zmsq.Make_prim (FP) (L) (Zmsq.List_set) in
+        let q =
+          Q.create ~params:{ model_params with Zmsq.Params.lock_policy = Zmsq.Params.Trylock } ()
+        in
+        let extracted = ref [] in
+        let inserted = [ [ 9; 4 ]; [ 8; 2 ] ] in
+        let body vals =
+          let h = Q.register q in
+          fun () ->
+            List.iter (fun v -> Q.insert h v) vals;
+            let v = Q.extract h in
+            if not (Elt.is_none v) then extracted := v :: !extracted
+        in
+        let bodies = List.map body inserted in
+        let final () =
+          if not (Q.Debug.check_invariant q) then Sched.violation "mound invariant broken";
+          let remaining = Q.Debug.elements q in
+          let all = List.sort compare (List.concat inserted) in
+          let seen = List.sort compare (!extracted @ remaining) in
+          if all <> seen then
+            Sched.violation "element conservation broken under trylock chaos: %d in, %d accounted"
+              (List.length all) (List.length seen)
+        in
+        (bodies, final));
+  }
+
+(* Chaos with buffering *and* blocking on: forced trylock failures hit the
+   bulk-flush publication loop while a consumer blocks on the eventcount.
+   Producers unregister (publishing their backlog), so the consumer is
+   guaranteed an element — any lost wake or stranded element under fault
+   injection shows up as a deadlock or a conservation violation. *)
+let zmsq_chaos_buffered =
+  {
+    Explore.name = "zmsq-chaos-buffered";
+    make =
+      (fun () ->
+        let module FP = Zmsq_prim.Faulty.Make (Shim.Prim) () in
+        let module FL = Zmsq_sync.Lock.Make (FP) in
+        let module L =
+          Zmsq_sync.Lock.Faulty
+            (FL.Tatas)
+            (struct
+              let fail_try_acquire = FP.Ctl.inject_try_acquire_failure
+            end)
+        in
+        FP.Ctl.install
+          { Zmsq_prim.Faulty.off with seed = chaos_seed; trylock_fail_1in = 4 };
+        let module Q = Zmsq.Make_prim (FP) (L) (Zmsq.List_set) in
+        let q =
+          Q.create
+            ~params:
+              {
+                buffer_params with
+                Zmsq.Params.blocking = true;
+                lock_policy = Zmsq.Params.Trylock;
+              }
+            ()
+        in
+        let got = ref Elt.none in
+        let inserted = [ [ 9; 4 ]; [ 8; 2 ] ] in
+        let producers =
+          List.map
+            (fun vals ->
+              let h = Q.register q in
+              fun () ->
+                List.iter (fun v -> Q.insert h v) vals;
+                Q.unregister h)
+            inserted
+        in
+        let hc = Q.register q in
+        let consumer () = got := Q.extract_blocking hc in
+        let final () =
+          if Elt.is_none !got then Sched.violation "blocking extract returned none";
+          Q.unregister hc;
+          if Q.Debug.buffered q <> 0 then
+            Sched.violation "%d elements still staged after unregister" (Q.Debug.buffered q);
+          let hd = Q.register q in
+          let rec drain acc =
+            let v = Q.extract hd in
+            if Elt.is_none v then acc else drain (v :: acc)
+          in
+          let rest = drain [] in
+          Q.unregister hd;
+          let all = List.sort compare (List.concat inserted) in
+          let seen = List.sort compare (!got :: rest) in
+          if all <> seen then
+            Sched.violation "element conservation broken under buffered chaos: %d in, %d accounted"
+              (List.length all) (List.length seen)
+        in
+        (producers @ [ consumer ], final));
+  }
+
 (* {2 Registry} *)
 
 type mode = Dfs | Rand of { executions : int; seed : int }
@@ -445,6 +874,33 @@ let all =
        executions long; the bound is generous so sleeps are actually
        reached rather than cut off. *)
     { scenario = zmsq_buffer_wakeup; mode = Rand { executions = 150; seed = 0xB0F3 };
+      expect_fail = false; max_steps = 20_000; max_executions = 0 };
+    (* PR 4 liveness pairs: miniature twins explored exhaustively... *)
+    { scenario = timeout_mini ~buggy:false; mode = Dfs; expect_fail = false;
+      max_steps = 300; max_executions = 20_000 };
+    { scenario = timeout_mini ~buggy:true; mode = Dfs; expect_fail = true;
+      max_steps = 300; max_executions = 20_000 };
+    { scenario = buf_mini ~buggy:false; mode = Dfs; expect_fail = false;
+      max_steps = 400; max_executions = 50_000 };
+    { scenario = buf_mini ~buggy:true; mode = Dfs; expect_fail = true;
+      max_steps = 400; max_executions = 50_000 };
+    { scenario = bulk_mini ~buggy:false; mode = Dfs; expect_fail = false;
+      max_steps = 500; max_executions = 50_000 };
+    { scenario = bulk_mini ~buggy:true; mode = Dfs; expect_fail = true;
+      max_steps = 500; max_executions = 50_000 };
+    (* ...and real-queue regressions under the random scheduler (gates and
+       eventcount spins preclude DFS here). *)
+    { scenario = zmsq_timeout_poll; mode = Rand { executions = 200; seed = 0x7140 };
+      expect_fail = false; max_steps = 4000; max_executions = 0 };
+    { scenario = zmsq_buffer_wakeup_oneshot; mode = Rand { executions = 150; seed = 0xB0F4 };
+      expect_fail = false; max_steps = 20_000; max_executions = 0 };
+    { scenario = zmsq_flush_wakes_all; mode = Rand { executions = 150; seed = 0xB0F5 };
+      expect_fail = false; max_steps = 20_000; max_executions = 0 };
+    (* Chaos mode: seeded fault injection (forced trylock failures) at both
+       the PRIM seam and the spin-lock try path. *)
+    { scenario = zmsq_chaos_trylock; mode = Rand { executions = 200; seed = 0xC4A5 };
+      expect_fail = false; max_steps = 8000; max_executions = 0 };
+    { scenario = zmsq_chaos_buffered; mode = Rand { executions = 150; seed = 0xC4A6 };
       expect_fail = false; max_steps = 20_000; max_executions = 0 };
   ]
 

@@ -664,14 +664,14 @@ struct
       match q.ec with
       | None -> ()
       | Some ec ->
-          for _ = 1 to n do
-            Eventcount.signal_after_insert ec
-          done
+          (* One bulk credit instead of n signal loops: a single FAA plus
+             at most [slots] wakes, with every covered sleeper released
+             (see Eventcount.signal_n). *)
+          Eventcount.signal_n ec n
     end
 
   let buf_insert h e =
     let q = h.q in
-    if Atomic.get q.flush_demand && h.buf_n > 0 then bulk_flush h Demand;
     (* Sorted ascending insertion shift; the handle's best staged element
        stays at the top index for O(1) claims in [extract]. *)
     let i = ref h.buf_n in
@@ -682,7 +682,14 @@ struct
     h.buf.(!i) <- e;
     h.buf_n <- h.buf_n + 1;
     Atomic.incr q.buffered;
-    if h.buf_n >= h.buf_target then bulk_flush h Full
+    (* A consumer's flush demand is honored only *after* staging, so the
+       element just inserted is covered by the very flush that answers the
+       demand. The old order (check demand, then stage) published only the
+       pre-existing backlog: a one-shot producer — demand raised, then a
+       single insert, then silence — left its element staged invisibly and
+       the consumer sleeping on the eventcount unboundedly. *)
+    if Atomic.get q.flush_demand then bulk_flush h Demand
+    else if h.buf_n >= h.buf_target then bulk_flush h Full
 
   let flush h = if h.q.buffer_on && h.buf_n > 0 then bulk_flush h Manual
 
@@ -882,9 +889,16 @@ struct
     | None -> invalid_arg "Zmsq.extract_timeout: queue created without blocking"
     | Some ec ->
         let deadline = Zmsq_util.Timing.now_ns () + timeout_ns in
+        (* Both deadline exits make one final non-blocking attempt rather
+           than returning [none] outright: an element that arrived in the
+           last wait window is still claimable — the timed-out waiter's
+           ticket was re-credited by the eventcount's compensating signal,
+           so claiming it cannot skew the sleep/wake pairing — and a
+           zero/negative budget degrades to a plain try-pop instead of an
+           unconditional miss on a nonempty queue. *)
         let rec loop () =
           let remaining = deadline - Zmsq_util.Timing.now_ns () in
-          if remaining <= 0 then Elt.none
+          if remaining <= 0 then extract h
           else begin
             note h.q Trace.Sleep;
             let woke = Eventcount.wait_before_extract_for ec ~timeout_ns:remaining in
@@ -893,7 +907,7 @@ struct
               let v = extract h in
               if Elt.is_none v then loop () else v
             end
-            else Elt.none
+            else extract h
           end
         in
         loop ()

@@ -79,8 +79,12 @@ module type S = sig
   val extract_timeout : handle -> timeout_ns:int -> Zmsq_pq.Elt.t
   (** Deadline-bounded {!extract_blocking}: waits at most [timeout_ns]
       nanoseconds for an element, returning {!Zmsq_pq.Elt.none} on
-      timeout. Same [params.blocking] requirement. Mirrors the timed pops
-      production queues expose (e.g. Folly's
+      timeout. The deadline path always makes one final non-blocking
+      [extract] attempt before reporting empty, so an element that arrived
+      in the last wait window is claimed rather than missed, and a
+      zero/negative budget behaves as a plain try-pop. Same
+      [params.blocking] requirement. Mirrors the timed pops production
+      queues expose (e.g. Folly's
       [RelaxedConcurrentPriorityQueue::try_pop_until]). *)
 
   val flush : handle -> unit

@@ -1,0 +1,464 @@
+module Faulty = Zmsq_prim.Faulty
+module Rng = Zmsq_util.Rng
+module Elt = Zmsq_pq.Elt
+module Barrier = Zmsq_sync.Barrier
+
+(* The queue under soak: every primitive routed through the fault adapter,
+   node trylocks additionally subject to injected contention losses. *)
+module FP = Faulty.Make (Zmsq_prim.Native) ()
+module FLocks = Zmsq_sync.Lock.Make (FP)
+
+module FLock =
+  Zmsq_sync.Lock.Faulty
+    (FLocks.Tatas)
+    (struct
+      let fail_try_acquire = FP.Ctl.inject_try_acquire_failure
+    end)
+
+module Q = Zmsq.Make_prim (FP) (FLock) (Zmsq.List_set)
+
+type faults = {
+  trylock_fail_1in : int;
+  wake_delay_1in : int;
+  wake_delay_ops : int;
+  spurious_timeout_1in : int;
+  stall_faa_1in : int;
+  stall_exchange_1in : int;
+  stall_relax : int;
+  freeze_ms : float;
+}
+
+let no_faults =
+  {
+    trylock_fail_1in = 0;
+    wake_delay_1in = 0;
+    wake_delay_ops = 0;
+    spurious_timeout_1in = 0;
+    stall_faa_1in = 0;
+    stall_exchange_1in = 0;
+    stall_relax = 0;
+    freeze_ms = 0.;
+  }
+
+let default_faults =
+  {
+    trylock_fail_1in = 5;
+    wake_delay_1in = 4;
+    wake_delay_ops = 40;
+    spurious_timeout_1in = 4;
+    stall_faa_1in = 64;
+    stall_exchange_1in = 64;
+    stall_relax = 200;
+    freeze_ms = 40.;
+  }
+
+type phase = Mixed | Burst | Producer_dies | Consumer_starves
+
+let phase_name = function
+  | Mixed -> "mixed"
+  | Burst -> "burst"
+  | Producer_dies -> "producer-dies"
+  | Consumer_starves -> "consumer-starves"
+
+type phase_report = {
+  phase : phase;
+  seconds : float;
+  inserted : int;
+  extracted : int;
+  drained : int;
+  ec_sleeps : int;
+  ec_wakes : int;
+  violations : string list;
+}
+
+type report = {
+  phases : phase_report list;
+  total_inserted : int;
+  total_extracted : int;
+  total_drained : int;
+  fault_stats : (string * int) list;
+  violations : string list;
+  artifacts : string list;
+}
+
+type config = {
+  seed : int;
+  secs : float;
+  producers : int;
+  consumers : int;
+  batch : int;
+  buffer_len : int;
+  stale_ms : float;
+  faults : faults;
+  artifacts_dir : string option;
+  log : (string -> unit) option;
+}
+
+let default_config =
+  {
+    seed = 1;
+    secs = 2.0;
+    producers = 2;
+    consumers = 2;
+    batch = 48;
+    buffer_len = 8;
+    stale_ms = 1500.;
+    faults = default_faults;
+    artifacts_dir = None;
+    log = None;
+  }
+
+let now_ns = Zmsq_util.Timing.now_ns
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let dump_artifacts q dir tag =
+  mkdir_p dir;
+  let snap = Zmsq_obs.Metrics.snapshot (Q.metrics q) in
+  let mpath =
+    Zmsq_obs.Export.write_file
+      ~path:(Filename.concat dir (tag ^ "-metrics.json"))
+      (Zmsq_obs.Json.to_string (Zmsq_obs.Export.json_of_snapshot snap))
+  in
+  match Q.trace q with
+  | Some tr ->
+      [ mpath; Zmsq_obs.Trace.save ~path:(Filename.concat dir (tag ^ "-trace.json")) tr ]
+  | None -> [ mpath ]
+
+let diff_stats before after =
+  List.map
+    (fun (k, v) -> (k, v - (try List.assoc k before with Not_found -> 0)))
+    after
+
+(* One phase = one fresh queue + one fresh set of worker domains, so a
+   violation's artifacts describe exactly the workload that tripped it. *)
+let run_phase cfg ~index ~phase ~dur =
+  let log s =
+    match cfg.log with
+    | Some f -> f (Printf.sprintf "[soak %-16s] %s" (phase_name phase) s)
+    | None -> ()
+  in
+  let f = cfg.faults in
+  FP.Ctl.reset ();
+  FP.Ctl.install
+    {
+      Faulty.seed = cfg.seed lxor ((index + 1) * 0x9E37);
+      trylock_fail_1in = f.trylock_fail_1in;
+      wake_delay_1in = f.wake_delay_1in;
+      wake_delay_ops = f.wake_delay_ops;
+      spurious_timeout_1in = f.spurious_timeout_1in;
+      stall_faa_1in = f.stall_faa_1in;
+      stall_exchange_1in = f.stall_exchange_1in;
+      stall_relax = f.stall_relax;
+    };
+  let params =
+    Zmsq.Params.validate
+      {
+        Zmsq.Params.default with
+        batch = cfg.batch;
+        buffer_len = cfg.buffer_len;
+        blocking = true;
+        obs = Zmsq_obs.Level.Full;
+      }
+  in
+  let q = Q.create ~params () in
+  let stop = Stdlib.Atomic.make false in
+  let inserted = Stdlib.Atomic.make 0 in
+  let extracted = Stdlib.Atomic.make 0 in
+  let blocking_alive = Stdlib.Atomic.make 0 in
+  let producer_keys = Array.make (max 1 cfg.producers) (-1) in
+  let vio_mu = Stdlib.Mutex.create () in
+  let vios = ref [] in
+  let artifacts = ref [] in
+  let dumped = ref false in
+  let violation msg =
+    Stdlib.Mutex.lock vio_mu;
+    Fun.protect
+      ~finally:(fun () -> Stdlib.Mutex.unlock vio_mu)
+      (fun () ->
+        vios := msg :: !vios;
+        log ("VIOLATION: " ^ msg);
+        match cfg.artifacts_dir with
+        | Some dir when not !dumped ->
+            dumped := true;
+            artifacts :=
+              dump_artifacts q dir (Printf.sprintf "soak-%s" (phase_name phase))
+        | _ -> ())
+  in
+  (* main + producers + consumers + monitor *)
+  let bar = Barrier.create (cfg.producers + cfg.consumers + 2) in
+  let ins_one h rng =
+    (* Count before publishing so the monitor can never observe
+       extracted > inserted. *)
+    Stdlib.Atomic.incr inserted;
+    Q.insert h (Elt.of_priority (Rng.int rng 1_000_000))
+  in
+  let park_until_stop () =
+    while not (Stdlib.Atomic.get stop) do
+      Unix.sleepf 0.001
+    done
+  in
+  let producer idx () =
+    producer_keys.(idx) <- FP.Ctl.self_key ();
+    let h = Q.register q in
+    let rng = Rng.create ~seed:(cfg.seed + (101 * idx) + 7) () in
+    Barrier.wait bar;
+    (match phase with
+    | Mixed ->
+        while not (Stdlib.Atomic.get stop) do
+          ins_one h rng;
+          if Rng.int rng 512 = 0 then Unix.sleepf 0.0002
+        done
+    | Burst ->
+        while not (Stdlib.Atomic.get stop) do
+          for _ = 1 to 48 do
+            ins_one h rng
+          done;
+          Unix.sleepf 0.001
+        done
+    | Producer_dies ->
+        if idx = 0 then begin
+          (* Insert a backlog, then go quiet with whatever stayed staged
+             in the insert buffer — the "dead" producer. Its residue is
+             published by unregister at phase end; meanwhile the staleness
+             watchdog proves the rest of the system keeps draining. *)
+          for _ = 1 to 64 do
+            ins_one h rng
+          done;
+          park_until_stop ()
+        end
+        else
+          while not (Stdlib.Atomic.get stop) do
+            ins_one h rng;
+            if Rng.int rng 512 = 0 then Unix.sleepf 0.0002
+          done
+    | Consumer_starves ->
+        (* One-shot producer: a single staggered insert, then silence.
+           Whether that element ever becomes visible is exactly the
+           demand-after-stage contract of buf_insert (bug B). *)
+        Unix.sleepf (0.01 +. (0.025 *. float_of_int idx));
+        if not (Stdlib.Atomic.get stop) then ins_one h rng;
+        park_until_stop ());
+    Q.unregister h
+  in
+  let consumer idx () =
+    let h = Q.register q in
+    let blocking_mode = phase = Burst && idx = 0 in
+    if blocking_mode then Stdlib.Atomic.incr blocking_alive;
+    Barrier.wait bar;
+    (if blocking_mode then begin
+       while not (Stdlib.Atomic.get stop) do
+         let v = Q.extract_blocking h in
+         if not (Elt.is_none v) then Stdlib.Atomic.incr extracted
+       done;
+       Stdlib.Atomic.decr blocking_alive
+     end
+     else
+       let timeout_ns =
+         match phase with Consumer_starves -> 3_000_000 | _ -> 2_000_000
+       in
+       while not (Stdlib.Atomic.get stop) do
+         let v = Q.extract_timeout h ~timeout_ns in
+         if not (Elt.is_none v) then Stdlib.Atomic.incr extracted
+       done);
+    Q.unregister h
+  in
+  let monitor () =
+    FP.Ctl.exempt_self ();
+    Barrier.wait bar;
+    let stale_ns = int_of_float (cfg.stale_ms *. 1e6) in
+    let start = now_ns () in
+    let anchor = ref start in
+    let last_ext = ref 0 in
+    let next_beat = ref (start + 500_000_000) in
+    let freeze_due =
+      if f.freeze_ms > 0. && phase <> Consumer_starves then
+        Some (start + int_of_float (dur *. 0.4 *. 1e9))
+      else None
+    in
+    let frozen = ref None in
+    while not (Stdlib.Atomic.get stop) do
+      Unix.sleepf 0.002;
+      (* Deliver every delayed wake: "delayed" must never become
+         "dropped", and any remaining stall is the algorithm's fault. *)
+      FP.Ctl.quiesce ();
+      let now = now_ns () in
+      (* Conservation, sampled extracted-first so the inequality is
+         monotone-safe under concurrent updates. *)
+      let ext = Stdlib.Atomic.get extracted in
+      let ins = Stdlib.Atomic.get inserted in
+      if ext > ins then
+        violation (Printf.sprintf "conservation: extracted %d > inserted %d" ext ins);
+      if ext <> !last_ext then begin
+        last_ext := ext;
+        anchor := now
+      end;
+      if Q.length q = 0 then anchor := now;
+      (match (freeze_due, !frozen) with
+      | Some due, None when now >= due && producer_keys.(min 1 (cfg.producers - 1)) >= 0
+        ->
+          let victim = producer_keys.(min 1 (cfg.producers - 1)) in
+          FP.Ctl.freeze victim;
+          frozen := Some (victim, now + int_of_float (f.freeze_ms *. 1e6))
+      | _ -> ());
+      (match !frozen with
+      | Some (victim, until) when now >= until ->
+          FP.Ctl.thaw victim;
+          frozen := Some (victim, max_int);
+          (* A thawed lock-holder may have pinned extraction for the whole
+             window; restart the staleness clock. *)
+          anchor := now
+      | _ -> ());
+      if now - !anchor > stale_ns then begin
+        violation
+          (Printf.sprintf
+             "stale element: %d published elements but no extraction progress in \
+              %.0f ms"
+             (Q.length q) cfg.stale_ms);
+        anchor := now
+      end;
+      if now >= !next_beat then begin
+        next_beat := now + 500_000_000;
+        log
+          (Printf.sprintf "heartbeat: inserted=%d extracted=%d len=%d buffered=%d"
+             ins ext (Q.length q) (Q.Debug.buffered q))
+      end
+    done;
+    (match !frozen with
+    | Some (victim, _) -> FP.Ctl.thaw victim
+    | None -> ());
+    FP.Ctl.quiesce ()
+  in
+  let t0 = now_ns () in
+  let doms =
+    List.init cfg.producers (fun i -> Domain.spawn (producer i))
+    @ List.init cfg.consumers (fun i -> Domain.spawn (consumer i))
+  in
+  let mon = Domain.spawn monitor in
+  let hmain = Q.register q in
+  Barrier.wait bar;
+  Unix.sleepf dur;
+  Stdlib.Atomic.set stop true;
+  Domain.join mon;
+  (* Blocking consumers hold no deadline; feed sentinels (flushed so they
+     publish immediately) until every one has re-checked [stop] and left. *)
+  while Stdlib.Atomic.get blocking_alive > 0 do
+    FP.Ctl.quiesce ();
+    Stdlib.Atomic.incr inserted;
+    Q.insert hmain (Elt.of_priority 1);
+    Q.flush hmain;
+    Unix.sleepf 0.0005
+  done;
+  List.iter Domain.join doms;
+  FP.Ctl.quiesce ();
+  let seconds = float_of_int (now_ns () - t0) /. 1e9 in
+  (* Quiescent accounting: every worker handle is unregistered (staged
+     residue published), so a drain must reach exactly the difference. *)
+  let drained = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let v = Q.extract hmain in
+    if Elt.is_none v then continue_ := false else incr drained
+  done;
+  let ins = Stdlib.Atomic.get inserted in
+  let ext = Stdlib.Atomic.get extracted in
+  if ins <> ext + !drained then
+    violation
+      (Printf.sprintf "conservation: inserted %d <> extracted %d + drained %d" ins
+         ext !drained);
+  if Q.Debug.buffered q <> 0 then
+    violation
+      (Printf.sprintf "staged residue after unregister+drain: %d" (Q.Debug.buffered q));
+  if not (Q.Debug.check_invariant q) then violation "tree invariant check failed";
+  (match phase with
+  | Consumer_starves
+    when dur >= (0.025 *. float_of_int cfg.producers) +. 0.3 && cfg.consumers > 0 ->
+      (* Every one-shot insert after the first must have been demand-flushed
+         and claimed while the phase ran (bug-B contract); only the very
+         first may legally sit staged until unregister. *)
+      let need = max 1 (cfg.producers - 1) in
+      if ext < need then
+        violation
+          (Printf.sprintf
+             "consumer starvation: only %d of %d one-shot inserts were extracted \
+              live (need >= %d)"
+             ext cfg.producers need)
+  | _ -> ());
+  (* Bug-A probe: a zero-budget extract_timeout against a provably nonempty
+     queue must claim via the final poll, never report empty. *)
+  Q.insert hmain (Elt.of_priority 7);
+  Q.flush hmain;
+  let probe = Q.extract_timeout hmain ~timeout_ns:0 in
+  if Elt.is_none probe then
+    violation "final poll: zero-budget extract_timeout missed a present element";
+  Q.unregister hmain;
+  let ec_sleeps, ec_wakes =
+    match Q.Debug.eventcount_stats q with Some (s, w) -> (s, w) | None -> (0, 0)
+  in
+  log
+    (Printf.sprintf "done in %.2fs: inserted=%d extracted=%d drained=%d sleeps=%d \
+                     wakes=%d violations=%d"
+       seconds ins ext !drained ec_sleeps ec_wakes (List.length !vios));
+  ( {
+      phase;
+      seconds;
+      inserted = ins;
+      extracted = ext;
+      drained = !drained;
+      ec_sleeps;
+      ec_wakes;
+      violations = List.rev !vios;
+    },
+    !artifacts )
+
+let run cfg =
+  if cfg.producers < 1 || cfg.consumers < 1 then invalid_arg "Soak.run: need workers";
+  if cfg.secs <= 0. then invalid_arg "Soak.run: secs must be positive";
+  let stats0 = FP.Ctl.stats () in
+  let dur = cfg.secs /. 4. in
+  let phases, artifacts =
+    List.split
+      (List.mapi
+         (fun index phase -> run_phase cfg ~index ~phase ~dur)
+         [ Mixed; Burst; Producer_dies; Consumer_starves ])
+  in
+  let fault_stats = diff_stats stats0 (FP.Ctl.stats ()) in
+  FP.Ctl.reset ();
+  let sum f = List.fold_left (fun acc p -> acc + f p) 0 phases in
+  {
+    phases;
+    total_inserted = sum (fun p -> p.inserted);
+    total_extracted = sum (fun p -> p.extracted);
+    total_drained = sum (fun p -> p.drained);
+    fault_stats;
+    violations =
+      List.concat_map
+        (fun p -> List.map (fun v -> phase_name p.phase ^ ": " ^ v) p.violations)
+        phases;
+    artifacts = List.concat artifacts;
+  }
+
+let report_lines r =
+  List.map
+    (fun p ->
+      Printf.sprintf
+        "%-16s %5.2fs inserted=%-8d extracted=%-8d drained=%-6d sleeps=%-6d \
+         wakes=%-6d violations=%d"
+        (phase_name p.phase) p.seconds p.inserted p.extracted p.drained p.ec_sleeps
+        p.ec_wakes
+        (List.length p.violations))
+    r.phases
+  @ [
+      Printf.sprintf "totals: inserted=%d extracted=%d drained=%d" r.total_inserted
+        r.total_extracted r.total_drained;
+      "faults: "
+      ^ String.concat ", "
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) r.fault_stats);
+      (match r.violations with
+      | [] -> "violations: none"
+      | vs -> Printf.sprintf "violations: %d" (List.length vs));
+    ]

@@ -1,0 +1,87 @@
+(** Fault-injected soak runner for the blocking/buffering liveness layer.
+
+    [run] drives one ZMSQ instance per phase through four hostile workload
+    shapes — mixed steady-state, bursty producers with a blocking consumer,
+    a producer that goes quiet mid-phase (plus a frozen peer), and one-shot
+    producers racing consumer demand — all on top of the
+    {!Zmsq_prim.Faulty} adapter, so trylock failures, delayed futex wakes,
+    spurious timeouts and scheduling stalls fire continuously under real
+    parallelism.
+
+    Watchdogs (a fault-exempt monitor domain) check, while the phase runs:
+    - {b conservation}: extracted can never exceed inserted, and at phase
+      end inserted = extracted + drained with zero staged residue;
+    - {b no stale element}: once elements are published, extraction
+      progress must resume within [stale_ms] (a lost wakeup shows up here);
+    - {b wake delivery}: delayed wakes are force-delivered ([quiesce])
+      every monitor tick, so "delayed" can never silently become "dropped";
+    - {b final-poll}: after each phase a zero-budget [extract_timeout]
+      against a provably nonempty queue must claim (the bug-A regression
+      probe).
+
+    On any violation the phase's metrics snapshot and (when [params.obs]
+    permits) Chrome trace are dumped under [artifacts_dir]. *)
+
+(** The injection knobs, mirroring {!Zmsq_prim.Faulty.config} plus the
+    monitor-driven freeze window. [*_1in] fields are "1 in N ops" rates
+    (0 disables). *)
+type faults = {
+  trylock_fail_1in : int;
+  wake_delay_1in : int;
+  wake_delay_ops : int;
+  spurious_timeout_1in : int;
+  stall_faa_1in : int;
+  stall_exchange_1in : int;
+  stall_relax : int;
+  freeze_ms : float;  (** monitor freezes one producer once per phase *)
+}
+
+val no_faults : faults
+val default_faults : faults
+
+type phase = Mixed | Burst | Producer_dies | Consumer_starves
+
+val phase_name : phase -> string
+
+type phase_report = {
+  phase : phase;
+  seconds : float;
+  inserted : int;
+  extracted : int;
+  drained : int;
+  ec_sleeps : int;
+  ec_wakes : int;
+  violations : string list;
+}
+
+type report = {
+  phases : phase_report list;
+  total_inserted : int;
+  total_extracted : int;
+  total_drained : int;
+  fault_stats : (string * int) list;  (** summed over phases *)
+  violations : string list;  (** all phases, prefixed with the phase name *)
+  artifacts : string list;  (** files written under [artifacts_dir] *)
+}
+
+type config = {
+  seed : int;
+  secs : float;  (** total budget, split evenly across the four phases *)
+  producers : int;
+  consumers : int;
+  batch : int;
+  buffer_len : int;
+  stale_ms : float;
+  faults : faults;
+  artifacts_dir : string option;
+  log : (string -> unit) option;  (** heartbeats and phase banners *)
+}
+
+val default_config : config
+(** seed 1, 2 s, 2x2 domains, batch 48, buffer 8, stale 1500 ms,
+    {!default_faults}, no artifacts, no log. *)
+
+val run : config -> report
+
+val report_lines : report -> string list
+(** Human-readable summary, one line per phase plus totals. *)

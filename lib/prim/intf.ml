@@ -12,6 +12,12 @@
       single-domain scheduler, enabling deterministic exhaustive
       interleaving exploration (see ANALYSIS.md).
 
+    A third, {!Faulty}, is an adapter rather than an implementation: it
+    wraps either of the above and injects seeded, semantics-preserving
+    faults (forced trylock failures, delayed-then-reposted futex wakes,
+    spurious timed-wait timeouts, stalls inside claim/consume windows,
+    whole-domain freezes) for the chaos scenarios and the soak runner.
+
     Algorithm code must never touch [Stdlib.Atomic], [Stdlib.Mutex],
     [Domain.cpu_relax] or a raw futex directly — the [zmsq_lint] pass
     enforces this for files marked [(* lint: prim-functorized *)]. *)

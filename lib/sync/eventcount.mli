@@ -30,6 +30,16 @@ module type S = sig
   (** Must be called after every successful insertion. Cheap when nobody
       sleeps: one fetch-and-add plus one CAS on a dispersed slot. *)
 
+  val signal_n : t -> int -> unit
+  (** [signal_n t n] credits [n] insertions at once (one bulk publication,
+      e.g. a buffer flush): a single fetch-and-add advances the insert
+      ticket by [n], then each of the min([n], slots) covered slots is
+      bumped and woken once. Equivalent for waiters to [n] calls of
+      {!signal_after_insert} — a woken sleeper re-checks its ticket against
+      the advanced counter — but costs one FAA and at most [slots] wakes.
+      [signal_n t 1] is exactly {!signal_after_insert}; [n = 0] is a no-op.
+      Raises [Invalid_argument] on negative [n]. *)
+
   val wait_before_extract : t -> unit
   (** Must be called before every extraction. Returns immediately when the
       insert counter shows an element is (or will be) available for this

@@ -10,6 +10,25 @@ module type S = sig
   val name : string
 end
 
+(* A [try_acquire]-perturbing wrapper: forwards to [L] but lets a fault
+   policy (e.g. [Zmsq_prim.Faulty.Ctl.inject_try_acquire_failure]) force
+   single-attempt failures. Semantically a forced failure is just losing
+   the acquisition race — [try_acquire] promises nothing on contention —
+   but it is hostile to optimistic read/trylock/revalidate callers, which
+   is the point. Spin locks need this wrapper because their try path never
+   reaches [P.Mutex.try_lock], where the Faulty PRIM injects directly. *)
+module Faulty (L : S) (F : sig
+  val fail_try_acquire : unit -> bool
+end) : S = struct
+  type t = L.t
+
+  let create = L.create
+  let acquire = L.acquire
+  let try_acquire t = (not (F.fail_try_acquire ())) && L.try_acquire t
+  let release = L.release
+  let name = L.name ^ "+faulty"
+end
+
 (* Every lock is written once against the primitive signature; the native
    instantiations below are what production code links against, while the
    checker applies [Make] to its schedulable primitives so the identical

@@ -27,6 +27,14 @@ module type S = sig
   (** Display name used in benchmark tables. *)
 end
 
+module Faulty (L : S) (F : sig
+  val fail_try_acquire : unit -> bool
+end) : S
+(** Fault-injection wrapper: [try_acquire] additionally fails whenever
+    [F.fail_try_acquire ()] says so (a legal spurious contention loss);
+    everything else forwards to [L]. Used by the chaos scenarios and the
+    soak runner together with {!Zmsq_prim.Faulty}. *)
+
 module Make (P : Zmsq_prim.Intf.PRIM) : sig
   module Tas : S
   module Tatas : S

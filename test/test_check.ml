@@ -59,6 +59,29 @@ let random_pass ?(executions = 40) ~seed name =
 let test_zmsq_lin () = random_pass ~seed:0xBEEF "zmsq-strict-lin"
 let test_zmsq_mound () = random_pass ~seed:0xFACE "zmsq-mound-invariant"
 
+(* {2 Liveness scenarios (PR 4): the three seeded blocking/buffering bugs
+   must be detected with a replayable schedule, and the fixed code must
+   pass the same scenarios. *)
+
+let test_timeout_mini_ok () = expect_pass "timeout-mini-final-poll"
+let test_timeout_mini_bug () = expect_detect_and_replay "timeout-mini-skip-final-poll"
+let test_buf_mini_ok () = expect_pass "buf-mini-demand"
+let test_buf_mini_bug () = expect_detect_and_replay "buf-mini-demand-prestage"
+let test_bulk_mini_ok () = expect_pass "bulk-mini-wake-all"
+let test_bulk_mini_bug () = expect_detect_and_replay "bulk-mini-single-wake"
+let test_zmsq_timeout_poll () = random_pass ~executions:60 ~seed:0x7140 "zmsq-timeout-poll"
+
+let test_zmsq_buffer_oneshot () =
+  random_pass ~executions:40 ~seed:0xB0F4 "zmsq-buffer-wakeup-oneshot"
+
+let test_zmsq_flush_wakes_all () =
+  random_pass ~executions:40 ~seed:0xB0F5 "zmsq-flush-wakes-all"
+
+let test_zmsq_chaos_trylock () = random_pass ~executions:40 ~seed:0xC4A5 "zmsq-chaos-trylock"
+
+let test_zmsq_chaos_buffered () =
+  random_pass ~executions:40 ~seed:0xC4A6 "zmsq-chaos-buffered"
+
 (* Determinism: the same schedule replayed twice yields the same outcome. *)
 let test_replay_deterministic () =
   let e = entry "ec-mini-lost-wakeup" in
@@ -159,6 +182,17 @@ let suite =
     ("zmsq linearizable under model", `Slow, test_zmsq_lin);
     ("zmsq mound invariant under model", `Slow, test_zmsq_mound);
     ("replay deterministic", `Quick, test_replay_deterministic);
+    ("timeout mini final poll", `Slow, test_timeout_mini_ok);
+    ("timeout mini bug detected", `Quick, test_timeout_mini_bug);
+    ("buf mini demand", `Slow, test_buf_mini_ok);
+    ("buf mini bug detected", `Quick, test_buf_mini_bug);
+    ("bulk mini wake-all", `Slow, test_bulk_mini_ok);
+    ("bulk mini bug detected", `Quick, test_bulk_mini_bug);
+    ("zmsq timeout poll under model", `Slow, test_zmsq_timeout_poll);
+    ("zmsq buffer oneshot wakeup under model", `Slow, test_zmsq_buffer_oneshot);
+    ("zmsq flush wakes all under model", `Slow, test_zmsq_flush_wakes_all);
+    ("zmsq chaos trylock under model", `Slow, test_zmsq_chaos_trylock);
+    ("zmsq chaos buffered under model", `Slow, test_zmsq_chaos_buffered);
     ("lint raise-under-lock bad", `Quick, test_lint_raise_under_lock_bad);
     ("lint raise-under-lock good", `Quick, test_lint_raise_under_lock_good);
     ("lint raise-under-lock alias", `Quick, test_lint_raise_under_lock_alias);

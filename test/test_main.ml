@@ -17,6 +17,7 @@ let () =
       ("klsm", Test_klsm.suite);
       ("graph", Test_graph.suite);
       ("harness", Test_harness.suite);
+      ("soak", Test_soak.suite);
       ("linearize", Test_linearize.suite);
       ("apps", Test_apps.suite);
       ("check", Test_check.suite);

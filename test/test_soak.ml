@@ -1,0 +1,54 @@
+(* Smoke-scale soak: a fixed-seed ~1.6 s run of all four phases with every
+   fault knob enabled (injected trylock failures, delayed-then-reposted
+   wakes, spurious timeouts, FAA/exchange stalls and a frozen producer)
+   against the buffered + blocking queue. The watchdogs — conservation,
+   staleness, the zero-budget final-poll probe and the one-shot starvation
+   contract — must stay silent; the fault counters prove the faults
+   actually fired. The nightly CI job runs the same binary for minutes
+   with a random seed. *)
+
+module Soak = Zmsq_harness.Soak
+
+let check = Alcotest.check
+
+let test_soak_smoke () =
+  let cfg =
+    {
+      Soak.default_config with
+      Soak.seed = 0x50AC;
+      secs = 1.6;
+      producers = 2;
+      consumers = 2;
+      buffer_len = 8;
+      faults = Soak.default_faults;
+    }
+  in
+  let r = Soak.run cfg in
+  check Alcotest.(list string) "no watchdog violations" [] r.Soak.violations;
+  check Alcotest.int "all four phases ran" 4 (List.length r.Soak.phases);
+  List.iter
+    (fun p ->
+      check Alcotest.bool
+        (Printf.sprintf "%s: conservation" (Soak.phase_name p.Soak.phase))
+        true
+        (p.Soak.inserted = p.Soak.extracted + p.Soak.drained))
+    r.Soak.phases;
+  let stat k = try List.assoc k r.Soak.fault_stats with Not_found -> 0 in
+  check Alcotest.bool "trylock faults fired" true (stat "trylock_failures" > 0);
+  check Alcotest.bool "stalls fired" true (stat "stalls" > 0);
+  check Alcotest.bool "no delayed wake was dropped" true
+    (stat "wakes_delayed" = stat "wakes_reposted");
+  let sleeps = List.fold_left (fun a p -> a + p.Soak.ec_sleeps) 0 r.Soak.phases in
+  check Alcotest.bool "eventcount sleeps exercised" true (sleeps > 0)
+
+let test_soak_rejects_bad_config () =
+  Alcotest.check_raises "no workers" (Invalid_argument "Soak.run: need workers")
+    (fun () -> ignore (Soak.run { Soak.default_config with Soak.producers = 0 }));
+  Alcotest.check_raises "no time" (Invalid_argument "Soak.run: secs must be positive")
+    (fun () -> ignore (Soak.run { Soak.default_config with Soak.secs = 0. }))
+
+let suite =
+  [
+    ("soak smoke under full fault injection", `Slow, test_soak_smoke);
+    ("soak config validation", `Quick, test_soak_rejects_bad_config);
+  ]

@@ -210,6 +210,39 @@ let test_eventcount_sleep_wake () =
   Domain.join d;
   check Alcotest.bool "signaled through sleep" true true
 
+let test_eventcount_signal_n_fast () =
+  let ec = Eventcount.create ~initial:0 () in
+  Eventcount.signal_n ec 3;
+  for _ = 1 to 3 do
+    Eventcount.wait_before_extract ec
+  done;
+  check Alcotest.int "bulk credit consumed without sleeping" 0 (Eventcount.sleeps ec);
+  Eventcount.signal_n ec 0;
+  check Alcotest.bool "n=0 credits nothing" true (Eventcount.would_sleep ec);
+  Alcotest.check_raises "negative n rejected"
+    (Invalid_argument "Eventcount.signal_n") (fun () -> Eventcount.signal_n ec (-1))
+
+let test_eventcount_signal_n_releases_all () =
+  (* Four sleepers share two slots; one signal_n 4 must release every one
+     of them with at most one wake per covered slot. *)
+  let ec = Eventcount.create ~slots:2 ~spin:1 ~initial:0 () in
+  let doms =
+    List.init 4 (fun _ -> Domain.spawn (fun () -> Eventcount.wait_before_extract ec))
+  in
+  let deadline = Zmsq_util.Timing.now_ns () + 2_000_000_000 in
+  while Eventcount.sleeps ec < 4 && Zmsq_util.Timing.now_ns () < deadline do
+    Unix.sleepf 0.001
+  done;
+  Eventcount.signal_n ec 4;
+  List.iter Domain.join doms;
+  let sleeps = Eventcount.sleeps ec and wakes = Eventcount.wakes ec in
+  check Alcotest.bool "sleep/wake balance: at most one wake per slot"
+    true
+    (wakes >= 1 && wakes <= 2);
+  check Alcotest.bool "every sleeper was woken (joined) after >=4 sleeps" true
+    (sleeps >= 4);
+  check Alcotest.bool "credits fully consumed" true (Eventcount.would_sleep ec)
+
 let lock_suites =
   List.concat_map
     (fun (name, l) ->
@@ -241,4 +274,6 @@ let suite =
       ("futex wait_for timeout", `Quick, test_futex_wait_for_timeout);
       ("futex wait_for change", `Quick, test_futex_wait_for_change);
       ("eventcount wait_for", `Quick, test_eventcount_wait_for);
+      ("eventcount signal_n fast path", `Quick, test_eventcount_signal_n_fast);
+      ("eventcount signal_n releases all", `Quick, test_eventcount_signal_n_releases_all);
     ]

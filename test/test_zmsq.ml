@@ -244,6 +244,24 @@ let test_extract_timeout () =
   check Alcotest.int "released mid-wait" 77 (Elt.priority e);
   Q.unregister h
 
+(* Bug-A regression: the deadline path must end in one final non-blocking
+   extract, so a zero (or negative) budget is a plain try-pop — never an
+   unconditional miss on a nonempty queue. *)
+let test_extract_timeout_zero_budget () =
+  let module Q = Zmsq.Default in
+  let params = { (P.static 8) with P.blocking = true } in
+  let q = Q.create ~params () in
+  let h = Q.register q in
+  check Alcotest.bool "empty: immediate none" true
+    (Elt.is_none (Q.extract_timeout h ~timeout_ns:0));
+  Q.insert h (Elt.of_priority 42);
+  check Alcotest.int "zero budget claims a present element" 42
+    (Elt.priority (Q.extract_timeout h ~timeout_ns:0));
+  Q.insert h (Elt.of_priority 9);
+  check Alcotest.int "negative budget behaves as try-pop" 9
+    (Elt.priority (Q.extract_timeout h ~timeout_ns:(-5)));
+  Q.unregister h
+
 let test_blocking_requires_flag () =
   let q = Zmsq.Default.create () in
   let h = Zmsq.Default.register q in
@@ -570,6 +588,28 @@ let test_buffer_demand_flush () =
   Q.unregister producer;
   Q.unregister consumer
 
+(* Bug-B regression: a pending flush demand must cover the element being
+   inserted, not just the pre-existing backlog. With buffer_len = 16 the
+   demand-halved fill threshold stays at 2, so under the old
+   check-demand-then-stage order the second insert stayed staged
+   (buffered = 1, length = 1) — invisible forever if the producer never
+   inserts again. *)
+let test_buffer_demand_covers_current_insert () =
+  let module Q = Zmsq.Default in
+  let q = Q.create ~params:(buffered_params ~buffer_len:16 ()) () in
+  let producer = Q.register q in
+  let consumer = Q.register q in
+  Q.insert producer (Elt.of_priority 7);
+  check Alcotest.bool "consumer misses staged element" true
+    (Elt.is_none (Q.extract consumer));
+  Q.insert producer (Elt.of_priority 3);
+  check Alcotest.int "demand flush covered the insert itself" 0 (Q.Debug.buffered q);
+  check Alcotest.int "both elements published" 2 (Q.length q);
+  check Alcotest.int "consumer sees the max" 7 (Elt.priority (Q.extract consumer));
+  check Alcotest.int "and the rest" 3 (Elt.priority (Q.extract consumer));
+  Q.unregister producer;
+  Q.unregister consumer
+
 (* buffer_len = 0 must be bit-for-bit the unbuffered queue: the buffering
    paths never run. *)
 let test_buffer_zero_inert () =
@@ -638,6 +678,7 @@ let suite =
         ~params:{ (P.static 16) with P.lock_policy = P.Blocking });
     ("blocking handoff", `Slow, blocking_handoff (module Zmsq.Default));
     mk "extract_timeout" test_extract_timeout;
+    mk "extract_timeout zero budget" test_extract_timeout_zero_budget;
     mk "blocking requires flag" test_blocking_requires_flag;
     mk "ablation no-forced" (ablation_correct "no-forced" (fun p -> { p with P.forced_insert = false }));
     mk "ablation no-minswap" (ablation_correct "no-minswap" (fun p -> { p with P.min_swap = false }));
@@ -659,6 +700,7 @@ let suite =
     mk "buffer local claim" test_buffer_local_claim;
     mk "buffer unregister flushes" test_buffer_unregister_flushes;
     mk "buffer demand flush" test_buffer_demand_flush;
+    mk "buffer demand covers current insert" test_buffer_demand_covers_current_insert;
     mk "buffer_len=0 inert" test_buffer_zero_inert;
     mk "buffer strict order" test_buffer_strict_order;
   ]
