@@ -334,6 +334,76 @@ let trace_cmd =
        ~doc:"Record a mixed workload at obs level Full and dump a Chrome trace_event JSON")
     Term.(const run $ threads_arg $ batch_arg $ target_len_arg $ buffer_len_arg $ ops $ out)
 
+(* {2 drain}
+
+   Lifecycle demonstration: runs a short buffered workload, deliberately
+   abandons one handle with staged elements (simulating a crashed
+   producer that never unregistered), then closes with ~drain:true and
+   drains to empty — orphan reclamation included — reporting the
+   residual element count, reclaim counters and the final lifecycle. *)
+
+let drain_cmd =
+  let ops = Arg.(value & opt int 100_000 & info [ "ops" ] ~docv:"N" ~doc:"Workload inserts.") in
+  let abandoned =
+    Arg.(value & opt int 5
+         & info [ "abandoned" ] ~docv:"N"
+             ~doc:"Elements staged on a handle that is orphaned, never unregistered.")
+  in
+  let run threads batch target_len buffer_len ops abandoned =
+    (* buffering on by default here: staged residue is the point *)
+    let buffer_len = match buffer_len with Some l -> Some l | None -> Some 64 in
+    let q =
+      DQ.create
+        ~params:(zmsq_params ~batch ~target_len ~buffer_len ~obs:Zmsq_obs.Level.Counters)
+        ()
+    in
+    let finished = Atomic.make 0 in
+    let doms = spawn_mixed_workers q ~threads ~ops ~finished in
+    (* The "crashed" producer: stages elements, then goes away without
+       unregistering. [orphan] is what a supervisor would call on it. *)
+    let dead = DQ.register q in
+    for i = 1 to abandoned do
+      DQ.insert dead (Zmsq_pq.Elt.of_priority i)
+    done;
+    DQ.orphan dead;
+    List.iter Domain.join doms;
+    let buffered_before = DQ.Debug.buffered q in
+    DQ.close ~drain:true q;
+    let show l =
+      match l with Zmsq.Open -> "open" | Zmsq.Draining -> "draining" | Zmsq.Closed -> "closed"
+    in
+    Printf.printf "close ~drain:true: lifecycle=%s published=%d buffered=%d\n%!"
+      (show (DQ.lifecycle q))
+      (List.length (DQ.Debug.elements q))
+      buffered_before;
+    let h = DQ.register q in
+    let residual = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let e = DQ.extract h in
+      if Zmsq_pq.Elt.is_none e then continue_ := false else incr residual
+    done;
+    DQ.unregister h;
+    let c = DQ.Debug.counters q in
+    Printf.printf "drained %d residual elements; reclaimed %d orphaned handle(s)\n"
+      !residual c.Zmsq.orphan_reclaims;
+    Printf.printf "final: lifecycle=%s empty=%b buffered=%d live_handles=%d\n"
+      (show (DQ.lifecycle q)) (DQ.is_empty q) (DQ.Debug.buffered q)
+      (DQ.Debug.live_handles q);
+    if DQ.lifecycle q <> Zmsq.Closed || DQ.Debug.buffered q <> 0
+       || DQ.Debug.live_handles q <> 0
+    then begin
+      prerr_endline "drain FAILED: queue did not reach closed/empty/no-handles";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "drain"
+       ~doc:"Close a live queue with ~drain:true and drain it to empty, reclaiming an \
+             abandoned handle's staged elements along the way")
+    Term.(
+      const run $ threads_arg $ batch_arg $ target_len_arg $ buffer_len_arg $ ops $ abandoned)
+
 let () =
   let info = Cmd.info "zmsq_cli" ~doc:"ZMSQ relaxed priority queue — reproduction driver" in
   exit
@@ -341,5 +411,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; bench_cmd; throughput_cmd; accuracy_cmd; sssp_cmd; knapsack_cmd;
-            linearize_cmd; stats_cmd; trace_cmd;
+            linearize_cmd; stats_cmd; trace_cmd; drain_cmd;
           ]))

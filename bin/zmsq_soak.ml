@@ -8,9 +8,10 @@ let usage () =
   prerr_endline
     "usage: zmsq_soak [--secs S] [--seed N] [--producers N] [--consumers N]\n\
     \                 [--buffer N] [--batch N] [--stale-ms MS] [--artifacts DIR]\n\
-    \                 [--no-faults] [--quiet]\n\
+    \                 [--phases CSV] [--no-faults] [--quiet]\n\
      Fault-injected soak of the blocking/buffering queue; ZMSQ_SOAK_SECS\n\
-     overrides the default duration.";
+     overrides the default duration. --phases takes a comma-separated\n\
+     subset of: mixed,burst,producer-dies,consumer-starves,handle-churn.";
   exit 2
 
 let () =
@@ -46,6 +47,19 @@ let () =
         parse rest
     | "--artifacts" :: v :: rest ->
         cfg := { !cfg with artifacts_dir = Some v };
+        parse rest
+    | "--phases" :: v :: rest ->
+        let phases =
+          List.map
+            (fun name ->
+              match phase_of_name (String.trim name) with
+              | Some p -> p
+              | None ->
+                  Printf.eprintf "zmsq_soak: unknown phase %S\n%!" name;
+                  usage ())
+            (String.split_on_char ',' v)
+        in
+        cfg := { !cfg with phases };
         parse rest
     | "--no-faults" :: rest ->
         cfg := { !cfg with faults = no_faults };

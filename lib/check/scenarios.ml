@@ -713,6 +713,336 @@ let zmsq_flush_wakes_all =
         ([ producer; c1; c2 ], final));
   }
 
+(* {2 PR 5 lifecycle: close / drain / orphan-reclaim seeded-bug pairs}
+
+   The shutdown and reclamation protocols get the same treatment as the
+   PR 4 liveness fixes: a miniature twin per protocol decision whose
+   [~buggy] variant reverts the decision and must be detected, plus
+   real-queue scenarios that pass on the fixed code and fail
+   deterministically when the corresponding fix is reverted. *)
+
+(* Twin of the [close] publication order: the closed flag must be
+   published *before* the eventcount slots are bumped. The buggy variant
+   wakes first and flips the flag after — the wake can land before the
+   consumer ever advertises the sleeper bit, after which it re-checks the
+   (still unset) flag, goes to sleep, and nothing ever bumps the word
+   again: the poisoned wakeup is lost and shutdown hangs. *)
+let close_mini ~buggy =
+  {
+    Explore.name = (if buggy then "close-mini-flag-after-wake" else "close-mini");
+    make =
+      (fun () ->
+        let word = P.Futex.create 0 in
+        let closed = P.Atomic.make false in
+        let closer () =
+          if buggy then begin
+            (* seeded bug: broadcast, then publish the flag *)
+            mini_signal word;
+            P.Atomic.set closed true
+          end
+          else begin
+            P.Atomic.set closed true;
+            mini_signal word
+          end
+        in
+        let consumer () = mini_sleep_until word (fun () -> P.Atomic.get closed) in
+        ([ closer; consumer ], fun () -> ()));
+  }
+
+(* Twin of the [insert]-vs-[close] atomicity decision: the lifecycle gate
+   runs *before* staging, so a [Queue_closed] raise admits nothing. The
+   buggy variant stages first and gates after — the caller is told
+   "rejected" while the element sits in the buffer, so a rejected element
+   later surfaces from a flush: shutdown half-admitted it. *)
+let insert_close_mini ~buggy =
+  {
+    Explore.name =
+      (if buggy then "insert-close-mini-stage-first" else "insert-close-mini");
+    make =
+      (fun () ->
+        let state = P.Atomic.make 0 (* 0 = open, 2 = closed *) in
+        let staged = P.Atomic.make 0 in
+        let accepted = ref 0 in
+        let producer () =
+          if buggy then begin
+            (* seeded bug: stage, then check — the "raise" leaves the
+               element behind *)
+            P.Atomic.incr staged;
+            if P.Atomic.get state = 0 then incr accepted
+          end
+          else if P.Atomic.get state = 0 then begin
+            (* accepted: the insert linearized before the close *)
+            P.Atomic.incr staged;
+            incr accepted
+          end
+        in
+        let closer () = P.Atomic.set state 2 in
+        let final () =
+          (* the owner's eventual flush publishes exactly the accepted
+             backlog; anything else was half-admitted *)
+          if P.Atomic.get staged <> !accepted then
+            Sched.violation "insert-vs-close: %d staged but %d accepted"
+              (P.Atomic.get staged) !accepted
+        in
+        ([ producer; closer ], final));
+  }
+
+(* Twin of the orphan-reclaim vs owner-resurrection race: both sides must
+   settle ownership through a CAS on the owner word, so exactly one wins.
+   The buggy owner re-checks and then blind-stores Live — the scavenger's
+   claim can land in between, leaving a handle that is simultaneously
+   resurrected (owner writing its buffer) and reclaimed (buffer flushed,
+   hazard record released): a use-after-reclaim. *)
+let orphan_race_mini ~buggy =
+  {
+    Explore.name =
+      (if buggy then "orphan-race-mini-blind-store" else "orphan-race-mini");
+    make =
+      (fun () ->
+        (* 0 = live, 1 = orphaned, 2 = reclaimed; starts orphaned *)
+        let owner = P.Atomic.make 1 in
+        let reclaimed = ref false in
+        let scavenger () =
+          if P.Atomic.compare_and_set owner 1 2 then reclaimed := true
+        in
+        let resurrect () =
+          if buggy then begin
+            (* seeded bug: check-then-store instead of CAS *)
+            if P.Atomic.get owner = 1 then P.Atomic.set owner 0
+          end
+          else ignore (P.Atomic.compare_and_set owner 1 0)
+        in
+        let final () =
+          if !reclaimed && P.Atomic.get owner = 0 then
+            Sched.violation "owner resurrected a reclaimed handle"
+        in
+        ([ scavenger; resurrect ], final));
+  }
+
+(* Twin of the drain-completion check: [try_finish_drain] must observe
+   *both* the published size and the staged count before closing. The
+   buggy variant checks only the published size, so a drain completes
+   while an element is still staged in a producer's buffer — the queue
+   reports closed-and-empty with an element stranded inside. *)
+let drain_mini ~buggy =
+  {
+    Explore.name = (if buggy then "drain-mini-ignore-staged" else "drain-mini");
+    make =
+      (fun () ->
+        let size = P.Atomic.make 0 in
+        let staged = P.Atomic.make 1 in
+        let state = P.Atomic.make 1 (* draining *) in
+        let finisher () =
+          (* staged first, then size: during a drain nothing new stages,
+             so staged = 0 is stable and the later size read cannot be
+             stale w.r.t. an in-flight flush. The buggy variant ignores
+             staged; reading size first reopens the same window. *)
+          let empty =
+            (buggy || P.Atomic.get staged = 0) && P.Atomic.get size = 0
+          in
+          if empty then ignore (P.Atomic.compare_and_set state 1 2)
+        in
+        let flusher () =
+          (* publish before clearing the staged count, as [bulk_flush]
+             does, so there is never a false-empty window *)
+          P.Atomic.incr size;
+          P.Atomic.set staged 0
+        in
+        let final () =
+          if P.Atomic.get state = 2 && P.Atomic.get size + P.Atomic.get staged > 0
+          then
+            Sched.violation "drain closed a nonempty queue (%d published, %d staged)"
+              (P.Atomic.get size) (P.Atomic.get staged)
+        in
+        ([ finisher; flusher ], final));
+  }
+
+(* Real-queue regression: [close] on a queue with consumers *provably
+   asleep* on distinct eventcount slots must wake every one of them with
+   the closed-and-empty outcome. A reverted broadcast (waking one slot, or
+   poisoning without bumping) leaves a consumer asleep forever — a
+   deadlock. *)
+let zmsq_close_wakes_all =
+  {
+    Explore.name = "zmsq-close-wakes-all";
+    make =
+      (fun () ->
+        let module Q = Zmsq.Make_prim (Shim.Prim) (Shim.Lock) (Zmsq.List_set) in
+        let q = Q.create ~params:{ model_params with Zmsq.Params.blocking = true } () in
+        let h1 = Q.register q in
+        let h2 = Q.register q in
+        let got1 = ref (Elt.of_priority 0) in
+        let got2 = ref (Elt.of_priority 0) in
+        let await_sleepers n =
+          let obj = Sched.fresh_obj () in
+          Sched.op ~kind:Sched.Lock ~obj
+            ~enabled:(fun () ->
+              match Q.Debug.eventcount_stats q with Some (s, _) -> s >= n | None -> false)
+            (fun () -> Sched.Ret ())
+        in
+        let closer () =
+          await_sleepers 2;
+          Q.close q
+        in
+        let c1 () = got1 := Q.extract_blocking h1 in
+        let c2 () = got2 := Q.extract_blocking h2 in
+        let final () =
+          if not (Elt.is_none !got1 && Elt.is_none !got2) then
+            Sched.violation "a woken consumer saw a phantom element";
+          if Q.lifecycle q <> Zmsq.Closed then Sched.violation "close did not close"
+        in
+        ([ closer; c1; c2 ], final));
+  }
+
+(* Real-queue regression for insert-vs-close atomicity: inserts race a
+   concurrent [close]; every insert either raises [Queue_closed] (and its
+   element is unreachable forever) or succeeds (and its element must
+   surface exactly once, staged backlogs included). *)
+let zmsq_insert_close_conserve =
+  {
+    Explore.name = "zmsq-insert-close-conserve";
+    make =
+      (fun () ->
+        let module Q = Zmsq.Make_prim (Shim.Prim) (Shim.Lock) (Zmsq.List_set) in
+        let q = Q.create ~params:buffer_params () in
+        let hp = Q.register q in
+        let accepted = ref [] in
+        let producer () =
+          List.iter
+            (fun v ->
+              try
+                Q.insert hp v;
+                accepted := v :: !accepted
+              with Zmsq.Queue_closed -> ())
+            [ 9; 4 ]
+        in
+        let closer () = Q.close q in
+        let final () =
+          (* the owner's unregister publishes any accepted-but-staged
+             elements — legal in every lifecycle state *)
+          Q.unregister hp;
+          let hd = Q.register q in
+          let rec drain acc =
+            let v = Q.extract hd in
+            if Elt.is_none v then acc else drain (v :: acc)
+          in
+          let rest = drain [] in
+          Q.unregister hd;
+          let seen = List.sort compare rest in
+          let want = List.sort compare !accepted in
+          if seen <> want then
+            Sched.violation "insert-vs-close: %d accepted but %d reachable"
+              (List.length want) (List.length seen)
+        in
+        ([ producer; closer ], final));
+  }
+
+(* Real-queue regression for the orphan-reclaim CAS protocol: a scavenger
+   reclaims a handle whose owner was presumed dead, while the owner comes
+   back and operates again. Exactly one side must win: every path ends
+   with the first element reachable exactly once and the second element
+   either admitted (owner resurrected) or cleanly refused
+   ([Invalid_argument] after the scavenger won). *)
+let zmsq_orphan_reclaim_race =
+  {
+    Explore.name = "zmsq-orphan-reclaim-race";
+    make =
+      (fun () ->
+        let module Q = Zmsq.Make_prim (Shim.Prim) (Shim.Lock) (Zmsq.List_set) in
+        let q = Q.create ~params:buffer_params () in
+        let h = Q.register q in
+        let second_admitted = ref false in
+        let staged, await_staged = gate () in
+        let orphaned, await_orphaned = gate () in
+        let owner () =
+          (* one insert stays below the flush threshold: staged only *)
+          Q.insert h 5;
+          staged ();
+          (* [orphan] is only legal between owner operations, so the
+             declaration itself is gated; the *reclaim* races freely
+             against the owner's resurrection CAS below. *)
+          await_orphaned ();
+          try
+            Q.insert h 7;
+            second_admitted := true
+          with Invalid_argument _ -> ()
+        in
+        let scavenger () =
+          await_staged ();
+          Q.orphan h;
+          orphaned ();
+          ignore (Q.reclaim_orphans q)
+        in
+        let final () =
+          (try Q.unregister h with Invalid_argument _ -> ());
+          let hd = Q.register q in
+          let rec drain acc =
+            let v = Q.extract hd in
+            if Elt.is_none v then acc else drain (v :: acc)
+          in
+          let rest = drain [] in
+          Q.unregister hd;
+          let seen = List.sort compare rest in
+          let want = if !second_admitted then [ 5; 7 ] else [ 5 ] in
+          if seen <> want then
+            Sched.violation "orphan race lost or duplicated: %d reachable, %d expected"
+              (List.length seen) (List.length want)
+        in
+        ([ owner; scavenger ], final));
+  }
+
+(* Real-queue regression for drain exactness: [close ~drain:true] races
+   the producer, and a blocking consumer drains to the closed-and-empty
+   outcome. Every accepted element — published or staged at the moment of
+   close — must be extracted before the consumer sees [none], and the
+   drain completion must actually close the queue. A premature completion
+   (ignoring [buffered]) strands elements; a lost completion broadcast
+   leaves the consumer asleep — a deadlock. *)
+let zmsq_drain_exact =
+  {
+    Explore.name = "zmsq-drain-exact";
+    make =
+      (fun () ->
+        let module Q = Zmsq.Make_prim (Shim.Prim) (Shim.Lock) (Zmsq.List_set) in
+        let q = Q.create ~params:{ buffer_params with Zmsq.Params.blocking = true } () in
+        let hp = Q.register q in
+        let hc = Q.register q in
+        let accepted = ref [] in
+        let got = ref [] in
+        let producer () =
+          List.iter
+            (fun v ->
+              try
+                Q.insert hp v;
+                accepted := v :: !accepted
+              with Zmsq.Queue_closed -> ())
+            [ 9; 4; 6 ];
+          (* publishes any staged backlog, letting the drain complete *)
+          Q.unregister hp
+        in
+        let closer () = Q.close ~drain:true q in
+        let consumer () =
+          let rec go () =
+            let v = Q.extract_blocking hc in
+            if not (Elt.is_none v) then begin
+              got := v :: !got;
+              go ()
+            end
+          in
+          go ()
+        in
+        let final () =
+          if Q.lifecycle q <> Zmsq.Closed then
+            Sched.violation "drain completed without closing the queue";
+          let seen = List.sort compare !got in
+          let want = List.sort compare !accepted in
+          if seen <> want then
+            Sched.violation "drain-exactness: %d accepted but %d drained"
+              (List.length want) (List.length seen)
+        in
+        ([ producer; closer; consumer ], final));
+  }
+
 (* {2 Chaos mode: the Faulty adapter under the model scheduler}
 
    The Faulty functor is applied to the shim *inside make*, so each
@@ -895,6 +1225,32 @@ let all =
     { scenario = zmsq_buffer_wakeup_oneshot; mode = Rand { executions = 150; seed = 0xB0F4 };
       expect_fail = false; max_steps = 20_000; max_executions = 0 };
     { scenario = zmsq_flush_wakes_all; mode = Rand { executions = 150; seed = 0xB0F5 };
+      expect_fail = false; max_steps = 20_000; max_executions = 0 };
+    (* PR 5 lifecycle pairs: miniature twins explored exhaustively... *)
+    { scenario = close_mini ~buggy:false; mode = Dfs; expect_fail = false;
+      max_steps = 300; max_executions = 50_000 };
+    { scenario = close_mini ~buggy:true; mode = Dfs; expect_fail = true;
+      max_steps = 300; max_executions = 50_000 };
+    { scenario = insert_close_mini ~buggy:false; mode = Dfs; expect_fail = false;
+      max_steps = 200; max_executions = 20_000 };
+    { scenario = insert_close_mini ~buggy:true; mode = Dfs; expect_fail = true;
+      max_steps = 200; max_executions = 20_000 };
+    { scenario = orphan_race_mini ~buggy:false; mode = Dfs; expect_fail = false;
+      max_steps = 200; max_executions = 20_000 };
+    { scenario = orphan_race_mini ~buggy:true; mode = Dfs; expect_fail = true;
+      max_steps = 200; max_executions = 20_000 };
+    { scenario = drain_mini ~buggy:false; mode = Dfs; expect_fail = false;
+      max_steps = 200; max_executions = 20_000 };
+    { scenario = drain_mini ~buggy:true; mode = Dfs; expect_fail = true;
+      max_steps = 200; max_executions = 20_000 };
+    (* ...and real-queue lifecycle regressions under the random scheduler. *)
+    { scenario = zmsq_close_wakes_all; mode = Rand { executions = 150; seed = 0xC105 };
+      expect_fail = false; max_steps = 20_000; max_executions = 0 };
+    { scenario = zmsq_insert_close_conserve; mode = Rand { executions = 300; seed = 0xC106 };
+      expect_fail = false; max_steps = 6000; max_executions = 0 };
+    { scenario = zmsq_orphan_reclaim_race; mode = Rand { executions = 300; seed = 0x0A7A };
+      expect_fail = false; max_steps = 6000; max_executions = 0 };
+    { scenario = zmsq_drain_exact; mode = Rand { executions = 150; seed = 0xD7A1 };
       expect_fail = false; max_steps = 20_000; max_executions = 0 };
     (* Chaos mode: seeded fault injection (forced trylock failures) at both
        the PRIM seam and the spin-lock try path. *)

@@ -23,7 +23,23 @@ type counters = {
   helper_moves : int;
   buf_flushes : int;
   buf_claims : int;
+  orphan_reclaims : int;
 }
+
+(* Queue lifecycle (DESIGN.md Section 9): [Open] accepts everything;
+   [Draining] rejects inserts but keeps extraction live until the queue is
+   exactly empty; [Closed] additionally poisons the eventcount so blocked
+   extractors return instead of sleeping forever. *)
+type lifecycle = Open | Draining | Closed
+
+(* Handle ownership (DESIGN.md Section 9): [Live] is the normal single-owner
+   state; [Orphaned] marks a handle whose owner is presumed dead, making its
+   staged buffer and hazard record claimable by the scavenger; [Reclaimed]
+   means the scavenger won that claim; [Unregistered] means the owner
+   released the handle itself. *)
+type handle_state = Live | Orphaned | Reclaimed | Unregistered
+
+exception Queue_closed
 
 module type S = sig
   type t
@@ -37,6 +53,11 @@ module type S = sig
   val extract_blocking : handle -> Zmsq_pq.Elt.t
   val extract_timeout : handle -> timeout_ns:int -> Zmsq_pq.Elt.t
   val flush : handle -> unit
+  val close : ?drain:bool -> t -> unit
+  val lifecycle : t -> lifecycle
+  val orphan : handle -> unit
+  val handle_state : handle -> handle_state
+  val reclaim_orphans : t -> int
   val is_empty : t -> bool
   val peek : t -> Zmsq_pq.Elt.t
   val helper_pass : ?visits:int -> handle -> int
@@ -50,6 +71,7 @@ module type S = sig
     val elements : t -> Zmsq_pq.Elt.t list
     val pool_level : t -> int
     val buffered : t -> int
+    val live_handles : t -> int
     val counters : t -> counters
     val eventcount_stats : t -> (int * int) option
     val hazard_domain_stats : t -> (int * int * int) option
@@ -108,6 +130,8 @@ struct
     c_buf_flush_drain : Metrics.counter;
     c_buf_flush_unregister : Metrics.counter;
     c_buf_flush_manual : Metrics.counter;
+    c_buf_flush_reclaim : Metrics.counter;
+    c_orphan_reclaims : Metrics.counter;
   }
 
   type mhists = {
@@ -116,7 +140,21 @@ struct
     h_refill : Metrics.histogram;
     h_helper : Metrics.histogram;
     h_flush : Metrics.histogram;
+    h_reclaim : Metrics.histogram;
   }
+
+  (* Lifecycle states, packed into one atomic int. *)
+  let st_open = 0
+
+  let st_draining = 1
+  let st_closed = 2
+
+  (* Handle ownership states (see [handle_state] in the public API). *)
+  let own_live = 0
+
+  let own_orphaned = 1
+  let own_reclaimed = 2
+  let own_unregistered = 3
 
   type t = {
     params : Params.t;
@@ -130,6 +168,9 @@ struct
     buffer_on : bool; (* params.buffer_len > 0, hoisted for the hot paths *)
     buffered : int Atomic.t; (* staged in handle buffers; excluded from [size] *)
     flush_demand : bool Atomic.t; (* consumer -> producers: publish your backlog *)
+    state : int Atomic.t; (* lifecycle: st_open / st_draining / st_closed *)
+    handles_mu : Mutex.t;
+    mutable handles : handle list; (* lint: guarded-by handles_mu *)
     ec : Eventcount.t option;
     hp : tnode Hazard.t option; (* None in leaky mode *)
     obs_on : bool; (* params.obs <> Off, hoisted for the hot paths *)
@@ -140,15 +181,18 @@ struct
     tr : Trace.t option; (* Some iff obs_full *)
   }
 
-  type handle = {
+  and handle = {
     q : t;
     rng : Rng.t;
     hp_thread : tnode Hazard.thread option;
     buf : Elt.t array; (* staged inserts, sorted ascending in [0, buf_n) *)
     mutable buf_n : int;
     mutable buf_target : int; (* adaptive fill threshold in [1, buffer_len] *)
-    (* [buf]/[buf_n]/[buf_target] are owned by the registering domain
-       (handles must not be shared); only [q.buffered] is cross-domain. *)
+    owner : int Atomic.t; (* own_live / own_orphaned / own_reclaimed / own_unregistered *)
+    (* [buf]/[buf_n]/[buf_target] are owned by whoever the [owner] word says
+       owns the handle: the registering domain while [Live], the scavenger
+       that won the CAS once [Reclaimed] (handles must not be shared);
+       [q.buffered] and [owner] itself are the only cross-domain fields. *)
   }
 
   let name = Printf.sprintf "zmsq(%s,%s)" Set.name L.name
@@ -176,6 +220,9 @@ struct
         buffer_on = params.buffer_len > 0;
         buffered = Atomic.make 0;
         flush_demand = Atomic.make false;
+        state = Atomic.make st_open;
+        handles_mu = Mutex.create ();
+        handles = [];
         ec = (if params.blocking then Some (Eventcount.create ~initial:0 ()) else None);
         hp =
           (if params.leaky then None
@@ -200,6 +247,8 @@ struct
             c_buf_flush_drain = Metrics.counter metrics "buf_flush_drain_total";
             c_buf_flush_unregister = Metrics.counter metrics "buf_flush_unregister_total";
             c_buf_flush_manual = Metrics.counter metrics "buf_flush_manual_total";
+            c_buf_flush_reclaim = Metrics.counter metrics "buf_flush_reclaim_total";
+            c_orphan_reclaims = Metrics.counter metrics "orphans_reclaimed_total";
           };
         mh =
           {
@@ -208,6 +257,7 @@ struct
             h_refill = Metrics.histogram metrics "refill_ns";
             h_helper = Metrics.histogram metrics "helper_pass_ns";
             h_flush = Metrics.histogram metrics "buf_flush_ns";
+            h_reclaim = Metrics.histogram metrics "reclaim_flush_ns";
           };
         tr = (if Obs_level.tracing params.obs then Some (Trace.create ()) else None);
       }
@@ -218,6 +268,8 @@ struct
         let n = Atomic.get q.pool_next in
         if q.params.batch = 0 || n < 0 then 0 else n + 1);
     Metrics.gauge metrics "buffered" (fun () -> Atomic.get q.buffered);
+    (* 0 = open, 1 = draining, 2 = closed. *)
+    Metrics.gauge metrics "closed" (fun () -> Atomic.get q.state);
     q
 
   let params t = t.params
@@ -231,15 +283,116 @@ struct
 
   let[@inline] note q kind = match q.tr with None -> () | Some tr -> Trace.instant tr kind
 
+  (* {2 Lifecycle (DESIGN.md Section 9)} *)
+
+  let broadcast q = match q.ec with None -> () | Some ec -> Eventcount.close ec
+
+  let lifecycle q =
+    let s = Atomic.get q.state in
+    if s = st_open then Open else if s = st_draining then Draining else Closed
+
+  (* In [Draining], advance to [Closed] once the queue is exactly empty —
+     nothing staged ([buffered]) and nothing published ([size]). The read
+     order matters: inserts are rejected while draining, so nothing new
+     stages and [buffered = 0] is stable once observed; reading [size]
+     *after* that covers every in-flight flush's publication. The reverse
+     order races a flush (publish, then clear staged) into closing a
+     nonempty queue. Any thread may complete the drain; the CAS winner
+     poisons the eventcount so every blocked extractor observes the
+     closed-and-empty outcome. Returns true when the queue is (now)
+     closed. *)
+  let try_finish_drain q =
+    Atomic.get q.buffered = 0
+    && Atomic.get q.size = 0
+    &&
+    if Atomic.compare_and_set q.state st_draining st_closed then begin
+      note q Trace.Close;
+      broadcast q;
+      true
+    end
+    else Atomic.get q.state = st_closed
+
+  (* Should a blocked extractor give up instead of sleeping? True once the
+     queue is [Closed] — including the drain-completion transition, which
+     the asking extractor performs itself. *)
+  let extraction_closed q =
+    let s = Atomic.get q.state in
+    if s = st_open then false else if s = st_closed then true else try_finish_drain q
+
+  let rec close ?(drain = false) q =
+    let s = Atomic.get q.state in
+    if s = st_closed then ()
+    else if s = st_draining then begin
+      if not drain then
+        if Atomic.compare_and_set q.state st_draining st_closed then begin
+          note q Trace.Close;
+          broadcast q
+        end
+        else close ~drain q
+    end
+    else begin
+      let target = if drain then st_draining else st_closed in
+      if Atomic.compare_and_set q.state st_open target then begin
+        note q Trace.Close;
+        if drain then ignore (try_finish_drain q) else broadcast q
+      end
+      else close ~drain q
+    end
+
+  (* {2 Handle registry and ownership} *)
+
+  let with_handles_mu q f =
+    Mutex.lock q.handles_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock q.handles_mu) f
+
+  let forget_handle q h =
+    with_handles_mu q (fun () -> q.handles <- List.filter (fun h' -> h' != h) q.handles)
+
+  let handle_state h =
+    let s = Atomic.get h.owner in
+    if s = own_live then Live
+    else if s = own_orphaned then Orphaned
+    else if s = own_reclaimed then Reclaimed
+    else Unregistered
+
+  (* Declare a handle's owner dead. Only meaningful for a thread that is no
+     longer executing queue operations — a concurrently-operating owner and
+     the scavenger would both touch the staged buffer. A between-operations
+     owner that turns out to be alive is safe: its next operation races the
+     scavenger on the [owner] word and exactly one of them wins (see
+     [ensure_owner]). No-op unless the handle is [Live]. *)
+  let orphan h = ignore (Atomic.compare_and_set h.owner own_live own_orphaned)
+
+  (* Ownership gate on every handle operation. [Live] passes with one
+     uncontended atomic read. [Orphaned] means someone presumed our owner
+     dead while it was between operations: resurrect with a CAS — unless
+     the scavenger already won the reclaim race, in which case the buffer
+     and hazard record are gone and the operation must fail loudly rather
+     than write into recycled state. *)
+  let rec ensure_owner h fname =
+    let s = Atomic.get h.owner in
+    if s = own_live then ()
+    else if s = own_orphaned then begin
+      if not (Atomic.compare_and_set h.owner own_orphaned own_live) then ensure_owner h fname
+    end
+    else if s = own_reclaimed then
+      invalid_arg (fname ^ ": handle was orphaned and reclaimed")
+    else invalid_arg (fname ^ ": handle was unregistered")
+
   let register q =
-    {
-      q;
-      rng = Rng.create ~seed:(Atomic.fetch_and_add handle_seed 0x9E3779B9) ();
-      hp_thread = Option.map Hazard.register q.hp;
-      buf = Array.make q.params.buffer_len Elt.none;
-      buf_n = 0;
-      buf_target = max 1 (q.params.buffer_len / 4);
-    }
+    let h =
+      {
+        q;
+        rng = Rng.create ~seed:(Atomic.fetch_and_add handle_seed 0x9E3779B9) ();
+        hp_thread = Option.map Hazard.register q.hp;
+        buf = Array.make q.params.buffer_len Elt.none;
+        buf_n = 0;
+        buf_target = max 1 (q.params.buffer_len / 4);
+        owner = Atomic.make own_live;
+      }
+    in
+    with_handles_mu q (fun () -> q.handles <- h :: q.handles);
+    h
 
   let length q = Atomic.get q.size
 
@@ -529,6 +682,7 @@ struct
     | Drain  (** the flushing handle itself drained the published queue *)
     | Unregister
     | Manual  (** an explicit [flush h] call *)
+    | Reclaim  (** the scavenger publishing an orphaned handle's backlog *)
 
   let flush_counter q = function
     | Full -> q.mc.c_buf_flush_full
@@ -536,6 +690,7 @@ struct
     | Drain -> q.mc.c_buf_flush_drain
     | Unregister -> q.mc.c_buf_flush_unregister
     | Manual -> q.mc.c_buf_flush_manual
+    | Reclaim -> q.mc.c_buf_flush_reclaim
 
   (* lint: holds lock *)
   let bulk_insert_all node buf n =
@@ -653,7 +808,7 @@ struct
       let minimum = max 1 (cap / 8) in
       (match reason with
       | Demand | Drain -> h.buf_target <- max minimum (h.buf_target / 2)
-      | Full | Unregister | Manual ->
+      | Full | Unregister | Manual | Reclaim ->
           if !fails > 0 then h.buf_target <- min cap (2 * h.buf_target)
           else h.buf_target <- max minimum (h.buf_target - 1));
       (match reason with Demand -> Atomic.set q.flush_demand false | _ -> ());
@@ -691,15 +846,65 @@ struct
     if Atomic.get q.flush_demand then bulk_flush h Demand
     else if h.buf_n >= h.buf_target then bulk_flush h Full
 
-  let flush h = if h.q.buffer_on && h.buf_n > 0 then bulk_flush h Manual
+  let flush h =
+    ensure_owner h "Zmsq.flush";
+    if h.q.buffer_on && h.buf_n > 0 then bulk_flush h Manual
 
   let unregister h =
+    (* Claim the handle for teardown: the CAS settles the race against a
+       concurrent [orphan]+scavenger, so the buffer is flushed exactly
+       once. Legal in any lifecycle state — staged elements were accepted
+       before the queue closed and must still be published. *)
+    let rec claim () =
+      let s = Atomic.get h.owner in
+      if s = own_live || s = own_orphaned then begin
+        if not (Atomic.compare_and_set h.owner s own_unregistered) then claim ()
+      end
+      else if s = own_reclaimed then
+        invalid_arg "Zmsq.unregister: handle was orphaned and reclaimed"
+      else invalid_arg "Zmsq.unregister: handle already unregistered"
+    in
+    claim ();
     if h.q.buffer_on && h.buf_n > 0 then bulk_flush h Unregister;
-    Option.iter Hazard.unregister h.hp_thread
+    Option.iter Hazard.unregister h.hp_thread;
+    forget_handle h.q h
+
+  (* Scavenge handles whose owner died without [unregister]: CAS-claim each
+     [Orphaned] handle (losing cleanly to a concurrent owner resurrection
+     or unregister), publish its staged backlog through the ordinary
+     bulk-flush machinery, release its hazard record, and drop it from the
+     registry — a crashed producer can neither strand elements nor exhaust
+     [Hazard]'s max_threads. Returns the number of elements published.
+     Callable from any thread; also piggybacked by [extract] when the tree
+     looks empty while [buffered] says elements exist somewhere. *)
+  let reclaim_orphans q =
+    let candidates =
+      with_handles_mu q (fun () ->
+          List.filter (fun h -> Atomic.get h.owner = own_orphaned) q.handles)
+    in
+    let published = ref 0 in
+    List.iter
+      (fun h ->
+        if Atomic.compare_and_set h.owner own_orphaned own_reclaimed then begin
+          let t0 = if q.obs_full then Zmsq_util.Timing.now_ns () else 0 in
+          let n = h.buf_n in
+          if q.buffer_on && n > 0 then bulk_flush h Reclaim;
+          published := !published + n;
+          Option.iter Hazard.unregister h.hp_thread;
+          forget_handle q h;
+          tick q q.mc.c_orphan_reclaims;
+          (match q.tr with Some tr -> Trace.instant tr ~arg:n Trace.Reclaim | None -> ());
+          if q.obs_full then
+            Metrics.observe q.mh.h_reclaim (float_of_int (Zmsq_util.Timing.now_ns () - t0))
+        end)
+      candidates;
+    !published
 
   let insert h e =
     if Elt.is_none e then invalid_arg "Zmsq.insert: none";
+    ensure_owner h "Zmsq.insert";
     let q = h.q in
+    if Atomic.get q.state <> st_open then raise Queue_closed;
     if q.buffer_on then buf_insert h e
     else if not q.obs_full then insert_aux h e
     else begin
@@ -848,13 +1053,26 @@ struct
             bulk_flush h Drain;
             loop ()
           end
-          else begin
-            if q.buffer_on && Atomic.get q.buffered > 0 then
-              (* Elements are staged in other domains' buffers, out of our
-                 reach: demand a flush (honored at their next operation and
-                 signalled through the eventcount) and report empty —
-                 emptiness is exact w.r.t. published elements. *)
+          else if q.buffer_on && Atomic.get q.buffered > 0 then begin
+            (* Elements are staged in other domains' buffers, out of our
+               reach. If any of those handles is orphaned — its producer
+               crashed without unregistering — scavenge it right here and
+               retry: the piggybacked reclaim is what keeps a dead
+               producer's backlog from being stranded forever. Otherwise
+               demand a flush from the live producers (honored at their
+               next operation and signalled through the eventcount) and
+               report empty — emptiness is exact w.r.t. published
+               elements. *)
+            if reclaim_orphans q > 0 then loop ()
+            else begin
               Atomic.set q.flush_demand true;
+              Elt.none
+            end
+          end
+          else begin
+            (* Exactly empty (nothing published, nothing staged): if a
+               drain is in progress this very observation completes it. *)
+            if Atomic.get q.state = st_draining then ignore (try_finish_drain q);
             Elt.none
           end
         else begin
@@ -873,6 +1091,7 @@ struct
     else loop ()
 
   let extract h =
+    ensure_owner h "Zmsq.extract";
     let q = h.q in
     if not q.obs_full then extract_aux h
     else begin
@@ -895,10 +1114,15 @@ struct
            ticket was re-credited by the eventcount's compensating signal,
            so claiming it cannot skew the sleep/wake pairing — and a
            zero/negative budget degrades to a plain try-pop instead of an
-           unconditional miss on a nonempty queue. *)
+           unconditional miss on a nonempty queue. A closed queue takes the
+           same final-attempt exit immediately: without it, the poisoned
+           eventcount would turn the wait into a spin until the deadline.
+           [none] before the deadline therefore means closed-and-empty
+           (confirm with {!lifecycle}); at the deadline it means timeout. *)
         let rec loop () =
           let remaining = deadline - Zmsq_util.Timing.now_ns () in
           if remaining <= 0 then extract h
+          else if extraction_closed h.q then extract h
           else begin
             note h.q Trace.Sleep;
             let woke = Eventcount.wait_before_extract_for ec ~timeout_ns:remaining in
@@ -963,6 +1187,7 @@ struct
     !moved
 
   let helper_pass ?(visits = 8) h =
+    ensure_owner h "Zmsq.helper_pass";
     let q = h.q in
     if not q.obs_full then helper_pass_aux visits h
     else begin
@@ -994,12 +1219,22 @@ struct
     match h.q.ec with
     | None -> invalid_arg "Zmsq.extract_blocking: queue created without blocking"
     | Some ec ->
+        let q = h.q in
         let rec loop () =
-          note h.q Trace.Sleep;
-          Eventcount.wait_before_extract ec;
-          note h.q Trace.Wake;
-          let v = extract h in
-          if Elt.is_none v then loop () else v
+          if extraction_closed q then
+            (* Closed — directly, or by a drain this very call completed:
+               one final non-blocking attempt claims any element still
+               published. [none] here is the distinguishable
+               closed-and-empty outcome, the only way this function
+               returns [none]. *)
+            extract h
+          else begin
+            note q Trace.Sleep;
+            Eventcount.wait_before_extract ec;
+            note q Trace.Wake;
+            let v = extract h in
+            if Elt.is_none v then loop () else v
+          end
         in
         loop ()
 
@@ -1023,6 +1258,7 @@ struct
       if q.params.batch = 0 || n < 0 then 0 else n + 1
 
     let buffered q = Atomic.get q.buffered
+    let live_handles q = with_handles_mu q (fun () -> List.length q.handles)
 
     let pool_elements q =
       let acc = ref [] in
@@ -1099,8 +1335,10 @@ struct
           + Metrics.value q.mc.c_buf_flush_demand
           + Metrics.value q.mc.c_buf_flush_drain
           + Metrics.value q.mc.c_buf_flush_unregister
-          + Metrics.value q.mc.c_buf_flush_manual;
+          + Metrics.value q.mc.c_buf_flush_manual
+          + Metrics.value q.mc.c_buf_flush_reclaim;
         buf_claims = Metrics.value q.mc.c_buf_claims;
+        orphan_reclaims = Metrics.value q.mc.c_orphan_reclaims;
       }
 
     let eventcount_stats q =

@@ -57,7 +57,33 @@ type counters = {
   helper_moves : int;  (** elements promoted by helper passes (Section 5 extension) *)
   buf_flushes : int;  (** per-domain insert buffers published into the tree *)
   buf_claims : int;  (** extractions served from the caller's own buffer *)
+  orphan_reclaims : int;  (** orphaned handles scavenged by {!S.reclaim_orphans} *)
 }
+
+type lifecycle =
+  | Open  (** accepting inserts and extracts (the initial state) *)
+  | Draining
+      (** inserts are rejected; extraction stays live until the queue is
+          exactly empty, at which point the state advances to {!Closed} *)
+  | Closed
+      (** inserts are rejected and the eventcount is poisoned: blocked
+          extractors return the closed-and-empty outcome instead of
+          sleeping. Remaining published elements are still claimable by
+          non-blocking [extract]. *)
+
+type handle_state =
+  | Live  (** the normal single-owner state *)
+  | Orphaned
+      (** the owner was declared dead ({!S.orphan}); the handle's staged
+          buffer and hazard record are claimable by {!S.reclaim_orphans},
+          and resurrected transparently if the owner operates again first *)
+  | Reclaimed  (** the scavenger claimed the handle; all further use raises *)
+  | Unregistered  (** the owner released the handle via [unregister] *)
+
+exception Queue_closed
+(** Raised by [insert] once the queue has left the {!Open} state. The
+    failing element was {e not} accepted: it is neither staged nor
+    published, so shutdown never half-admits an element. *)
 
 module type S = sig
   type t
@@ -72,9 +98,12 @@ module type S = sig
 
   val extract_blocking : handle -> Zmsq_pq.Elt.t
   (** Like [extract], but sleeps on the eventcount while the queue is
-      empty; never returns {!Zmsq_pq.Elt.none}. Requires the queue to have
-      been created with [params.blocking = true] (raises
-      [Invalid_argument] otherwise). *)
+      empty. Returns {!Zmsq_pq.Elt.none} {e only} when the queue is closed
+      and empty (directly via [close], or because a [close ~drain:true]
+      drain completed — possibly finished by this very call); on an open
+      queue it never returns [none]. Requires the queue to have been
+      created with [params.blocking = true] (raises [Invalid_argument]
+      otherwise). *)
 
   val extract_timeout : handle -> timeout_ns:int -> Zmsq_pq.Elt.t
   (** Deadline-bounded {!extract_blocking}: waits at most [timeout_ns]
@@ -82,7 +111,9 @@ module type S = sig
       timeout. The deadline path always makes one final non-blocking
       [extract] attempt before reporting empty, so an element that arrived
       in the last wait window is claimed rather than missed, and a
-      zero/negative budget behaves as a plain try-pop. Same
+      zero/negative budget behaves as a plain try-pop. A closed-and-empty
+      queue returns [none] immediately instead of burning the deadline
+      (disambiguate from a timeout with {!lifecycle}). Same
       [params.blocking] requirement. Mirrors the timed pops production
       queues expose (e.g. Folly's
       [RelaxedConcurrentPriorityQueue::try_pop_until]). *)
@@ -92,7 +123,51 @@ module type S = sig
       (no-op when the buffer is empty or [params.buffer_len = 0]). Useful
       before a quiescent inspection and for tests; normal code never needs
       it — the flush policy (see {!Params.t.buffer_len} and DESIGN.md)
-      publishes automatically. *)
+      publishes automatically. Remains legal after [close]: staged
+      elements were accepted before the close and must still be
+      publishable. *)
+
+  val close : ?drain:bool -> t -> unit
+  (** Atomically end the queue's life ([drain] defaults to [false]).
+      [close q] moves {!Open} (or {!Draining}) to {!Closed}: subsequent
+      [insert]s raise {!Queue_closed}, every extractor blocked in
+      {!extract_blocking}/{!extract_timeout} is woken through the
+      eventcount broadcast, and future blocking extracts return without
+      sleeping. [close ~drain:true q] moves {!Open} to {!Draining}
+      instead: inserts are rejected but extraction stays live until the
+      queue is exactly empty (published and staged), when the state
+      advances to {!Closed} — the completing extractor performs the
+      broadcast. Idempotent, callable from any thread; a plain [close]
+      escalates an in-progress drain. Note a drain only completes once
+      every handle with staged elements has flushed, unregistered or been
+      reclaimed — a live producer's staged backlog belongs to its owner. *)
+
+  val lifecycle : t -> lifecycle
+
+  val orphan : handle -> unit
+  (** Declare the handle's owning thread dead, making the handle's staged
+      buffer and hazard record claimable by {!reclaim_orphans}. Callable
+      from any thread — it is the one handle operation that deliberately
+      breaks the single-owner rule — but only meaningful for an owner that
+      is no longer executing queue operations (crashed, or parked for
+      good); orphaning a handle whose owner is mid-operation is a race on
+      the staged buffer. An owner that was wrongly presumed dead and
+      operates again is resurrected transparently: its next operation CAS
+      races the scavenger and exactly one side wins (the loser of that
+      race — the owner — gets [Invalid_argument]). No-op unless the
+      handle is {!Live}. *)
+
+  val handle_state : handle -> handle_state
+
+  val reclaim_orphans : t -> int
+  (** Scavenge every {!Orphaned} handle: CAS-claim it (losing cleanly to a
+      concurrent owner resurrection or [unregister]), bulk-flush its
+      staged backlog into the tree, release its hazard record and forget
+      it — so a crashed producer can neither strand elements nor exhaust
+      the hazard domain's [max_threads]. Returns the number of elements
+      published. Callable from any thread at any lifecycle state; also
+      piggybacked automatically by [extract] when the published structure
+      is empty while [buffered > 0]. *)
 
   val is_empty : t -> bool
   (** Exact at any instant (the global element count is zero). *)
@@ -145,6 +220,10 @@ module type S = sig
     (** Elements currently staged in per-domain insert buffers (excluded
         from [length] and {!elements} until flushed; 0 when
         [params.buffer_len = 0]). *)
+
+    val live_handles : t -> int
+    (** Handles currently in the registry (registered, not yet
+        unregistered or reclaimed). *)
 
     val counters : t -> counters
 

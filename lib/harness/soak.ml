@@ -52,13 +52,24 @@ let default_faults =
     freeze_ms = 40.;
   }
 
-type phase = Mixed | Burst | Producer_dies | Consumer_starves
+type phase = Mixed | Burst | Producer_dies | Consumer_starves | Handle_churn
 
 let phase_name = function
   | Mixed -> "mixed"
   | Burst -> "burst"
   | Producer_dies -> "producer-dies"
   | Consumer_starves -> "consumer-starves"
+  | Handle_churn -> "handle-churn"
+
+let phase_of_name = function
+  | "mixed" -> Some Mixed
+  | "burst" -> Some Burst
+  | "producer-dies" -> Some Producer_dies
+  | "consumer-starves" -> Some Consumer_starves
+  | "handle-churn" -> Some Handle_churn
+  | _ -> None
+
+let all_phases = [ Mixed; Burst; Producer_dies; Consumer_starves; Handle_churn ]
 
 type phase_report = {
   phase : phase;
@@ -66,6 +77,7 @@ type phase_report = {
   inserted : int;
   extracted : int;
   drained : int;
+  reclaimed : int;  (** orphaned handles scavenged (live + end-of-phase) *)
   ec_sleeps : int;
   ec_wakes : int;
   violations : string list;
@@ -92,6 +104,7 @@ type config = {
   faults : faults;
   artifacts_dir : string option;
   log : (string -> unit) option;
+  phases : phase list;
 }
 
 let default_config =
@@ -106,6 +119,7 @@ let default_config =
     faults = default_faults;
     artifacts_dir = None;
     log = None;
+    phases = all_phases;
   }
 
 let now_ns = Zmsq_util.Timing.now_ns
@@ -202,6 +216,7 @@ let run_phase cfg ~index ~phase ~dur =
       Unix.sleepf 0.001
     done
   in
+  let victim_handle = Stdlib.Atomic.make None in
   let producer idx () =
     producer_keys.(idx) <- FP.Ctl.self_key ();
     let h = Q.register q in
@@ -222,14 +237,22 @@ let run_phase cfg ~index ~phase ~dur =
         done
     | Producer_dies ->
         if idx = 0 then begin
-          (* Insert a backlog, then go quiet with whatever stayed staged
-             in the insert buffer — the "dead" producer. Its residue is
-             published by unregister at phase end; meanwhile the staleness
-             watchdog proves the rest of the system keeps draining. *)
+          (* Insert a backlog, then die for real: crash the domain (it
+             parks at its next primitive op) with the handle never
+             unregistered and whatever stayed staged still in the insert
+             buffer. Conservation now depends entirely on the orphan
+             declaration (monitor) and reclamation (consumer piggyback or
+             the end-of-phase scavenge). *)
           for _ = 1 to 64 do
             ins_one h rng
           done;
-          park_until_stop ()
+          Stdlib.Atomic.set victim_handle (Some h);
+          FP.Ctl.crash (FP.Ctl.self_key ());
+          (* Parks inside the first cpu_relax; released by the teardown
+             thaw, after which [stop] is already set. *)
+          while not (Stdlib.Atomic.get stop) do
+            FP.cpu_relax ()
+          done
         end
         else
           while not (Stdlib.Atomic.get stop) do
@@ -242,8 +265,33 @@ let run_phase cfg ~index ~phase ~dur =
            demand-after-stage contract of buf_insert (bug B). *)
         Unix.sleepf (0.01 +. (0.025 *. float_of_int idx));
         if not (Stdlib.Atomic.get stop) then ins_one h rng;
-        park_until_stop ());
-    Q.unregister h
+        park_until_stop ()
+    | Handle_churn ->
+        (* Register/retire churn with deliberate leaks: a fraction of
+           handles are abandoned via [orphan] instead of unregistered, so
+           registration pressure (the hazard table is finite) forces the
+           scavenger to actually run — a registration that fails with the
+           table full must succeed after [reclaim_orphans]. *)
+        let rec churn () =
+          if not (Stdlib.Atomic.get stop) then begin
+            match
+              try Some (Q.register q)
+              with Invalid_argument _ ->
+                ignore (Q.reclaim_orphans q);
+                None
+            with
+            | None -> churn ()
+            | Some h2 ->
+                for _ = 1 to 1 + Rng.int rng 4 do
+                  ins_one h2 rng
+                done;
+                if Rng.int rng 4 = 0 then Q.orphan h2 else Q.unregister h2;
+                churn ()
+          end
+        in
+        churn ());
+    (* The crashed victim never unregisters — that is the point. *)
+    if not (phase = Producer_dies && idx = 0) then Q.unregister h
   in
   let consumer idx () =
     let h = Q.register q in
@@ -286,6 +334,11 @@ let run_phase cfg ~index ~phase ~dur =
       (* Deliver every delayed wake: "delayed" must never become
          "dropped", and any remaining stall is the algorithm's fault. *)
       FP.Ctl.quiesce ();
+      (* Declare the crashed producer's handle orphaned (idempotent CAS):
+         from here consumers may piggyback-reclaim its staged backlog. *)
+      (match Stdlib.Atomic.get victim_handle with
+      | Some vh when FP.Ctl.crashed () <> [] -> Q.orphan vh
+      | _ -> ());
       let now = now_ns () in
       (* Conservation, sampled extracted-first so the inequality is
          monotone-safe under concurrent updates. *)
@@ -353,11 +406,20 @@ let run_phase cfg ~index ~phase ~dur =
     Q.flush hmain;
     Unix.sleepf 0.0005
   done;
+  (* A crashed domain is parked at its freeze gate; release it so the join
+     below terminates — [stop] is already set, so it exits immediately. *)
+  List.iter FP.Ctl.thaw (FP.Ctl.crashed ());
   List.iter Domain.join doms;
   FP.Ctl.quiesce ();
   let seconds = float_of_int (now_ns () - t0) /. 1e9 in
-  (* Quiescent accounting: every worker handle is unregistered (staged
-     residue published), so a drain must reach exactly the difference. *)
+  (* Quiescent accounting: every live worker handle was unregistered
+     (staged residue published); dead ones are orphaned here if the
+     monitor never got to it, then scavenged — after which nothing may
+     remain staged anywhere. *)
+  (match Stdlib.Atomic.get victim_handle with
+  | Some vh when Q.handle_state vh = Zmsq.Live -> Q.orphan vh
+  | _ -> ());
+  ignore (Q.reclaim_orphans q);
   let drained = ref 0 in
   let continue_ = ref true in
   while !continue_ do
@@ -372,7 +434,8 @@ let run_phase cfg ~index ~phase ~dur =
          ext !drained);
   if Q.Debug.buffered q <> 0 then
     violation
-      (Printf.sprintf "staged residue after unregister+drain: %d" (Q.Debug.buffered q));
+      (Printf.sprintf "staged residue after unregister+reclaim+drain: %d"
+         (Q.Debug.buffered q));
   if not (Q.Debug.check_invariant q) then violation "tree invariant check failed";
   (match phase with
   | Consumer_starves
@@ -396,19 +459,29 @@ let run_phase cfg ~index ~phase ~dur =
   if Elt.is_none probe then
     violation "final poll: zero-budget extract_timeout missed a present element";
   Q.unregister hmain;
+  if Q.Debug.live_handles q <> 0 then
+    violation
+      (Printf.sprintf "handle registry leak: %d handles survive teardown"
+         (Q.Debug.live_handles q));
+  let reclaimed = (Q.Debug.counters q).Zmsq.orphan_reclaims in
+  (match phase with
+  | Producer_dies when reclaimed < 1 ->
+      violation "producer-dies: the crashed producer's handle was never reclaimed"
+  | _ -> ());
   let ec_sleeps, ec_wakes =
     match Q.Debug.eventcount_stats q with Some (s, w) -> (s, w) | None -> (0, 0)
   in
   log
-    (Printf.sprintf "done in %.2fs: inserted=%d extracted=%d drained=%d sleeps=%d \
-                     wakes=%d violations=%d"
-       seconds ins ext !drained ec_sleeps ec_wakes (List.length !vios));
+    (Printf.sprintf "done in %.2fs: inserted=%d extracted=%d drained=%d \
+                     reclaimed=%d sleeps=%d wakes=%d violations=%d"
+       seconds ins ext !drained reclaimed ec_sleeps ec_wakes (List.length !vios));
   ( {
       phase;
       seconds;
       inserted = ins;
       extracted = ext;
       drained = !drained;
+      reclaimed;
       ec_sleeps;
       ec_wakes;
       violations = List.rev !vios;
@@ -418,13 +491,12 @@ let run_phase cfg ~index ~phase ~dur =
 let run cfg =
   if cfg.producers < 1 || cfg.consumers < 1 then invalid_arg "Soak.run: need workers";
   if cfg.secs <= 0. then invalid_arg "Soak.run: secs must be positive";
+  if cfg.phases = [] then invalid_arg "Soak.run: need at least one phase";
   let stats0 = FP.Ctl.stats () in
-  let dur = cfg.secs /. 4. in
+  let dur = cfg.secs /. float_of_int (List.length cfg.phases) in
   let phases, artifacts =
     List.split
-      (List.mapi
-         (fun index phase -> run_phase cfg ~index ~phase ~dur)
-         [ Mixed; Burst; Producer_dies; Consumer_starves ])
+      (List.mapi (fun index phase -> run_phase cfg ~index ~phase ~dur) cfg.phases)
   in
   let fault_stats = diff_stats stats0 (FP.Ctl.stats ()) in
   FP.Ctl.reset ();
@@ -442,14 +514,14 @@ let run cfg =
     artifacts = List.concat artifacts;
   }
 
-let report_lines r =
+let report_lines (r : report) =
   List.map
     (fun p ->
       Printf.sprintf
-        "%-16s %5.2fs inserted=%-8d extracted=%-8d drained=%-6d sleeps=%-6d \
-         wakes=%-6d violations=%d"
-        (phase_name p.phase) p.seconds p.inserted p.extracted p.drained p.ec_sleeps
-        p.ec_wakes
+        "%-16s %5.2fs inserted=%-8d extracted=%-8d drained=%-6d reclaimed=%-4d \
+         sleeps=%-6d wakes=%-6d violations=%d"
+        (phase_name p.phase) p.seconds p.inserted p.extracted p.drained p.reclaimed
+        p.ec_sleeps p.ec_wakes
         (List.length p.violations))
     r.phases
   @ [

@@ -1,9 +1,11 @@
 (** Fault-injected soak runner for the blocking/buffering liveness layer.
 
-    [run] drives one ZMSQ instance per phase through four hostile workload
+    [run] drives one ZMSQ instance per phase through hostile workload
     shapes — mixed steady-state, bursty producers with a blocking consumer,
-    a producer that goes quiet mid-phase (plus a frozen peer), and one-shot
-    producers racing consumer demand — all on top of the
+    a producer that {e crashes} mid-phase without unregistering (its staged
+    buffer is recovered via {!Zmsq.orphan} + {!Zmsq.reclaim_orphans}),
+    one-shot producers racing consumer demand, and rapid handle churn that
+    deliberately exhausts the hazard-slot budget — all on top of the
     {!Zmsq_prim.Faulty} adapter, so trylock failures, delayed futex wakes,
     spurious timeouts and scheduling stalls fire continuously under real
     parallelism.
@@ -39,9 +41,15 @@ type faults = {
 val no_faults : faults
 val default_faults : faults
 
-type phase = Mixed | Burst | Producer_dies | Consumer_starves
+type phase = Mixed | Burst | Producer_dies | Consumer_starves | Handle_churn
 
 val phase_name : phase -> string
+
+val phase_of_name : string -> phase option
+(** Inverse of {!phase_name}; [None] on an unknown name. *)
+
+val all_phases : phase list
+(** Every phase, in the default running order. *)
 
 type phase_report = {
   phase : phase;
@@ -49,6 +57,8 @@ type phase_report = {
   inserted : int;
   extracted : int;
   drained : int;
+  reclaimed : int;
+      (** orphaned handles scavenged during and at the end of the phase *)
   ec_sleeps : int;
   ec_wakes : int;
   violations : string list;
@@ -66,7 +76,7 @@ type report = {
 
 type config = {
   seed : int;
-  secs : float;  (** total budget, split evenly across the four phases *)
+  secs : float;  (** total budget, split evenly across the selected phases *)
   producers : int;
   consumers : int;
   batch : int;
@@ -75,11 +85,12 @@ type config = {
   faults : faults;
   artifacts_dir : string option;
   log : (string -> unit) option;  (** heartbeats and phase banners *)
+  phases : phase list;  (** which phases to run, in order *)
 }
 
 val default_config : config
 (** seed 1, 2 s, 2x2 domains, batch 48, buffer 8, stale 1500 ms,
-    {!default_faults}, no artifacts, no log. *)
+    {!default_faults}, no artifacts, no log, {!all_phases}. *)
 
 val run : config -> report
 

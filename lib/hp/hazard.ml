@@ -15,6 +15,8 @@ module type S = sig
 
   val register : 'a t -> 'a thread
   val unregister : 'a thread -> unit
+  val live_threads : 'a t -> int
+  val max_threads : 'a t -> int
   val protect : 'a thread -> slot:int -> 'a atomic_src -> 'a
   val set : 'a thread -> slot:int -> 'a -> unit
   val clear : 'a thread -> slot:int -> unit
@@ -89,10 +91,18 @@ module Make (P : Zmsq_prim.Intf.PRIM) = struct
       scans = Atomic.make 0;
     }
 
+  let live_threads dom =
+    Array.fold_left (fun acc r -> if Atomic.get r.active then acc + 1 else acc) 0 dom.records
+
+  let max_threads dom = Array.length dom.records
+
   let register dom =
     let n = Array.length dom.records in
     let rec find i =
-      if i >= n then failwith "Hazard.register: max_threads exceeded"
+      if i >= n then
+        invalid_arg
+          (Printf.sprintf "Hazard.register: max_threads exceeded (%d live of %d max)"
+             (live_threads dom) n)
       else begin
         let r = dom.records.(i) in
         if (not (Atomic.get r.active)) && Atomic.compare_and_set r.active false true then r

@@ -40,12 +40,23 @@ module type S = sig
       (default [2 * max_threads * slots_per_thread]). *)
 
   val register : 'a t -> 'a thread
-  (** Claim a thread record. Raises [Failure] when [max_threads] records are
-      already live. *)
+  (** Claim a thread record. Raises [Invalid_argument] (reporting the
+      live/max record counts) when all [max_threads] records are already
+      live. A record released by {!unregister} is immediately reusable by
+      the next [register], so register/unregister churn does not leak. *)
 
   val unregister : 'a thread -> unit
   (** Release the record (clears its slots, flushes its retire list into the
-      shared pool for later scans). *)
+      shared pool for later scans). May be called by a thread other than
+      the registering one, provided ownership of the record was handed
+      over first — this is how [Zmsq.reclaim_orphans] releases the record
+      of a crashed producer after CAS-claiming its handle. *)
+
+  val live_threads : 'a t -> int
+  (** Number of currently registered (active) thread records. *)
+
+  val max_threads : 'a t -> int
+  (** Capacity of the record table. *)
 
   val protect : 'a thread -> slot:int -> 'a atomic_src -> 'a
   (** [protect th ~slot src] reads [src], publishes the value in [slot], and

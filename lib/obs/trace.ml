@@ -10,6 +10,8 @@ type kind =
   | Sleep
   | Wake
   | Buf_flush
+  | Close
+  | Reclaim
 
 let kind_name = function
   | Insert -> "insert"
@@ -23,6 +25,8 @@ let kind_name = function
   | Sleep -> "ec_sleep"
   | Wake -> "ec_wake"
   | Buf_flush -> "buf_flush"
+  | Close -> "close"
+  | Reclaim -> "reclaim"
 
 let kind_code = function
   | Insert -> 0
@@ -36,6 +40,8 @@ let kind_code = function
   | Sleep -> 8
   | Wake -> 9
   | Buf_flush -> 10
+  | Close -> 11
+  | Reclaim -> 12
 
 let kind_of_code = function
   | 0 -> Insert
@@ -48,7 +54,9 @@ let kind_of_code = function
   | 7 -> Helper_pass
   | 8 -> Sleep
   | 9 -> Wake
-  | _ -> Buf_flush
+  | 10 -> Buf_flush
+  | 11 -> Close
+  | _ -> Reclaim
 
 (* One ring per domain slot. A span is recorded on [span_end] as a
    complete event (begin timestamp + duration), which keeps the dump

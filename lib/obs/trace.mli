@@ -27,6 +27,8 @@ type kind =
   | Sleep
   | Wake
   | Buf_flush  (** a per-domain insert buffer published into the tree *)
+  | Close  (** a lifecycle transition ([close] or drain completion) *)
+  | Reclaim  (** an orphaned handle's buffer reclaimed by the scavenger *)
 
 val kind_name : kind -> string
 

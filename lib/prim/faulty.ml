@@ -79,6 +79,17 @@ module type CTL = sig
 
   val thaw : int -> unit
 
+  val crash : int -> unit
+  (** Permanently freeze the keyed domain — the model of a thread that
+      died without unregistering its queue handle. Unlike {!freeze} the
+      key is recorded ({!crashed}), so a harness can distinguish injected
+      deaths from transient freezes; a crashed domain is only released by
+      {!thaw} (for teardown joins) or {!reset}. A domain may crash its own
+      key: it parks at its next primitive operation. *)
+
+  val crashed : unit -> int list
+  (** Keys crashed since the last {!reset}, oldest first. *)
+
   val exempt_self : unit -> unit
   (** Opt this domain (e.g. a watchdog/monitor) out of fault firing and
       freeze gates, so observation timing stays honest. *)
@@ -106,6 +117,7 @@ end = struct
   let key () = (Domain.self () :> int) land (n_keys - 1)
   let frozen = Array.init n_keys (fun _ -> Stdlib.Atomic.make false)
   let exempt = Array.init n_keys (fun _ -> Stdlib.Atomic.make false)
+  let crashed_flags = Array.init n_keys (fun _ -> Stdlib.Atomic.make false)
 
   (* Per-domain RNG streams: fault decisions in one domain never perturb
      another domain's sequence, so a fixed seed is reproducible per domain
@@ -129,6 +141,7 @@ end = struct
   let c_spurious = Stdlib.Atomic.make 0
   let c_stalls = Stdlib.Atomic.make 0
   let c_freeze_waits = Stdlib.Atomic.make 0
+  let c_crashes = Stdlib.Atomic.make 0
 
   let fire rate =
     rate > 0
@@ -208,12 +221,27 @@ end = struct
     let self_key () = key ()
     let freeze k = Stdlib.Atomic.set frozen.(k land (n_keys - 1)) true
     let thaw k = Stdlib.Atomic.set frozen.(k land (n_keys - 1)) false
+
+    let crash k =
+      let k = k land (n_keys - 1) in
+      if not (Stdlib.Atomic.get crashed_flags.(k)) then begin
+        Stdlib.Atomic.set crashed_flags.(k) true;
+        Stdlib.Atomic.incr c_crashes
+      end;
+      Stdlib.Atomic.set frozen.(k) true
+
+    let crashed () =
+      List.filter
+        (fun k -> Stdlib.Atomic.get crashed_flags.(k))
+        (List.init n_keys Fun.id)
+
     let exempt_self () = Stdlib.Atomic.set exempt.(key ()) true
     let quiesce () = drain ~all:true
 
     let reset () =
       install off;
       Array.iter (fun a -> Stdlib.Atomic.set a false) frozen;
+      Array.iter (fun a -> Stdlib.Atomic.set a false) crashed_flags;
       quiesce ()
 
     let inject_try_acquire_failure () =
@@ -229,6 +257,7 @@ end = struct
         ("spurious_timeouts", Stdlib.Atomic.get c_spurious);
         ("stalls", Stdlib.Atomic.get c_stalls);
         ("freeze_waits", Stdlib.Atomic.get c_freeze_waits);
+        ("crashes", Stdlib.Atomic.get c_crashes);
       ]
   end
 

@@ -8,6 +8,8 @@ module type S = sig
   val signal_n : t -> int -> unit
   val wait_before_extract : t -> unit
   val wait_before_extract_for : t -> timeout_ns:int -> bool
+  val close : t -> unit
+  val is_closed : t -> bool
   val would_sleep : t -> bool
   val sleeps : t -> int
   val wakes : t -> int
@@ -23,6 +25,7 @@ module Make (P : Zmsq_prim.Intf.PRIM) = struct
     spin : int;
     inserts : int Atomic.t; (* wake tickets: total completed insertions *)
     extracts : int Atomic.t; (* sleep tickets: total extraction attempts *)
+    closed : bool Atomic.t; (* poisoned: every wait returns immediately *)
     sleep_count : int Atomic.t;
     wake_count : int Atomic.t;
   }
@@ -40,6 +43,7 @@ module Make (P : Zmsq_prim.Intf.PRIM) = struct
       spin;
       inserts = Atomic.make initial;
       extracts = Atomic.make 0;
+      closed = Atomic.make false;
       sleep_count = Atomic.make 0;
       wake_count = Atomic.make 0;
     }
@@ -80,7 +84,10 @@ module Make (P : Zmsq_prim.Intf.PRIM) = struct
       done
     end
 
-  let ready t ticket = Atomic.get t.inserts > ticket
+  (* A waiter is released by a matching insert credit — or by [close],
+     which poisons every present and future wait. The insert counter is
+     checked first so the open-queue signaled path costs no extra read. *)
+  let ready t ticket = Atomic.get t.inserts > ticket || Atomic.get t.closed
 
   let wait_before_extract t =
     let ticket = Atomic.fetch_and_add t.extracts 1 in
@@ -163,7 +170,19 @@ module Make (P : Zmsq_prim.Intf.PRIM) = struct
       result
     end
 
-  let would_sleep t = Atomic.get t.inserts <= Atomic.get t.extracts
+  let close t =
+    if not (Atomic.get t.closed) then begin
+      (* Flag first, then bump every slot: a sleeper published on any slot
+         either sees [closed] on its post-publication re-check, or its slot
+         word has changed under it and the futex wait falls through. *)
+      Atomic.set t.closed true;
+      Array.iter (fun slot -> signal_slot t slot) t.slots
+    end
+
+  let is_closed t = Atomic.get t.closed
+
+  let would_sleep t =
+    (not (Atomic.get t.closed)) && Atomic.get t.inserts <= Atomic.get t.extracts
 
   let sleeps t = Atomic.get t.sleep_count
   let wakes t = Atomic.get t.wake_count

@@ -51,9 +51,25 @@ module type S = sig
       ticket with a compensating signal, so insert/extract pairing never
       drifts (at the cost of one possible spurious wakeup). *)
 
+  val close : t -> unit
+  (** Broadcast shutdown: poisons the eventcount so that every current
+      sleeper is woken and every future wait returns immediately.
+      The closed flag is published before each slot's sequence word is
+      bumped, so a sleeper either observes the flag on its re-check or
+      finds its futex word changed — the wakeup cannot be lost. Idempotent.
+      After [close], {!wait_before_extract} never blocks and
+      {!wait_before_extract_for} returns [true] without sleeping; callers
+      distinguish "element available" from "closed" by re-examining their
+      own state (e.g. [Zmsq.extract_blocking] retries the extraction and
+      reports closed-and-empty). *)
+
+  val is_closed : t -> bool
+  (** True once {!close} has run. *)
+
   val would_sleep : t -> bool
   (** True when the next extraction ticket would find no matching insert —
-      i.e. the queue is (logically) empty. For tests and monitoring. *)
+      i.e. the queue is (logically) empty. Always false once closed. For
+      tests and monitoring. *)
 
   val sleeps : t -> int
   (** Number of futex waits performed so far (instrumentation). *)

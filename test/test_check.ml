@@ -82,6 +82,31 @@ let test_zmsq_chaos_trylock () = random_pass ~executions:40 ~seed:0xC4A5 "zmsq-c
 let test_zmsq_chaos_buffered () =
   random_pass ~executions:40 ~seed:0xC4A6 "zmsq-chaos-buffered"
 
+(* {2 Lifecycle scenarios (PR 5): the four seeded shutdown/reclaim bugs
+   must be detected with a replayable schedule, and the fixed code must
+   pass the same scenarios. *)
+
+let test_close_mini_ok () = expect_pass ~want_complete:true "close-mini"
+let test_close_mini_bug () = expect_detect_and_replay "close-mini-flag-after-wake"
+let test_insert_close_mini_ok () = expect_pass ~want_complete:true "insert-close-mini"
+
+let test_insert_close_mini_bug () =
+  expect_detect_and_replay "insert-close-mini-stage-first"
+
+let test_orphan_race_mini_ok () = expect_pass ~want_complete:true "orphan-race-mini"
+let test_orphan_race_mini_bug () = expect_detect_and_replay "orphan-race-mini-blind-store"
+let test_drain_mini_ok () = expect_pass ~want_complete:true "drain-mini"
+let test_drain_mini_bug () = expect_detect_and_replay "drain-mini-ignore-staged"
+let test_zmsq_close_wakes_all () = random_pass ~executions:40 ~seed:0xC105 "zmsq-close-wakes-all"
+
+let test_zmsq_insert_close_conserve () =
+  random_pass ~executions:60 ~seed:0xC106 "zmsq-insert-close-conserve"
+
+let test_zmsq_orphan_reclaim_race () =
+  random_pass ~executions:60 ~seed:0x0A7A "zmsq-orphan-reclaim-race"
+
+let test_zmsq_drain_exact () = random_pass ~executions:40 ~seed:0xD7A1 "zmsq-drain-exact"
+
 (* Determinism: the same schedule replayed twice yields the same outcome. *)
 let test_replay_deterministic () =
   let e = entry "ec-mini-lost-wakeup" in
@@ -193,6 +218,18 @@ let suite =
     ("zmsq flush wakes all under model", `Slow, test_zmsq_flush_wakes_all);
     ("zmsq chaos trylock under model", `Slow, test_zmsq_chaos_trylock);
     ("zmsq chaos buffered under model", `Slow, test_zmsq_chaos_buffered);
+    ("close mini flag-then-wake", `Quick, test_close_mini_ok);
+    ("close mini bug detected", `Quick, test_close_mini_bug);
+    ("insert-close mini gate-first", `Quick, test_insert_close_mini_ok);
+    ("insert-close mini bug detected", `Quick, test_insert_close_mini_bug);
+    ("orphan-race mini CAS", `Quick, test_orphan_race_mini_ok);
+    ("orphan-race mini bug detected", `Quick, test_orphan_race_mini_bug);
+    ("drain mini exact emptiness", `Quick, test_drain_mini_ok);
+    ("drain mini bug detected", `Quick, test_drain_mini_bug);
+    ("zmsq close wakes all under model", `Slow, test_zmsq_close_wakes_all);
+    ("zmsq insert-close conservation under model", `Slow, test_zmsq_insert_close_conserve);
+    ("zmsq orphan reclaim race under model", `Slow, test_zmsq_orphan_reclaim_race);
+    ("zmsq drain exactness under model", `Slow, test_zmsq_drain_exact);
     ("lint raise-under-lock bad", `Quick, test_lint_raise_under_lock_bad);
     ("lint raise-under-lock good", `Quick, test_lint_raise_under_lock_good);
     ("lint raise-under-lock alias", `Quick, test_lint_raise_under_lock_alias);

@@ -91,13 +91,32 @@ let test_register_limit () =
   let dom = Hazard.create ~max_threads:2 ~recycle:(fun (_ : node) -> ()) () in
   let a = Hazard.register dom in
   let b = Hazard.register dom in
-  Alcotest.check_raises "limit" (Failure "Hazard.register: max_threads exceeded") (fun () ->
+  check Alcotest.int "live count at capacity" 2 (Hazard.live_threads dom);
+  Alcotest.check_raises "limit"
+    (Invalid_argument "Hazard.register: max_threads exceeded (2 live of 2 max)") (fun () ->
       ignore (Hazard.register dom));
   Hazard.unregister a;
+  check Alcotest.int "live count after release" 1 (Hazard.live_threads dom);
   (* slot reusable after unregister *)
   let c = Hazard.register dom in
   Hazard.unregister b;
-  Hazard.unregister c
+  Hazard.unregister c;
+  check Alcotest.int "all released" 0 (Hazard.live_threads dom);
+  check Alcotest.int "capacity reported" 2 (Hazard.max_threads dom)
+
+(* Register/unregister churn far past [max_threads]: every [unregister]
+   must make its record reusable by the next [register] — a monotonic leak
+   would blow the 2-record table within three iterations. *)
+let test_register_churn_reuse () =
+  let dom = Hazard.create ~max_threads:2 ~recycle:(fun (_ : node) -> ()) () in
+  let keeper = Hazard.register dom in
+  for i = 0 to 999 do
+    let th = Hazard.register dom in
+    if i land 1 = 0 then Hazard.retire th { id = i; freed = false };
+    Hazard.unregister th
+  done;
+  check Alcotest.int "only the keeper left" 1 (Hazard.live_threads dom);
+  Hazard.unregister keeper
 
 (* Concurrent stress: readers protect nodes from a shared table while a
    mutator swaps and retires them; a recycled node must never be observed
@@ -145,5 +164,6 @@ let suite =
     ("protect validates", `Quick, test_protect_validates);
     ("unregister orphans", `Quick, test_unregister_orphans);
     ("register limit + reuse", `Quick, test_register_limit);
+    ("register/unregister churn reuses records", `Quick, test_register_churn_reuse);
     ("concurrent stress", `Slow, test_concurrent_stress);
   ]

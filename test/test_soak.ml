@@ -1,11 +1,13 @@
-(* Smoke-scale soak: a fixed-seed ~1.6 s run of all four phases with every
+(* Smoke-scale soak: a fixed-seed ~2 s run of all five phases with every
    fault knob enabled (injected trylock failures, delayed-then-reposted
-   wakes, spurious timeouts, FAA/exchange stalls and a frozen producer)
-   against the buffered + blocking queue. The watchdogs — conservation,
-   staleness, the zero-budget final-poll probe and the one-shot starvation
-   contract — must stay silent; the fault counters prove the faults
-   actually fired. The nightly CI job runs the same binary for minutes
-   with a random seed. *)
+   wakes, spurious timeouts, FAA/exchange stalls, a frozen producer, a
+   producer crash without unregister, and handle churn to slot
+   exhaustion) against the buffered + blocking queue. The watchdogs —
+   conservation, staleness, the zero-budget final-poll probe, the
+   one-shot starvation contract and the handle-registry leak check —
+   must stay silent; the fault counters prove the faults actually
+   fired. The nightly CI job runs the same binary for minutes with a
+   random seed. *)
 
 module Soak = Zmsq_harness.Soak
 
@@ -16,7 +18,7 @@ let test_soak_smoke () =
     {
       Soak.default_config with
       Soak.seed = 0x50AC;
-      secs = 1.6;
+      secs = 2.0;
       producers = 2;
       consumers = 2;
       buffer_len = 8;
@@ -25,7 +27,7 @@ let test_soak_smoke () =
   in
   let r = Soak.run cfg in
   check Alcotest.(list string) "no watchdog violations" [] r.Soak.violations;
-  check Alcotest.int "all four phases ran" 4 (List.length r.Soak.phases);
+  check Alcotest.int "all five phases ran" 5 (List.length r.Soak.phases);
   List.iter
     (fun p ->
       check Alcotest.bool
@@ -38,17 +40,55 @@ let test_soak_smoke () =
   check Alcotest.bool "stalls fired" true (stat "stalls" > 0);
   check Alcotest.bool "no delayed wake was dropped" true
     (stat "wakes_delayed" = stat "wakes_reposted");
+  check Alcotest.bool "the producer crash fired" true (stat "crashes" > 0);
+  let reclaimed_of ph =
+    List.fold_left
+      (fun a p -> if p.Soak.phase = ph then a + p.Soak.reclaimed else a)
+      0 r.Soak.phases
+  in
+  check Alcotest.bool "crashed producer's buffer was reclaimed" true
+    (reclaimed_of Soak.Producer_dies >= 1);
+  check Alcotest.bool "handle churn reclaimed orphans" true
+    (reclaimed_of Soak.Handle_churn >= 1);
   let sleeps = List.fold_left (fun a p -> a + p.Soak.ec_sleeps) 0 r.Soak.phases in
   check Alcotest.bool "eventcount sleeps exercised" true (sleeps > 0)
+
+let test_soak_phase_selection () =
+  let cfg =
+    {
+      Soak.default_config with
+      Soak.seed = 0x5E1;
+      secs = 0.4;
+      phases = [ Soak.Producer_dies ];
+    }
+  in
+  let r = Soak.run cfg in
+  check Alcotest.(list string) "no violations" [] r.Soak.violations;
+  check Alcotest.int "one phase ran" 1 (List.length r.Soak.phases);
+  (match Soak.phase_of_name "handle-churn" with
+  | Some Soak.Handle_churn -> ()
+  | _ -> Alcotest.fail "phase_of_name handle-churn");
+  check Alcotest.bool "phase_of_name rejects junk" true
+    (Soak.phase_of_name "nonsense" = None);
+  List.iter
+    (fun p ->
+      match Soak.phase_of_name (Soak.phase_name p) with
+      | Some p' when p' = p -> ()
+      | _ -> Alcotest.fail ("phase_of_name round-trip: " ^ Soak.phase_name p))
+    Soak.all_phases
 
 let test_soak_rejects_bad_config () =
   Alcotest.check_raises "no workers" (Invalid_argument "Soak.run: need workers")
     (fun () -> ignore (Soak.run { Soak.default_config with Soak.producers = 0 }));
   Alcotest.check_raises "no time" (Invalid_argument "Soak.run: secs must be positive")
-    (fun () -> ignore (Soak.run { Soak.default_config with Soak.secs = 0. }))
+    (fun () -> ignore (Soak.run { Soak.default_config with Soak.secs = 0. }));
+  Alcotest.check_raises "no phases"
+    (Invalid_argument "Soak.run: need at least one phase") (fun () ->
+      ignore (Soak.run { Soak.default_config with Soak.phases = [] }))
 
 let suite =
   [
     ("soak smoke under full fault injection", `Slow, test_soak_smoke);
+    ("soak phase selection and naming", `Slow, test_soak_phase_selection);
     ("soak config validation", `Quick, test_soak_rejects_bad_config);
   ]

@@ -243,6 +243,87 @@ let test_eventcount_signal_n_releases_all () =
     (sleeps >= 4);
   check Alcotest.bool "credits fully consumed" true (Eventcount.would_sleep ec)
 
+let test_eventcount_close_wakes_all () =
+  (* Sleepers across several slots; one [close] must release every one of
+     them with no matching inserts, and future waits must not sleep. *)
+  let ec = Eventcount.create ~slots:4 ~spin:1 ~initial:0 () in
+  let doms =
+    List.init 4 (fun _ -> Domain.spawn (fun () -> Eventcount.wait_before_extract ec))
+  in
+  let deadline = Zmsq_util.Timing.now_ns () + 2_000_000_000 in
+  while Eventcount.sleeps ec < 4 && Zmsq_util.Timing.now_ns () < deadline do
+    Unix.sleepf 0.001
+  done;
+  check Alcotest.bool "not closed yet" false (Eventcount.is_closed ec);
+  Eventcount.close ec;
+  List.iter Domain.join doms;
+  check Alcotest.bool "closed" true (Eventcount.is_closed ec);
+  (* Poisoned: the post-close wait returns immediately (bounded by the
+     join above, these would hang forever on a regression). *)
+  let before = Eventcount.sleeps ec in
+  Eventcount.wait_before_extract ec;
+  check Alcotest.int "post-close wait never sleeps" before (Eventcount.sleeps ec);
+  check Alcotest.bool "post-close timed wait immediate" true
+    (Eventcount.wait_before_extract_for ec ~timeout_ns:1_000);
+  check Alcotest.bool "would_sleep false once closed" false (Eventcount.would_sleep ec);
+  Eventcount.close ec (* idempotent *)
+
+(* Satellite: ticket balance under timeout storms — the re-credited-ticket
+   argument from DESIGN.md Section 8, at scale.
+
+   Concurrent half: under a pure timeout storm (no real inserts), a wait
+   may still be released "spuriously" when another waiter's compensating
+   signal covers its ticket. That release consumes exactly one re-credited
+   ticket, so at quiescence the invariants are: releases <= timeouts
+   (credits are only ever re-credits, never invented), every wait
+   accounted for, and [would_sleep] back to true — the storm leaves no
+   phantom credit that would let a later wait skip a real insert. *)
+let test_eventcount_timeout_storm_balance () =
+  let ec = Eventcount.create ~slots:4 ~spin:1 ~initial:0 () in
+  let n_domains = 4 and per = 25 in
+  let n = n_domains * per in
+  let timeouts = Atomic.make 0 and releases = Atomic.make 0 in
+  let doms =
+    Array.init n_domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per do
+              if Eventcount.wait_before_extract_for ec ~timeout_ns:1_000_000 then
+                Atomic.incr releases
+              else Atomic.incr timeouts
+            done))
+  in
+  Array.iter Domain.join doms;
+  let to_ = Atomic.get timeouts and tr = Atomic.get releases in
+  check Alcotest.int "every wait accounted for" n (to_ + tr);
+  check Alcotest.bool "releases never exceed re-credits" true (tr <= to_);
+  check Alcotest.bool "no phantom credit survives the storm" true
+    (Eventcount.would_sleep ec)
+
+(* Deterministic half: sequential timeouts re-credit exactly their own
+   ticket (the compensating signal lands one short of the next ticket), so
+   N timeouts followed by N inserts leaves N credits that N waits then
+   consume without a single sleep — and the balance ends exactly even. *)
+let test_eventcount_timeout_recredit_exact () =
+  let ec = Eventcount.create ~slots:4 ~spin:1 ~initial:0 () in
+  let n = 50 in
+  for _ = 1 to n do
+    check Alcotest.bool "sequential wait times out" false
+      (Eventcount.wait_before_extract_for ec ~timeout_ns:100_000)
+  done;
+  check Alcotest.bool "balanced after timeouts" true (Eventcount.would_sleep ec);
+  for _ = 1 to n do
+    Eventcount.signal_after_insert ec
+  done;
+  check Alcotest.bool "credits visible" false (Eventcount.would_sleep ec);
+  let sleeps_before = Eventcount.sleeps ec in
+  for _ = 1 to n do
+    Eventcount.wait_before_extract ec
+  done;
+  check Alcotest.int "n waits consume n credits without sleeping" sleeps_before
+    (Eventcount.sleeps ec);
+  check Alcotest.bool "exactly consumed: next wait would sleep" true
+    (Eventcount.would_sleep ec)
+
 let lock_suites =
   List.concat_map
     (fun (name, l) ->
@@ -276,4 +357,7 @@ let suite =
       ("eventcount wait_for", `Quick, test_eventcount_wait_for);
       ("eventcount signal_n fast path", `Quick, test_eventcount_signal_n_fast);
       ("eventcount signal_n releases all", `Quick, test_eventcount_signal_n_releases_all);
+      ("eventcount close wakes all sleepers", `Quick, test_eventcount_close_wakes_all);
+      ("eventcount ticket balance under timeout storm", `Quick, test_eventcount_timeout_storm_balance);
+      ("eventcount timeout re-credit exactness", `Quick, test_eventcount_timeout_recredit_exact);
     ]

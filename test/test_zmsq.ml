@@ -650,6 +650,233 @@ let test_buffer_strict_order () =
   check Alcotest.bool "drained" true (Elt.is_none (Q.extract h));
   Q.unregister h
 
+(* {2 Lifecycle: close, drain, orphaned-handle reclamation} *)
+
+let lifecycle_check name want q =
+  let module Q = Zmsq.Default in
+  let show = function
+    | Zmsq.Open -> "open"
+    | Zmsq.Draining -> "draining"
+    | Zmsq.Closed -> "closed"
+  in
+  check Alcotest.string name (show want) (show (Q.lifecycle q))
+
+(* [close] flips the state atomically: inserts fail with [Queue_closed]
+   and admit nothing, while already-published elements stay claimable. *)
+let test_close_rejects_insert () =
+  let module Q = Zmsq.Default in
+  let q = Q.create ~params:(P.static 8) () in
+  let h = Q.register q in
+  Q.insert h (Elt.of_priority 4);
+  Q.insert h (Elt.of_priority 9);
+  lifecycle_check "open before close" Zmsq.Open q;
+  Q.close q;
+  lifecycle_check "closed after close" Zmsq.Closed q;
+  Alcotest.check_raises "insert rejected" Zmsq.Queue_closed (fun () ->
+      Q.insert h (Elt.of_priority 1));
+  check Alcotest.int "rejected element not admitted" 2
+    (Q.length q + Q.Debug.buffered q);
+  check Alcotest.int "published elements survive close" 9
+    (Elt.priority (Q.extract h));
+  check Alcotest.int "all of them" 4 (Elt.priority (Q.extract h));
+  check Alcotest.bool "then empty" true (Elt.is_none (Q.extract h));
+  Q.close q (* idempotent *);
+  Q.unregister h
+
+(* [close] wakes a consumer blocked in [extract_blocking]: it returns
+   [none] (the closed-and-empty outcome) instead of sleeping forever. *)
+let test_close_wakes_blocking_extractor () =
+  let module Q = Zmsq.Default in
+  let params = { (P.static 8) with P.blocking = true } in
+  let q = Q.create ~params () in
+  let consumer =
+    Domain.spawn (fun () ->
+        let h = Q.register q in
+        let v = Q.extract_blocking h in
+        Q.unregister h;
+        Elt.is_none v)
+  in
+  (* Wait until the consumer is actually asleep before closing. *)
+  let rec await_sleeper spins =
+    match Q.Debug.eventcount_stats q with
+    | Some (sleeps, _) when sleeps >= 1 -> ()
+    | _ ->
+        if spins > 10_000_000 then Alcotest.fail "consumer never slept";
+        Domain.cpu_relax ();
+        await_sleeper (spins + 1)
+  in
+  await_sleeper 0;
+  Q.close q;
+  check Alcotest.bool "woken with closed-and-empty" true (Domain.join consumer);
+  lifecycle_check "closed" Zmsq.Closed q
+
+(* [close ~drain:true]: inserts are rejected immediately, extraction
+   stays live until exactly empty — including staged elements — and the
+   observation of emptiness advances the state to [Closed]. *)
+let test_close_drain_exactness () =
+  let module Q = Zmsq.Default in
+  let q = Q.create ~params:(buffered_params ~buffer_len:16 ()) () in
+  let h = Q.register q in
+  Q.insert h (Elt.of_priority 3);
+  Q.insert h (Elt.of_priority 8);
+  Q.insert h (Elt.of_priority 5);
+  (* all three sit under the fill threshold: drain must cover staged too *)
+  check Alcotest.bool "something staged" true (Q.Debug.buffered q > 0);
+  Q.close ~drain:true q;
+  lifecycle_check "draining while nonempty" Zmsq.Draining q;
+  Alcotest.check_raises "insert rejected while draining" Zmsq.Queue_closed
+    (fun () -> Q.insert h (Elt.of_priority 1));
+  (* The owner's extracts drain everything, staged backlog included. *)
+  check Alcotest.int "drain order 1" 8 (Elt.priority (Q.extract h));
+  check Alcotest.int "drain order 2" 5 (Elt.priority (Q.extract h));
+  lifecycle_check "still draining with one element left" Zmsq.Draining q;
+  check Alcotest.int "drain order 3" 3 (Elt.priority (Q.extract h));
+  check Alcotest.bool "exactly empty" true (Elt.is_none (Q.extract h));
+  lifecycle_check "drain completion closed the queue" Zmsq.Closed q;
+  Q.unregister h
+
+(* [close ~drain:true] on an already-empty queue closes immediately, and
+   a blocked consumer drains every element before seeing the closed
+   outcome (conservation across the drain). *)
+let test_drain_handoff_conservation () =
+  let module Q = Zmsq.Default in
+  let params = { (P.static 8) with P.blocking = true } in
+  let q = Q.create ~params () in
+  let n = 1000 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let h = Q.register q in
+        let rec go acc =
+          let e = Q.extract_blocking h in
+          if Elt.is_none e then acc else go (acc + 1)
+        in
+        let got = go 0 in
+        Q.unregister h;
+        got)
+  in
+  let h = Q.register q in
+  for i = 1 to n do
+    Q.insert h (Elt.of_priority i)
+  done;
+  Q.close ~drain:true q;
+  check Alcotest.int "consumer drained every element" n (Domain.join consumer);
+  lifecycle_check "closed once empty" Zmsq.Closed q;
+  Q.unregister h;
+  let q2 = Q.create ~params () in
+  Q.close ~drain:true q2;
+  lifecycle_check "empty drain closes immediately" Zmsq.Closed q2
+
+(* A closed queue turns [extract_timeout] into an immediate [none]
+   rather than a burned deadline; [lifecycle] disambiguates it from a
+   timeout. *)
+let test_extract_timeout_closed_immediate () =
+  let module Q = Zmsq.Default in
+  let params = { (P.static 8) with P.blocking = true } in
+  let q = Q.create ~params () in
+  let h = Q.register q in
+  Q.close q;
+  let t0 = Zmsq_util.Timing.now_ns () in
+  let v = Q.extract_timeout h ~timeout_ns:10_000_000_000 in
+  let elapsed_ns = Zmsq_util.Timing.now_ns () - t0 in
+  check Alcotest.bool "closed-and-empty outcome" true (Elt.is_none v);
+  check Alcotest.bool "returned immediately, not at the deadline" true
+    (elapsed_ns < 2_000_000_000);
+  lifecycle_check "disambiguated as closed" Zmsq.Closed q;
+  check Alcotest.bool "blocking extract also immediate" true
+    (Elt.is_none (Q.extract_blocking h));
+  Q.unregister h
+
+(* Satellite: use-after-unregister fails loudly instead of corrupting
+   recycled buffer/hazard state. *)
+let test_use_after_unregister () =
+  let module Q = Zmsq.Default in
+  let q = Q.create ~params:(buffered_params ()) () in
+  let h = Q.register q in
+  Q.insert h (Elt.of_priority 1);
+  Q.unregister h;
+  Alcotest.check_raises "insert after unregister"
+    (Invalid_argument "Zmsq.insert: handle was unregistered") (fun () ->
+      Q.insert h (Elt.of_priority 2));
+  Alcotest.check_raises "extract after unregister"
+    (Invalid_argument "Zmsq.extract: handle was unregistered") (fun () ->
+      ignore (Q.extract h));
+  Alcotest.check_raises "flush after unregister"
+    (Invalid_argument "Zmsq.flush: handle was unregistered") (fun () ->
+      Q.flush h);
+  Alcotest.check_raises "double unregister"
+    (Invalid_argument "Zmsq.unregister: handle already unregistered") (fun () ->
+      Q.unregister h)
+
+(* The scavenger: an orphaned handle's staged backlog is published, its
+   registry slot released, and any further use of the dead handle raises. *)
+let test_orphan_reclaim_publishes () =
+  let module Q = Zmsq.Default in
+  let q = Q.create ~params:(buffered_params ()) () in
+  let dead = Q.register q in
+  let live = Q.register q in
+  Q.insert dead (Elt.of_priority 42);
+  check Alcotest.int "backlog staged" 1 (Q.Debug.buffered q);
+  check Alcotest.int "two live handles" 2 (Q.Debug.live_handles q);
+  Q.orphan dead;
+  check Alcotest.bool "orphaned" true (Q.handle_state dead = Zmsq.Orphaned);
+  check Alcotest.int "scavenger published the backlog" 1 (Q.reclaim_orphans q);
+  check Alcotest.bool "reclaimed" true (Q.handle_state dead = Zmsq.Reclaimed);
+  check Alcotest.int "nothing staged" 0 (Q.Debug.buffered q);
+  check Alcotest.int "registry slot released" 1 (Q.Debug.live_handles q);
+  check Alcotest.int "element recovered" 42 (Elt.priority (Q.extract live));
+  let c = Q.Debug.counters q in
+  check Alcotest.int "reclaim counted" 1 c.Zmsq.orphan_reclaims;
+  Alcotest.check_raises "dead handle unusable"
+    (Invalid_argument "Zmsq.insert: handle was orphaned and reclaimed")
+    (fun () -> Q.insert dead (Elt.of_priority 1));
+  Alcotest.check_raises "dead handle not unregisterable"
+    (Invalid_argument "Zmsq.unregister: handle was orphaned and reclaimed")
+    (fun () -> Q.unregister dead);
+  check Alcotest.int "idempotent scavenge" 0 (Q.reclaim_orphans q);
+  Q.unregister live
+
+(* An owner wrongly presumed dead resurrects its handle on its next
+   operation; the scavenger then finds nothing to claim. *)
+let test_orphan_resurrection () =
+  let module Q = Zmsq.Default in
+  let q = Q.create ~params:(buffered_params ()) () in
+  let h = Q.register q in
+  Q.insert h (Elt.of_priority 6);
+  Q.orphan h;
+  check Alcotest.bool "orphaned" true (Q.handle_state h = Zmsq.Orphaned);
+  (* the owner turns out to be alive: its next op wins the CAS race *)
+  Q.insert h (Elt.of_priority 2);
+  check Alcotest.bool "resurrected" true (Q.handle_state h = Zmsq.Live);
+  check Alcotest.int "nothing for the scavenger" 0 (Q.reclaim_orphans q);
+  check Alcotest.int "handle still registered" 1 (Q.Debug.live_handles q);
+  Q.flush h;
+  check Alcotest.int "owner's elements intact" 6 (Elt.priority (Q.extract h));
+  check Alcotest.int "all of them" 2 (Elt.priority (Q.extract h));
+  Q.unregister h;
+  check Alcotest.int "orphan is a no-op on non-live handles" 0
+    (Q.reclaim_orphans q)
+
+(* The piggyback: a consumer that finds the tree empty while a dead
+   producer holds the only elements scavenges the orphan inline rather
+   than reporting a spurious empty. *)
+let test_extract_piggyback_reclaim () =
+  let module Q = Zmsq.Default in
+  let q = Q.create ~params:(buffered_params ()) () in
+  let dead = Q.register q in
+  let consumer = Q.register q in
+  Q.insert dead (Elt.of_priority 11);
+  Q.orphan dead;
+  (* no explicit reclaim_orphans: extract must do it *)
+  check Alcotest.int "extract scavenged the dead producer's backlog" 11
+    (Elt.priority (Q.extract consumer));
+  check Alcotest.bool "dead handle reclaimed" true
+    (Q.handle_state dead = Zmsq.Reclaimed);
+  let c = Q.Debug.counters q in
+  check Alcotest.int "piggybacked reclaim counted" 1 c.Zmsq.orphan_reclaims;
+  check Alcotest.bool "queue now truly empty" true
+    (Elt.is_none (Q.extract consumer));
+  Q.unregister consumer
+
 let mk name f = (name, `Quick, f)
 
 let suite =
@@ -703,5 +930,14 @@ let suite =
     mk "buffer demand covers current insert" test_buffer_demand_covers_current_insert;
     mk "buffer_len=0 inert" test_buffer_zero_inert;
     mk "buffer strict order" test_buffer_strict_order;
+    mk "close rejects insert" test_close_rejects_insert;
+    mk "close wakes blocking extractor" test_close_wakes_blocking_extractor;
+    mk "close drain exactness" test_close_drain_exactness;
+    ("drain handoff conservation", `Slow, test_drain_handoff_conservation);
+    mk "extract_timeout on closed queue" test_extract_timeout_closed_immediate;
+    mk "use after unregister" test_use_after_unregister;
+    mk "orphan reclaim publishes backlog" test_orphan_reclaim_publishes;
+    mk "orphan resurrection" test_orphan_resurrection;
+    mk "extract piggybacks orphan reclaim" test_extract_piggyback_reclaim;
   ]
   @ concurrent_matrix @ concurrent_buffered
