@@ -258,6 +258,56 @@ let spawn_mixed_workers q ~threads ~ops ~finished =
           DQ.unregister h;
           Atomic.incr finished))
 
+(* {2 The --watch dashboard}
+
+   Full-screen rendering of one snapshot per tick: counters become
+   per-second rates (delta against the previous snapshot over the
+   snapshot-timestamp delta), gauges print as-is, histograms get the
+   p50/p99/p999/max tail columns. Plain ANSI, no dependencies. *)
+let render_watch ~elapsed ~prev (snap : Zmsq_obs.Metrics.snapshot) =
+  let module H = Zmsq_util.Stats.Histogram in
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  (* Rate denominator from the snapshots' own monotonic timestamps. *)
+  let dt =
+    match prev with
+    | None -> 0.0
+    | Some (p : Zmsq_obs.Metrics.snapshot) ->
+        float_of_int (snap.Zmsq_obs.Metrics.taken_ns - p.Zmsq_obs.Metrics.taken_ns) /. 1e9
+  in
+  let prev_counter name =
+    match prev with
+    | None -> 0
+    | Some p -> ( match List.assoc_opt name p.Zmsq_obs.Metrics.counters with
+                  | Some v -> v
+                  | None -> 0)
+  in
+  line "zmsq stats --watch   elapsed %6.1fs" elapsed;
+  line "";
+  line "%-32s %14s %12s" "COUNTER" "total" "rate/s";
+  List.iter
+    (fun (name, v) ->
+      let rate = if dt > 0.0 then float_of_int (v - prev_counter name) /. dt else 0.0 in
+      line "%-32s %14d %12.0f" name v rate)
+    snap.Zmsq_obs.Metrics.counters;
+  line "";
+  line "%-32s %14s" "GAUGE" "value";
+  List.iter (fun (name, v) -> line "%-32s %14d" name v) snap.Zmsq_obs.Metrics.gauges;
+  if snap.Zmsq_obs.Metrics.hists <> [] then begin
+    line "";
+    line "%-20s %10s %10s %10s %10s %10s %10s" "HISTOGRAM" "count" "mean" "p50" "p99" "p999"
+      "max";
+    List.iter
+      (fun (name, h) ->
+        line "%-20s %10d %10.0f %10.0f %10.0f %10.0f %10.0f" name (H.count h) (H.mean h)
+          (H.percentile h 50.0) (H.percentile h 99.0) (H.p999 h) (H.max_value h))
+      snap.Zmsq_obs.Metrics.hists
+  end;
+  (* Clear screen + home, then the frame in one write to avoid flicker. *)
+  print_string "\027[2J\027[H";
+  print_string (Buffer.contents buf);
+  flush stdout
+
 let stats_cmd =
   let ops = Arg.(value & opt int 1_000_000 & info [ "ops" ] ~docv:"N" ~doc:"Total operations.") in
   let interval =
@@ -276,15 +326,25 @@ let stats_cmd =
     Arg.(value & flag
          & info [ "full" ] ~doc:"Obs level Full: latency histograms and trace ring, not just counters.")
   in
-  let run threads batch target_len buffer_len ops interval jsonl prom full =
-    let obs = if full then Zmsq_obs.Level.Full else Zmsq_obs.Level.Counters in
+  let watch =
+    Arg.(value & flag
+         & info [ "watch" ]
+             ~doc:"Live full-screen dashboard per tick (rates, gauges, p50/p99/p999/max columns) \
+                   instead of one brief line. Implies $(b,--full) so the tail columns fill.")
+  in
+  let run threads batch target_len buffer_len ops interval jsonl prom full watch =
+    let obs = if full || watch then Zmsq_obs.Level.Full else Zmsq_obs.Level.Counters in
     let q = DQ.create ~params:(zmsq_params ~batch ~target_len ~buffer_len ~obs) () in
     let finished = Atomic.make 0 in
     let t0 = Unix.gettimeofday () in
     let doms = spawn_mixed_workers q ~threads ~ops ~finished in
+    let prev = ref None in
     let report () =
       let snap = Zmsq_obs.Metrics.snapshot (DQ.metrics q) in
-      Printf.printf "[%6.2fs] %s\n%!" (Unix.gettimeofday () -. t0) (Zmsq_obs.Export.brief snap);
+      let elapsed = Unix.gettimeofday () -. t0 in
+      if watch then render_watch ~elapsed ~prev:!prev snap
+      else Printf.printf "[%6.2fs] %s\n%!" elapsed (Zmsq_obs.Export.brief snap);
+      prev := Some snap;
       (match jsonl with Some p -> Zmsq_obs.Export.append_jsonl ~path:p snap | None -> ());
       snap
     in
@@ -298,14 +358,14 @@ let stats_cmd =
     | Some p ->
         let path = Zmsq_obs.Export.write_file ~path:p (Zmsq_obs.Export.prometheus snap) in
         Printf.printf "prometheus exposition: %s\n" path
-    | None -> print_string (Zmsq_obs.Export.prometheus snap)
+    | None -> if not watch then print_string (Zmsq_obs.Export.prometheus snap)
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run a mixed workload while periodically printing live metric snapshots")
     Term.(
       const run $ threads_arg $ batch_arg $ target_len_arg $ buffer_len_arg $ ops $ interval
-      $ jsonl $ prom $ full)
+      $ jsonl $ prom $ full $ watch)
 
 let trace_cmd =
   let ops = Arg.(value & opt int 200_000 & info [ "ops" ] ~docv:"N" ~doc:"Total operations.") in
@@ -314,9 +374,13 @@ let trace_cmd =
          & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Chrome trace destination.")
   in
   let run threads batch target_len buffer_len ops out =
-    let q =
-      DQ.create ~params:(zmsq_params ~batch ~target_len ~buffer_len ~obs:Zmsq_obs.Level.Full) ()
+    (* Shift 0: per-op spans on every operation — a trace capture wants
+       density, not the production sampling rate. *)
+    let params =
+      zmsq_params ~batch ~target_len ~buffer_len ~obs:Zmsq_obs.Level.Full
+      |> Zmsq.Params.with_obs_sample 0
     in
+    let q = DQ.create ~params () in
     let finished = Atomic.make 0 in
     let doms = spawn_mixed_workers q ~threads ~ops ~finished in
     List.iter Domain.join doms;

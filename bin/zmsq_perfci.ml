@@ -1,0 +1,124 @@
+(* Per-PR perf-regression gate (see lib/harness/perfci.mli).
+
+   Runs the fixed-shape suite, writes the schema-versioned BENCH_pr6.json
+   report, compares against the committed results/perf-baseline.json, and
+   exits 1 when any experiment regresses past its threshold (or exceeds
+   its absolute limit, e.g. the <= 5% full-observability overhead cap).
+   --bless rewrites the baseline from this run instead of comparing. *)
+
+module Perfci = Zmsq_harness.Perfci
+module Json = Zmsq_obs.Json
+
+let usage () =
+  prerr_endline
+    "usage: zmsq_perfci [--out FILE] [--baseline FILE] [--scale F] [--only ID[,ID...]]\n\
+    \                   [--bless] [--no-compare] [--list]\n\
+     Fixed-shape perf runs gated against results/perf-baseline.json.\n\
+     --scale multiplies op counts (default $ZMSQ_PERFCI_SCALE or 1.0);\n\
+     --bless rewrites the baseline from this run's results;\n\
+     --only restricts to a comma-separated subset of experiment ids.";
+  exit 2
+
+let () =
+  let out = ref "BENCH_pr6.json" in
+  let baseline = ref "results/perf-baseline.json" in
+  let scale =
+    ref
+      (match Sys.getenv_opt "ZMSQ_PERFCI_SCALE" with
+      | Some s -> ( match float_of_string_opt s with Some f when f > 0.0 -> f | _ -> 1.0)
+      | None -> 1.0)
+  in
+  let only = ref None in
+  let bless = ref false in
+  let compare = ref true in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | "--baseline" :: v :: rest ->
+        baseline := v;
+        parse rest
+    | "--scale" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f > 0.0 -> scale := f
+        | _ ->
+            Printf.eprintf "zmsq_perfci: bad --scale %S\n%!" v;
+            usage ());
+        parse rest
+    | "--only" :: v :: rest ->
+        let ids = List.map String.trim (String.split_on_char ',' v) in
+        let known = Perfci.experiment_ids () in
+        List.iter
+          (fun id ->
+            if not (List.mem id known) then begin
+              Printf.eprintf "zmsq_perfci: unknown experiment %S (see --list)\n%!" id;
+              usage ()
+            end)
+          ids;
+        only := Some ids;
+        parse rest
+    | "--bless" :: rest ->
+        bless := true;
+        parse rest
+    | "--no-compare" :: rest ->
+        compare := false;
+        parse rest
+    | "--list" :: _ ->
+        List.iter print_endline (Perfci.experiment_ids ());
+        exit 0
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: _ ->
+        Printf.eprintf "zmsq_perfci: unknown argument %S\n%!" arg;
+        usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let filter = match !only with None -> fun _ -> true | Some ids -> fun id -> List.mem id ids in
+  Printf.printf "zmsq_perfci: scale=%g baseline=%s\n%!" !scale !baseline;
+  let results = Perfci.run_all ~only:filter ~scale:!scale () in
+  List.iter
+    (fun r ->
+      Printf.printf "  %-24s %12.4f %-7s (%.1fs)\n%!" r.Perfci.id r.Perfci.value r.Perfci.unit_
+        r.Perfci.wall_seconds)
+    results;
+  if !bless then begin
+    let path =
+      Zmsq_obs.Export.write_file ~path:!baseline (Json.to_string (Perfci.baseline_json results))
+    in
+    Printf.printf "zmsq_perfci: blessed baseline -> %s\n%!" path
+  end;
+  let comparisons =
+    if (not !compare) || !bless then None
+    else begin
+      match Perfci.load_baseline !baseline with
+      | Error msg ->
+          Printf.eprintf "zmsq_perfci: %s (run with --bless to create it)\n%!" msg;
+          exit 2
+      | Ok base -> Some (Perfci.compare_all base results)
+    end
+  in
+  let report =
+    Perfci.report_json ~scale:!scale ~baseline_file:!baseline ~results ~comparisons
+  in
+  let path = Zmsq_obs.Export.write_file ~path:!out (Json.to_string report) in
+  Printf.printf "zmsq_perfci: report -> %s\n%!" path;
+  match comparisons with
+  | None -> ()
+  | Some cs ->
+      let fmt_delta c =
+        match c.Perfci.cmp_delta_pct with
+        | None -> "(no baseline)"
+        | Some d -> Printf.sprintf "%+.1f%% vs baseline (threshold %.0f%%)" d c.Perfci.cmp_threshold_pct
+      in
+      List.iter
+        (fun c ->
+          Printf.printf "  %-24s %s %s\n%!" c.Perfci.cmp_id
+            (if c.Perfci.cmp_ok then "ok  " else "FAIL")
+            (fmt_delta c))
+        cs;
+      let regressions = List.filter (fun c -> not c.Perfci.cmp_ok) cs in
+      if regressions <> [] then begin
+        Printf.eprintf "zmsq_perfci: %d experiment(s) regressed past threshold\n%!"
+          (List.length regressions);
+        exit 1
+      end

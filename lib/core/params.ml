@@ -14,6 +14,7 @@ type t = {
   forced_min_level : int;
   buffer_len : int;
   obs : Zmsq_obs.Level.t;
+  obs_sample_shift : int;
 }
 
 let default =
@@ -31,6 +32,7 @@ let default =
     forced_min_level = 3;
     buffer_len = 0;
     obs = Zmsq_obs.Level.from_env ();
+    obs_sample_shift = Zmsq_util.Env.int "ZMSQ_OBS_SAMPLE" ~default:8;
   }
 
 let validate p =
@@ -42,6 +44,8 @@ let validate p =
   if p.buffer_len < 0 then invalid_arg "Params: buffer_len must be >= 0";
   if p.buffer_len > p.target_len then
     invalid_arg "Params: buffer_len must be <= target_len";
+  if p.obs_sample_shift < 0 || p.obs_sample_shift > 30 then
+    invalid_arg "Params: obs_sample_shift out of range [0, 30]";
   p
 
 let strict = { default with batch = 0 }
@@ -60,6 +64,7 @@ let with_batch batch p = validate { p with batch }
 let with_target_len target_len p = validate { p with target_len }
 let with_buffer_len buffer_len p = validate { p with buffer_len }
 let with_obs obs p = { p with obs }
+let with_obs_sample obs_sample_shift p = validate { p with obs_sample_shift }
 
 let pp fmt p =
   Format.fprintf fmt "batch=%d target_len=%d lock=%s%s%s%s obs=%s" p.batch p.target_len

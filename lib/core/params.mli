@@ -52,6 +52,12 @@ type t = {
           counters only — the default, near-zero cost), or [Full] (latency
           histograms + trace-event ring). Defaults from the [ZMSQ_OBS]
           environment variable; see OBSERVABILITY.md. *)
+  obs_sample_shift : int;
+      (** QoS sampling rate at the [Full] level: each extract (and insert,
+          for sojourn probes) is sampled with probability [1 / 2^shift].
+          [0] samples every operation; the range is [[0, 30]]. Defaults
+          from [ZMSQ_OBS_SAMPLE] (the shift, not the probability), falling
+          back to [8], i.e. 1/256. Ignored below [Full]. *)
 }
 
 val default : t
@@ -84,5 +90,8 @@ val with_buffer_len : int -> t -> t
     if it exceeds [target_len]). [0] disables buffering. *)
 
 val with_obs : Zmsq_obs.Level.t -> t -> t
+
+val with_obs_sample : int -> t -> t
+(** Sets {!field-obs_sample_shift} (re-validating the [[0, 30]] range). *)
 
 val pp : Format.formatter -> t -> unit

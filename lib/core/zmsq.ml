@@ -132,6 +132,8 @@ struct
     c_buf_flush_manual : Metrics.counter;
     c_buf_flush_reclaim : Metrics.counter;
     c_orphan_reclaims : Metrics.counter;
+    c_qos_samples : Metrics.counter;
+    c_qos_relaxed : Metrics.counter;
   }
 
   type mhists = {
@@ -141,6 +143,9 @@ struct
     h_helper : Metrics.histogram;
     h_flush : Metrics.histogram;
     h_reclaim : Metrics.histogram;
+    h_rank_gap : Metrics.histogram;
+    h_rank_err : Metrics.histogram;
+    h_sojourn : Metrics.histogram;
   }
 
   (* Lifecycle states, packed into one atomic int. *)
@@ -175,6 +180,11 @@ struct
     hp : tnode Hazard.t option; (* None in leaky mode *)
     obs_on : bool; (* params.obs <> Off, hoisted for the hot paths *)
     obs_full : bool; (* params.obs = Full *)
+    sample_mask : int; (* (1 lsl obs_sample_shift) - 1; QoS sampling at Full *)
+    probe_key : Elt.t Atomic.t array; (* sojourn probes: sampled in-flight keys *)
+    probe_ts : int Atomic.t array; (* insert timestamp per armed probe *)
+    probe_armed : int Atomic.t; (* armed probe count: extract's one-read gate *)
+    drain_t0 : int Atomic.t; (* Draining-entry timestamp for the Drain span *)
     metrics : Metrics.t;
     mc : mcounters;
     mh : mhists;
@@ -199,6 +209,11 @@ struct
   let exact_emptiness = true
 
   let handle_seed = Atomic.make 0x2A5C
+
+  (* Sojourn probes: a small fixed pool of (key, insert-timestamp) pairs.
+     Elements are packed ints with no room for a timestamp, so sampled
+     inserts arm a probe instead and the matching extract reads its age. *)
+  let nprobes = 8
 
   let create ?(params = Params.default) () =
     let params = Params.validate params in
@@ -229,6 +244,11 @@ struct
            else Some (Hazard.create ~slots_per_thread:3 ~recycle:(fun (_ : tnode) -> ()) ()));
         obs_on = Obs_level.counting params.obs;
         obs_full = Obs_level.tracing params.obs;
+        sample_mask = (1 lsl params.obs_sample_shift) - 1;
+        probe_key = Array.init nprobes (fun _ -> Atomic.make Elt.none);
+        probe_ts = Array.init nprobes (fun _ -> Atomic.make 0);
+        probe_armed = Atomic.make 0;
+        drain_t0 = Atomic.make 0;
         metrics;
         mc =
           {
@@ -249,6 +269,8 @@ struct
             c_buf_flush_manual = Metrics.counter metrics "buf_flush_manual_total";
             c_buf_flush_reclaim = Metrics.counter metrics "buf_flush_reclaim_total";
             c_orphan_reclaims = Metrics.counter metrics "orphans_reclaimed_total";
+            c_qos_samples = Metrics.counter metrics "qos_samples_total";
+            c_qos_relaxed = Metrics.counter metrics "qos_relaxed_total";
           };
         mh =
           {
@@ -258,6 +280,9 @@ struct
             h_helper = Metrics.histogram metrics "helper_pass_ns";
             h_flush = Metrics.histogram metrics "buf_flush_ns";
             h_reclaim = Metrics.histogram metrics "reclaim_flush_ns";
+            h_rank_gap = Metrics.histogram metrics "rank_gap_keys";
+            h_rank_err = Metrics.histogram metrics "rank_error_sampled";
+            h_sojourn = Metrics.histogram metrics "sojourn_ns";
           };
         tr = (if Obs_level.tracing params.obs then Some (Trace.create ()) else None);
       }
@@ -270,6 +295,24 @@ struct
     Metrics.gauge metrics "buffered" (fun () -> Atomic.get q.buffered);
     (* 0 = open, 1 = draining, 2 = closed. *)
     Metrics.gauge metrics "closed" (fun () -> Atomic.get q.state);
+    (* Age of the oldest armed sojourn probe: how long the oldest sampled
+       in-flight element has been waiting. 0 when nothing is armed. *)
+    Metrics.gauge metrics "staleness_ns" (fun () ->
+        if Atomic.get q.probe_armed = 0 then 0
+        else begin
+          let now = Zmsq_util.Timing.now_ns () in
+          let oldest = ref 0 in
+          for i = 0 to nprobes - 1 do
+            if not (Elt.is_none (Atomic.get q.probe_key.(i))) then begin
+              let age = now - Atomic.get q.probe_ts.(i) in
+              if age > !oldest then oldest := age
+            end
+          done;
+          !oldest
+        end);
+    (match q.tr with
+    | Some tr -> Metrics.gauge metrics "trace_dropped_events_total" (fun () -> Trace.dropped tr)
+    | None -> ());
     q
 
   let params t = t.params
@@ -301,12 +344,22 @@ struct
      poisons the eventcount so every blocked extractor observes the
      closed-and-empty outcome. Returns true when the queue is (now)
      closed. *)
+  (* Close the Drain span opened when the queue entered [Draining]; called
+     by whichever thread wins the Draining -> Closed transition. *)
+  let note_drain_end q =
+    match q.tr with
+    | None -> ()
+    | Some tr ->
+        let t0 = Atomic.get q.drain_t0 in
+        if t0 > 0 then Trace.complete tr ~t0 Trace.Drain
+
   let try_finish_drain q =
     Atomic.get q.buffered = 0
     && Atomic.get q.size = 0
     &&
     if Atomic.compare_and_set q.state st_draining st_closed then begin
       note q Trace.Close;
+      note_drain_end q;
       broadcast q;
       true
     end
@@ -326,12 +379,14 @@ struct
       if not drain then
         if Atomic.compare_and_set q.state st_draining st_closed then begin
           note q Trace.Close;
+          note_drain_end q;
           broadcast q
         end
         else close ~drain q
     end
     else begin
       let target = if drain then st_draining else st_closed in
+      if drain then Atomic.set q.drain_t0 (Zmsq_util.Timing.now_ns ());
       if Atomic.compare_and_set q.state st_open target then begin
         note q Trace.Close;
         if drain then ignore (try_finish_drain q) else broadcast q
@@ -813,7 +868,9 @@ struct
           else h.buf_target <- max minimum (h.buf_target - 1));
       (match reason with Demand -> Atomic.set q.flush_demand false | _ -> ());
       tick q (flush_counter q reason);
-      (match q.tr with Some tr -> Trace.instant tr ~arg:n Trace.Buf_flush | None -> ());
+      (* [tr] is populated iff obs_full, when [t0] was measured: the span
+         reuses that clock reading as its begin timestamp. *)
+      (match q.tr with Some tr -> Trace.complete tr ~arg:n ~t0 Trace.Buf_flush | None -> ());
       if q.obs_full then
         Metrics.observe q.mh.h_flush (float_of_int (Zmsq_util.Timing.now_ns () - t0));
       match q.ec with
@@ -893,26 +950,114 @@ struct
           Option.iter Hazard.unregister h.hp_thread;
           forget_handle q h;
           tick q q.mc.c_orphan_reclaims;
-          (match q.tr with Some tr -> Trace.instant tr ~arg:n Trace.Reclaim | None -> ());
+          (match q.tr with Some tr -> Trace.complete tr ~arg:n ~t0 Trace.Reclaim | None -> ());
           if q.obs_full then
             Metrics.observe q.mh.h_reclaim (float_of_int (Zmsq_util.Timing.now_ns () - t0))
         end)
       candidates;
     !published
 
+  (* {2 QoS sampling (DESIGN.md: online relaxation-quality estimator)}
+
+     At the [Full] level, 1 in [2^obs_sample_shift] operations (per handle,
+     decided by the handle's own rng) feeds three estimators:
+
+     - sampled inserts arm a sojourn probe — the matching extract records
+       the element's insert-to-extract age in [sojourn_ns];
+     - sampled extracts capture the staged witness ([best_staged]) before
+       extracting and record the priority gap in [rank_gap_keys] plus a
+       pool-scan rank lower bound in [rank_error_sampled];
+     - the [staleness_ns] gauge reports the oldest armed probe's age.
+
+     Unsampled operations pay one branch (insert) or one branch plus one
+     atomic read of [probe_armed] (extract). *)
+
+  let[@inline] qos_sampled q h = q.obs_full && Rng.bits h.rng land q.sample_mask = 0
+
+  (* Arm a sojourn probe for [e]: write the timestamp, then publish the key
+     with a CAS on a free slot. A concurrent armer racing the same slot can
+     leave its own (nanoseconds-apart) timestamp under our key — harmless
+     for telemetry. All slots busy drops the sample. *)
+  let arm_probe q e =
+    let now = Zmsq_util.Timing.now_ns () in
+    let rec go i =
+      if i < nprobes then
+        if Elt.is_none (Atomic.get q.probe_key.(i)) then begin
+          Atomic.set q.probe_ts.(i) now;
+          if Atomic.compare_and_set q.probe_key.(i) Elt.none e then Atomic.incr q.probe_armed
+          else go (i + 1)
+        end
+        else go (i + 1)
+    in
+    go 0
+
+  (* Probe lookup on the extract side. Matching is by element value, so a
+     duplicate of a probed element can resolve the probe early — the
+     recorded sojourn is then a lower bound; acceptable for a sampled
+     telemetry histogram. *)
+  let check_probe q v =
+    if Atomic.get q.probe_armed > 0 then
+      for i = 0 to nprobes - 1 do
+        if Atomic.get q.probe_key.(i) == v && Atomic.compare_and_set q.probe_key.(i) v Elt.none
+        then begin
+          Atomic.decr q.probe_armed;
+          let age = Zmsq_util.Timing.now_ns () - Atomic.get q.probe_ts.(i) in
+          Metrics.observe q.mh.h_sojourn (float_of_int (max age 0))
+        end
+      done
+
+  (* Count the published elements provably stronger than the extracted key:
+     still-claimable pool entries above it (the pool is ascending in
+     [0, pool_next], so scan down from the strongest) plus the root's
+     cached max. A cheap lower bound on the true rank error — it ignores
+     deeper tree nodes and other handles' buffers — and by construction
+     never exceeds [batch + 1], i.e. it always sits inside the
+     [batch + ndomains * buffer_len] relaxation bound. *)
+  let rank_proxy q v =
+    let n = ref 0 in
+    if Atomic.get (node_at q 0 0).max > v then incr n;
+    if q.params.batch > 0 then begin
+      let i = ref (min (Atomic.get q.pool_next) (Array.length q.pool - 1)) in
+      let scanning = ref true in
+      while !scanning && !i >= 0 do
+        if Atomic.get q.pool.(!i) > v then begin
+          incr n;
+          decr i
+        end
+        else scanning := false
+      done
+    end;
+    !n
+
+  let qos_record q v witness =
+    tick q q.mc.c_qos_samples;
+    if witness > v then begin
+      tick q q.mc.c_qos_relaxed;
+      Metrics.observe q.mh.h_rank_gap (float_of_int (Elt.priority witness - Elt.priority v))
+    end
+    else Metrics.observe q.mh.h_rank_gap 0.0;
+    Metrics.observe q.mh.h_rank_err (float_of_int (rank_proxy q v))
+
   let insert h e =
     if Elt.is_none e then invalid_arg "Zmsq.insert: none";
     ensure_owner h "Zmsq.insert";
     let q = h.q in
     if Atomic.get q.state <> st_open then raise Queue_closed;
+    (* One sampling draw decides all per-op telemetry — the sojourn probe,
+       the latency histogram and the trace span — so the unsampled Full
+       path costs a single rng advance over Counters (the batch-level
+       spans: refill/flush/drain/reclaim stay exhaustive). Set
+       obs_sample_shift to 0 for per-op-complete histograms and traces. *)
+    let sampled = qos_sampled q h in
+    if sampled then arm_probe q e;
     if q.buffer_on then buf_insert h e
-    else if not q.obs_full then insert_aux h e
+    else if not sampled then insert_aux h e
     else begin
-      (match q.tr with Some tr -> Trace.span_begin tr Trace.Insert | None -> ());
       let t0 = Zmsq_util.Timing.now_ns () in
       insert_aux h e;
-      Metrics.observe q.mh.h_insert (float_of_int (Zmsq_util.Timing.now_ns () - t0));
-      match q.tr with Some tr -> Trace.span_end tr Trace.Insert | None -> ()
+      let dur = Zmsq_util.Timing.now_ns () - t0 in
+      Metrics.observe q.mh.h_insert (float_of_int dur);
+      match q.tr with Some tr -> Trace.complete tr ~dur ~t0 Trace.Insert | None -> ()
     end
 
   (* {2 Extraction (Listing 2)} *)
@@ -997,7 +1142,7 @@ struct
       swap_down q 0 0 root;
       if q.obs_full then begin
         Metrics.observe q.mh.h_refill (float_of_int (Zmsq_util.Timing.now_ns () - t0));
-        match q.tr with Some tr -> Trace.instant tr ~arg:n Trace.Refill | None -> ()
+        match q.tr with Some tr -> Trace.complete tr ~arg:n ~t0 Trace.Refill | None -> ()
       end;
       reserved
     end
@@ -1094,12 +1239,26 @@ struct
     ensure_owner h "Zmsq.extract";
     let q = h.q in
     if not q.obs_full then extract_aux h
+    else if Rng.bits h.rng land q.sample_mask <> 0 then begin
+      (* Unsampled Full extract: probe resolution only (one gated atomic
+         read) — no clock, histogram or span cost. *)
+      let v = extract_aux h in
+      if not (Elt.is_none v) then check_probe q v;
+      v
+    end
     else begin
-      (match q.tr with Some tr -> Trace.span_begin tr Trace.Extract | None -> ());
+      (* The witness must be read *before* the extraction: it bounds what a
+         perfectly strict extract could have returned at entry. *)
+      let witness = best_staged q in
       let t0 = Zmsq_util.Timing.now_ns () in
       let v = extract_aux h in
-      Metrics.observe q.mh.h_extract (float_of_int (Zmsq_util.Timing.now_ns () - t0));
-      (match q.tr with Some tr -> Trace.span_end tr Trace.Extract | None -> ());
+      let dur = Zmsq_util.Timing.now_ns () - t0 in
+      Metrics.observe q.mh.h_extract (float_of_int dur);
+      (match q.tr with Some tr -> Trace.complete tr ~dur ~t0 Trace.Extract | None -> ());
+      if not (Elt.is_none v) then begin
+        check_probe q v;
+        qos_record q v witness
+      end;
       v
     end
 

@@ -174,6 +174,10 @@ let fig4 () =
           Table.cell_f block.Handoff.mean_latency_ns;
           Table.cell_f spin.Handoff.p99_latency_ns;
           Table.cell_f block.Handoff.p99_latency_ns;
+          Table.cell_f spin.Handoff.p999_latency_ns;
+          Table.cell_f block.Handoff.p999_latency_ns;
+          Table.cell_f spin.Handoff.max_latency_ns;
+          Table.cell_f block.Handoff.max_latency_ns;
           Table.cell_i block.Handoff.sleeps;
         ])
       runs
@@ -197,7 +201,19 @@ let fig4 () =
           Printf.sprintf "%d producers, %d handoffs, zmsq batch=32, empty start" producers handoffs;
           "values: ns per handoff (insert -> successful extract)";
         ]
-      ~header:[ "consumers"; "spin mean"; "block mean"; "spin p99"; "block p99"; "futex sleeps" ]
+      ~header:
+        [
+          "consumers";
+          "spin mean";
+          "block mean";
+          "spin p99";
+          "block p99";
+          "spin p999";
+          "block p999";
+          "spin max";
+          "block max";
+          "futex sleeps";
+        ]
       lat_rows;
     Table.make ~id:"fig4b" ~title:"CPU time: spin vs block"
       ~notes:[ "values: process CPU seconds (user+sys) for the whole transfer" ]

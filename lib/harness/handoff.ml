@@ -10,6 +10,8 @@ type spec = { producers : int; consumers : int; handoffs : int; batch : int; see
 type result = {
   mean_latency_ns : float;
   p99_latency_ns : float;
+  p999_latency_ns : float;
+  max_latency_ns : float;
   wall_seconds : float;
   cpu_seconds : float;
   sleeps : int;
@@ -101,6 +103,8 @@ let run mode spec =
   {
     mean_latency_ns = Zmsq_util.Stats.Histogram.mean hist;
     p99_latency_ns = Zmsq_util.Stats.Histogram.percentile hist 99.0;
+    p999_latency_ns = Zmsq_util.Stats.Histogram.p999 hist;
+    max_latency_ns = Zmsq_util.Stats.Histogram.max_value hist;
     wall_seconds = wall;
     cpu_seconds = cpu1 -. cpu0;
     sleeps;

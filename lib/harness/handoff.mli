@@ -14,6 +14,8 @@ type spec = { producers : int; consumers : int; handoffs : int; batch : int; see
 type result = {
   mean_latency_ns : float;
   p99_latency_ns : float;
+  p999_latency_ns : float;
+  max_latency_ns : float;  (** exact maximum (the histogram tracks it unbucketed) *)
   wall_seconds : float;
   cpu_seconds : float;
   sleeps : int;  (** futex waits (Block mode) *)

@@ -1,0 +1,63 @@
+(** Fixed-shape, fixed-seed performance experiments for the per-PR
+    regression CI (driven by [bin/zmsq_perfci]).
+
+    The suite runs a pinned subset of the registry's shapes — fig5a
+    throughput, the fig4 blocking handoff, the insert-buffer experiment —
+    plus a single-thread roofline (ZMSQ vs {!Zmsq_pq.Binary_heap} pair
+    latency, gated as a machine-independent ratio) and the
+    full-observability overhead measurement. Results are compared against
+    a committed baseline ([results/perf-baseline.json]) with generous
+    per-experiment thresholds sized for shared-runner noise; the baseline
+    may override any threshold. See OBSERVABILITY.md for the re-blessing
+    workflow. *)
+
+val schema : string
+(** Schema tag carried by both the report and the baseline
+    ("zmsq-perfci/1"); comparison refuses a baseline with any other. *)
+
+type result = {
+  id : string;
+  value : float;  (** the headline metric *)
+  unit_ : string;
+  higher_better : bool;
+  threshold_pct : float;  (** default regression threshold *)
+  limit : float option;  (** absolute cap, for limit-gated metrics *)
+  wall_seconds : float;
+  details : (string * Zmsq_obs.Json.t) list;
+}
+
+type comparison = {
+  cmp_id : string;
+  cmp_value : float;
+  cmp_baseline : float option;  (** [None]: absent from the baseline *)
+  cmp_delta_pct : float option;
+  cmp_threshold_pct : float;  (** baseline override, or the default *)
+  cmp_ok : bool;
+}
+
+val experiment_ids : unit -> string list
+
+val run_all : ?only:(string -> bool) -> scale:float -> unit -> result list
+(** Run the suite in order; [scale] multiplies op counts (1.0 = the CI
+    push shape, nightly uses larger). [only] filters by experiment id. *)
+
+val load_baseline : string -> ((string * float * float option) list, string) Stdlib.result
+(** [(id, value, threshold_override)] triples from a baseline file;
+    [Error] on missing file, parse failure, or schema mismatch. *)
+
+val compare_all : (string * float * float option) list -> result list -> comparison list
+(** An experiment regresses when its delta vs baseline exceeds the
+    threshold in the harmful direction, or its value exceeds its absolute
+    [limit]. Experiments missing from the baseline compare as ok (they
+    gate only via [limit]). *)
+
+val report_json :
+  scale:float ->
+  baseline_file:string ->
+  results:result list ->
+  comparisons:comparison list option ->
+  Zmsq_obs.Json.t
+(** The schema-versioned BENCH_pr6.json document. *)
+
+val baseline_json : result list -> Zmsq_obs.Json.t
+(** A fresh baseline blessing the given results. *)

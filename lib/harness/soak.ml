@@ -80,6 +80,10 @@ type phase_report = {
   reclaimed : int;  (** orphaned handles scavenged (live + end-of-phase) *)
   ec_sleeps : int;
   ec_wakes : int;
+  qos_samples : int;
+  rank_err_max : float;
+  rank_gap_p99 : float;
+  sojourn_p99_ns : float;
   violations : string list;
 }
 
@@ -177,6 +181,9 @@ let run_phase cfg ~index ~phase ~dur =
         buffer_len = cfg.buffer_len;
         blocking = true;
         obs = Zmsq_obs.Level.Full;
+        (* Dense QoS sampling (1 in 16): soak phases are short, and the
+           relaxation-bound watchdog below needs real samples to bite. *)
+        obs_sample_shift = 4;
       }
   in
   let q = Q.create ~params () in
@@ -471,10 +478,43 @@ let run_phase cfg ~index ~phase ~dur =
   let ec_sleeps, ec_wakes =
     match Q.Debug.eventcount_stats q with Some (s, w) -> (s, w) | None -> (0, 0)
   in
+  (* Relaxation-quality accounting from the queue's own sampled QoS
+     telemetry, then the conservation-style bound: a sampled extract may
+     be outranked by at most one staged extraction batch plus every
+     worker's insert buffer (PR 3's relaxation window). The rank proxy
+     only counts claimable pool entries plus the cached root max, so the
+     bound holds even for handle-churn's unbounded transient handles. *)
+  let module Hist = Zmsq_util.Stats.Histogram in
+  let snap = Zmsq_obs.Metrics.snapshot (Q.metrics q) in
+  let qos_samples =
+    try List.assoc "qos_samples_total" snap.Zmsq_obs.Metrics.counters
+    with Not_found -> 0
+  in
+  let qhist name = List.assoc_opt name snap.Zmsq_obs.Metrics.hists in
+  let rank_err_max =
+    match qhist "rank_error_sampled" with Some h -> Hist.max_value h | None -> 0.0
+  in
+  let rank_gap_p99 =
+    match qhist "rank_gap_keys" with Some h -> Hist.percentile h 99.0 | None -> 0.0
+  in
+  let sojourn_p99_ns =
+    match qhist "sojourn_ns" with Some h -> Hist.percentile h 99.0 | None -> 0.0
+  in
+  let relax_bound =
+    cfg.batch + ((cfg.producers + cfg.consumers + 1) * cfg.buffer_len)
+  in
+  if qos_samples > 0 && rank_err_max > float_of_int relax_bound then
+    violation
+      (Printf.sprintf
+         "relaxation bound: sampled rank error %.0f exceeds batch + \
+          ndomains*buffer_len = %d"
+         rank_err_max relax_bound);
   log
     (Printf.sprintf "done in %.2fs: inserted=%d extracted=%d drained=%d \
-                     reclaimed=%d sleeps=%d wakes=%d violations=%d"
-       seconds ins ext !drained reclaimed ec_sleeps ec_wakes (List.length !vios));
+                     reclaimed=%d sleeps=%d wakes=%d qos=%d rank_err_max=%.0f \
+                     violations=%d"
+       seconds ins ext !drained reclaimed ec_sleeps ec_wakes qos_samples
+       rank_err_max (List.length !vios));
   ( {
       phase;
       seconds;
@@ -484,6 +524,10 @@ let run_phase cfg ~index ~phase ~dur =
       reclaimed;
       ec_sleeps;
       ec_wakes;
+      qos_samples;
+      rank_err_max;
+      rank_gap_p99;
+      sojourn_p99_ns;
       violations = List.rev !vios;
     },
     !artifacts )
@@ -519,9 +563,11 @@ let report_lines (r : report) =
     (fun p ->
       Printf.sprintf
         "%-16s %5.2fs inserted=%-8d extracted=%-8d drained=%-6d reclaimed=%-4d \
-         sleeps=%-6d wakes=%-6d violations=%d"
+         sleeps=%-6d wakes=%-6d qos=%-5d rank_err_max=%-3.0f rank_gap_p99=%-6.0f \
+         sojourn_p99=%.0fns violations=%d"
         (phase_name p.phase) p.seconds p.inserted p.extracted p.drained p.reclaimed
-        p.ec_sleeps p.ec_wakes
+        p.ec_sleeps p.ec_wakes p.qos_samples p.rank_err_max p.rank_gap_p99
+        p.sojourn_p99_ns
         (List.length p.violations))
     r.phases
   @ [

@@ -19,7 +19,11 @@
       every monitor tick, so "delayed" can never silently become "dropped";
     - {b final-poll}: after each phase a zero-budget [extract_timeout]
       against a provably nonempty queue must claim (the bug-A regression
-      probe).
+      probe);
+    - {b relaxation bound}: the queue's sampled rank-error proxy (see
+      OBSERVABILITY.md) must stay within the structural relaxation window
+      [batch + ndomains * buffer_len] — an extract may be outranked by at
+      most one staged extraction batch plus every handle's insert buffer.
 
     On any violation the phase's metrics snapshot and (when [params.obs]
     permits) Chrome trace are dumped under [artifacts_dir]. *)
@@ -61,6 +65,11 @@ type phase_report = {
       (** orphaned handles scavenged during and at the end of the phase *)
   ec_sleeps : int;
   ec_wakes : int;
+  qos_samples : int;  (** sampled relaxation-quality probes taken *)
+  rank_err_max : float;
+      (** max sampled rank-error proxy, gated against the relaxation bound *)
+  rank_gap_p99 : float;  (** p99 key gap vs the staged upper-bound witness *)
+  sojourn_p99_ns : float;  (** p99 insert->extract age of probed elements *)
   violations : string list;
 }
 

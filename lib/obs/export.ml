@@ -9,6 +9,8 @@ let hist_json h =
       ("p50", Json.Float (Stats.Histogram.percentile h 50.0));
       ("p90", Json.Float (Stats.Histogram.percentile h 90.0));
       ("p99", Json.Float (Stats.Histogram.percentile h 99.0));
+      ("p999", Json.Float (Stats.Histogram.p999 h));
+      ("max", Json.Float (Stats.Histogram.max_value h));
       ( "buckets",
         Json.Arr
           (List.map
@@ -48,27 +50,53 @@ let append_jsonl ~path s =
    Metric names get a [zmsq_] prefix; histogram buckets are cumulative
    with [le] upper bounds, as the exposition format requires. *)
 
+(* Exposition metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; anything
+   else (dots, dashes, spaces, unicode bytes) collapses to '_'. *)
 let prom_name n =
-  String.map (fun c -> if c = '-' || c = '.' || c = ' ' then '_' else c) ("zmsq_" ^ n)
+  let sane = function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false in
+  String.map (fun c -> if sane c then c else '_') ("zmsq_" ^ n)
+
+(* One-line HELP text per well-known metric; generic fallback otherwise.
+   Newlines would break the exposition format, so none appear here. *)
+let prom_help n =
+  match n with
+  | "inserts_total" -> "Elements inserted (including buffered inserts)"
+  | "extracts_total" -> "Non-empty extracts"
+  | "refills_total" -> "Extraction-pool refills from the root node"
+  | "buf_flushes_total" -> "Per-handle insert buffers published into the tree"
+  | "qos_samples_total" -> "Extracts sampled by the QoS rank-error estimator"
+  | "qos_relaxed_total" -> "Sampled extracts whose key was below the staged witness"
+  | "trace_dropped_events_total" -> "Trace ring events lost to wrap or unbalanced spans"
+  | "rank_gap_keys" -> "Sampled priority gap between witness and extracted key"
+  | "rank_error_sampled" -> "Sampled lower bound on extract rank error (elements)"
+  | "sojourn_ns" -> "Sampled insert-to-extract element age in nanoseconds"
+  | "staleness_ns" -> "Age of the oldest armed sojourn probe"
+  | _ -> "zmsq metric " ^ n
 
 let prometheus (s : Metrics.snapshot) =
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
   List.iter
     (fun (n, v) ->
+      let help = prom_help n in
       let n = prom_name n in
+      line "# HELP %s %s" n help;
       line "# TYPE %s counter" n;
       line "%s %d" n v)
     s.Metrics.counters;
   List.iter
     (fun (n, v) ->
+      let help = prom_help n in
       let n = prom_name n in
+      line "# HELP %s %s" n help;
       line "# TYPE %s gauge" n;
       line "%s %d" n v)
     s.Metrics.gauges;
   List.iter
     (fun (n, h) ->
+      let help = prom_help n in
       let n = prom_name n in
+      line "# HELP %s %s" n help;
       line "# TYPE %s histogram" n;
       let cum = ref 0 in
       List.iter

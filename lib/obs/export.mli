@@ -3,6 +3,8 @@
     text exposition (scraping / eyeballing). *)
 
 val hist_json : Zmsq_util.Stats.Histogram.t -> Json.t
+(** Object with [count]/[sum]/[mean]/[p50]/[p90]/[p99]/[p999]/[max] and
+    the non-empty [buckets] as [[upper_bound, count]] pairs. *)
 
 val json_of_snapshot : Metrics.snapshot -> Json.t
 
@@ -12,8 +14,9 @@ val jsonl_line : Metrics.snapshot -> string
 val append_jsonl : path:string -> Metrics.snapshot -> unit
 
 val prometheus : Metrics.snapshot -> string
-(** Prometheus text exposition; metric names are prefixed [zmsq_] and
-    histogram buckets are cumulative. *)
+(** Prometheus text exposition: every metric gets [# HELP] and [# TYPE]
+    lines, names are prefixed [zmsq_] and sanitized to the exposition
+    charset ([[a-zA-Z0-9_:]]), and histogram buckets are cumulative. *)
 
 val brief : Metrics.snapshot -> string
 (** One-line [name=value] rendering of gauges and counters for live

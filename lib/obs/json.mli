@@ -1,5 +1,5 @@
-(** Minimal JSON emission (no parsing, no dependencies) for the metrics,
-    trace and benchmark exporters. *)
+(** Minimal dependency-free JSON emission and parsing for the metrics,
+    trace and benchmark exporters, and the perf-CI baseline loader. *)
 
 type t =
   | Null
@@ -15,3 +15,23 @@ val to_string : t -> string
 
 val escape : string -> string
 (** JSON string-body escaping (no surrounding quotes). *)
+
+exception Parse_error of string
+
+val of_string : string -> (t, string) result
+(** Parse one complete JSON document (trailing whitespace allowed,
+    trailing garbage is an error). Integer literals become [Int] unless
+    they carry a fraction/exponent or overflow, in which case [Float]. *)
+
+val of_string_exn : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing field or non-object. *)
+
+val to_float_opt : t -> float option
+(** [Int] and [Float] both convert; anything else is [None]. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

@@ -12,6 +12,7 @@ type kind =
   | Buf_flush
   | Close
   | Reclaim
+  | Drain
 
 let kind_name = function
   | Insert -> "insert"
@@ -27,6 +28,7 @@ let kind_name = function
   | Buf_flush -> "buf_flush"
   | Close -> "close"
   | Reclaim -> "reclaim"
+  | Drain -> "drain"
 
 let kind_code = function
   | Insert -> 0
@@ -42,6 +44,7 @@ let kind_code = function
   | Buf_flush -> 10
   | Close -> 11
   | Reclaim -> 12
+  | Drain -> 13
 
 let kind_of_code = function
   | 0 -> Insert
@@ -56,7 +59,8 @@ let kind_of_code = function
   | 9 -> Wake
   | 10 -> Buf_flush
   | 11 -> Close
-  | _ -> Reclaim
+  | 12 -> Reclaim
+  | _ -> Drain
 
 (* One ring per domain slot. A span is recorded on [span_end] as a
    complete event (begin timestamp + duration), which keeps the dump
@@ -124,7 +128,21 @@ let span_end t k =
   | (code, t0) :: rest when code = kind_code k ->
       r.stack <- rest;
       record r ~ts:t0 ~dur:(Zmsq_util.Timing.now_ns () - t0) ~code ~arg:0
-  | _ -> r.stack <- [] (* unbalanced; drop the open spans rather than lie *)
+  | _ ->
+      (* Unbalanced: drop the open spans rather than lie, but account for
+         them — these are lost events just like ring-wrap overwrites. *)
+      r.dropped <- r.dropped + List.length r.stack;
+      r.stack <- []
+
+let complete t ?(arg = 0) ?dur ~t0 k =
+  (* A span whose begin timestamp the caller measured itself (typically
+     the same [t0] already taken for a latency histogram), recorded at
+     the end of the critical section without touching the span stack.
+     When the caller also measured the duration (it usually did, for the
+     histogram), passing it avoids a third clock read. *)
+  let r = my_ring t in
+  let dur = match dur with Some d -> d | None -> Zmsq_util.Timing.now_ns () - t0 in
+  record r ~ts:t0 ~dur:(max dur 0) ~code:(kind_code k) ~arg
 
 let instant t ?(arg = 0) k =
   let r = my_ring t in
@@ -187,13 +205,20 @@ let to_json t =
         (base
         @ [ ("ph", Json.Str "i"); ("s", Json.Str "t"); ("args", Json.Obj [ ("v", Json.Int arg) ]) ]
         )
-    else Json.Obj (base @ [ ("ph", Json.Str "X"); ("dur", Json.Float (us dur)) ])
+    else
+      Json.Obj
+        (base
+        @ [
+            ("ph", Json.Str "X");
+            ("dur", Json.Float (us dur));
+            ("args", Json.Obj [ ("v", Json.Int arg) ]);
+          ])
   in
   Json.Obj
     [
       ("traceEvents", Json.Arr (List.map event (events t)));
       ("displayTimeUnit", Json.Str "ns");
-      ("otherData", Json.Obj [ ("dropped", Json.Int (dropped t)) ]);
+      ("otherData", Json.Obj [ ("dropped_events_total", Json.Int (dropped t)) ]);
     ]
 
 let to_chrome_json t = Json.to_string (to_json t)

@@ -29,6 +29,7 @@ type kind =
   | Buf_flush  (** a per-domain insert buffer published into the tree *)
   | Close  (** a lifecycle transition ([close] or drain completion) *)
   | Reclaim  (** an orphaned handle's buffer reclaimed by the scavenger *)
+  | Drain  (** the whole Draining window, from [close ~drain:true] to empty *)
 
 val kind_name : kind -> string
 
@@ -40,13 +41,23 @@ val span_end : t -> kind -> unit
 (** Must be called by the same domain, properly nested; a mismatched
     [span_end] discards the open spans of that domain. *)
 
+val complete : t -> ?arg:int -> ?dur:int -> t0:int -> kind -> unit
+(** [complete t ~t0 k] records a span from the caller-supplied begin
+    timestamp [t0] (from {!Zmsq_util.Timing.now_ns}) to now — or of
+    length [dur] when given, bypassing the span stack and any extra
+    clock read. Hot paths that already read the clock for a latency
+    histogram reuse both readings here, paying no extra clock call. *)
+
 val instant : t -> ?arg:int -> kind -> unit
 
 val recorded : t -> int
 (** Events currently held across all rings. *)
 
 val dropped : t -> int
-(** Events overwritten after a ring filled. *)
+(** Total events lost so far: ring-wrap overwrites plus open spans
+    discarded by an unbalanced {!span_end}. Exported to dumps as
+    [otherData.dropped_events_total] and, per queue, as the
+    [trace_dropped_events_total] gauge. *)
 
 val to_json : t -> Json.t
 val to_chrome_json : t -> string

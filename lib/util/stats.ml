@@ -71,9 +71,14 @@ module Histogram = struct
      buckets cover any float we time in nanoseconds. *)
   let buckets = 64
 
-  type t = { counts : int array; mutable total : int; mutable sum : float }
+  type t = {
+    counts : int array;
+    mutable total : int;
+    mutable sum : float;
+    mutable vmax : float;
+  }
 
-  let create () = { counts = Array.make buckets 0; total = 0; sum = 0.0 }
+  let create () = { counts = Array.make buckets 0; total = 0; sum = 0.0; vmax = neg_infinity }
 
   let bucket_of v =
     if not (v >= 2.0) then 0
@@ -86,7 +91,9 @@ module Histogram = struct
     let b = bucket_of v in
     t.counts.(b) <- t.counts.(b) + 1;
     t.total <- t.total + 1;
-    t.sum <- t.sum +. v
+    t.sum <- t.sum +. v;
+    (* NaN never replaces the running max: [v > vmax] is false for NaN. *)
+    if v > t.vmax then t.vmax <- v
 
   let merge a b =
     let t = create () in
@@ -95,6 +102,7 @@ module Histogram = struct
     done;
     t.total <- a.total + b.total;
     t.sum <- a.sum +. b.sum;
+    t.vmax <- Float.max a.vmax b.vmax;
     t
 
   let count t = t.total
@@ -117,6 +125,10 @@ module Histogram = struct
       in
       go 0 0
     end
+
+  let p999 t = percentile t 99.9
+
+  let max_value t = if t.total = 0 then 0.0 else t.vmax
 
   (* (upper bound, count) for every non-empty bucket, ascending. Bucket i's
      upper (exclusive) bound is 2^(i+1); bucket 0's lower bound is -inf. *)

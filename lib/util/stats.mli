@@ -45,6 +45,13 @@ module Histogram : sig
   val percentile : t -> float -> float
   (** Approximate percentile: upper bound of the bucket containing it. *)
 
+  val p999 : t -> float
+  (** [percentile t 99.9]; tail column used by bench latency rows. *)
+
+  val max_value : t -> float
+  (** Exact maximum of every value added (not bucketed); [0.0] when the
+      histogram is empty. Merging takes the pointwise max. *)
+
   val buckets : t -> (float * int) list
   (** [(upper_bound, count)] for every non-empty bucket, ascending by
       bound. Bucket boundaries are powers of two: the bucket bounded by

@@ -161,6 +161,48 @@ let test_registry_complete () =
   check Alcotest.bool "find known" true (H.Experiments.find "fig6" <> None);
   check Alcotest.bool "find unknown" true (H.Experiments.find "nope" = None)
 
+(* {2 Perf-CI comparison gate} *)
+
+let test_perfci_compare () =
+  let module P = Zmsq_harness.Perfci in
+  let mk ?limit ~id ~value ~hb ~th () =
+    {
+      P.id;
+      value;
+      unit_ = "x";
+      higher_better = hb;
+      threshold_pct = th;
+      limit;
+      wall_seconds = 0.0;
+      details = [];
+    }
+  in
+  let results =
+    [
+      (* -10% on a higher-is-better metric, threshold 20%: fine. *)
+      mk ~id:"a" ~value:90.0 ~hb:true ~th:20.0 ();
+      (* -50%: past threshold, regression. *)
+      mk ~id:"b" ~value:50.0 ~hb:true ~th:20.0 ();
+      (* lower-is-better, +40% vs the baseline's 30% override: regression. *)
+      mk ~id:"c" ~value:140.0 ~hb:false ~th:90.0 ();
+      (* limit-gated metrics with no baseline entry. *)
+      mk ~id:"d" ~value:3.0 ~hb:false ~th:0.0 ~limit:5.0 ();
+      mk ~id:"e" ~value:7.0 ~hb:false ~th:0.0 ~limit:5.0 ();
+    ]
+  in
+  let base = [ ("a", 100.0, None); ("b", 100.0, None); ("c", 100.0, Some 30.0) ] in
+  let cs = P.compare_all base results in
+  let find id = List.find (fun c -> c.P.cmp_id = id) cs in
+  let ok id = (find id).P.cmp_ok in
+  Alcotest.(check bool) "small drop passes" true (ok "a");
+  Alcotest.(check bool) "large drop regresses" false (ok "b");
+  Alcotest.(check bool) "baseline overrides threshold" false (ok "c");
+  Alcotest.(check (float 0.0)) "override is reported" 30.0 (find "c").P.cmp_threshold_pct;
+  Alcotest.(check bool) "no baseline + within limit" true (ok "d");
+  Alcotest.(check bool) "no baseline + over limit" false (ok "e");
+  Alcotest.(check (option (float 0.0))) "missing baseline delta" None
+    (find "d").P.cmp_delta_pct
+
 let suite =
   [
     ("table make + csv", `Quick, test_table_make_and_csv);
@@ -180,4 +222,5 @@ let suite =
     ("handoff modes", `Slow, test_handoff_modes);
     ("sssp checked wrapper", `Quick, test_sssp_checked);
     ("experiments registry", `Quick, test_registry_complete);
+    ("perfci comparison gate", `Quick, test_perfci_compare);
   ]

@@ -208,6 +208,181 @@ let test_table_save_json () =
   Sys.remove path;
   Sys.rmdir dir
 
+(* {2 PR 6: tail accessors, parser, global snapshot, QoS sampling} *)
+
+module Hist = Zmsq_util.Stats.Histogram
+
+let test_hist_p999_max () =
+  let h = Hist.create () in
+  check (Alcotest.float 0.0) "empty max" 0.0 (Hist.max_value h);
+  Hist.add h 3.0;
+  Hist.add h 1000.0;
+  Hist.add h 5.0;
+  check (Alcotest.float 0.0) "exact max" 1000.0 (Hist.max_value h);
+  (* p999 is the bucket upper bound of the largest sample: 1000 < 1024. *)
+  check (Alcotest.float 0.0) "p999 bucket bound" 1024.0 (Hist.p999 h);
+  let h2 = Hist.create () in
+  Hist.add h2 7.0;
+  let m = Hist.merge h h2 in
+  check (Alcotest.float 0.0) "merge keeps max" 1000.0 (Hist.max_value m)
+
+let test_global_snapshot_monotone () =
+  (* The process-wide merge must stay monotone per counter name while
+     writers are live on one of the merged registries. *)
+  let m = Metrics.create ~name:"gsm" () in
+  let c = Metrics.counter m "gsm_total" in
+  let stop = Atomic.make false in
+  let ds =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              Metrics.incr c
+            done))
+  in
+  let last = ref 0 in
+  for _ = 1 to 200 do
+    let s = Metrics.global_snapshot () in
+    let v = try List.assoc "gsm_total" s.Metrics.counters with Not_found -> 0 in
+    if v < !last then Alcotest.fail "global_snapshot counter went backwards";
+    last := v
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join ds;
+  check Alcotest.bool "saw progress" true (!last > 0)
+
+let test_jsonl_wellformed () =
+  (* Every exported line must parse as a single JSON object, and the
+     capture timestamps must be monotone across successive lines. *)
+  let m = Metrics.create ~name:"jl" () in
+  let c = Metrics.counter m "jl_total" in
+  let h = Metrics.histogram m "jl_ns" in
+  let lines =
+    List.init 20 (fun i ->
+        Metrics.add c (i + 1);
+        Metrics.observe h (float_of_int (100 * (i + 1)));
+        Export.jsonl_line (Metrics.snapshot m))
+  in
+  let last_ts = ref min_int in
+  List.iter
+    (fun line ->
+      check Alcotest.bool "single line" true (not (String.contains line '\n'));
+      match Json.of_string line with
+      | Error msg -> Alcotest.fail ("jsonl line does not parse: " ^ msg)
+      | Ok doc -> (
+          match Option.bind (Json.member "taken_ns" doc) Json.to_int_opt with
+          | None -> Alcotest.fail "jsonl line lacks taken_ns"
+          | Some ts ->
+              check Alcotest.bool "taken_ns monotone" true (ts >= !last_ts);
+              last_ts := ts))
+    lines
+
+let test_json_parser () =
+  let roundtrip s =
+    match Json.of_string s with
+    | Ok doc -> Json.to_string doc
+    | Error msg -> Alcotest.fail ("parse failed: " ^ msg)
+  in
+  check Alcotest.string "object" "{\"a\":1,\"b\":[true,null,-2.5]}"
+    (roundtrip " { \"a\" : 1 , \"b\" : [ true , null , -2.5 ] } ");
+  check Alcotest.string "escapes" "\"x\\\"y\\n\"" (roundtrip "\"x\\\"y\\n\"");
+  (match Json.of_string "\"\\u0041\"" with
+  | Ok (Json.Str "A") -> ()
+  | _ -> Alcotest.fail "\\u0041 must decode to A");
+  (match Json.of_string "{\"k\": 1} trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage must be rejected");
+  (match Json.of_string "[1,2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated array must be rejected");
+  (* Accessors used by the perf-CI baseline loader. *)
+  let doc = Json.of_string_exn "{\"v\": 2.5, \"n\": 3, \"s\": \"x\", \"l\": [1]}" in
+  check (Alcotest.option (Alcotest.float 0.0)) "float member" (Some 2.5)
+    (Option.bind (Json.member "v" doc) Json.to_float_opt);
+  check (Alcotest.option (Alcotest.float 0.0)) "int as float" (Some 3.0)
+    (Option.bind (Json.member "n" doc) Json.to_float_opt);
+  check (Alcotest.option Alcotest.string) "string member" (Some "x")
+    (Option.bind (Json.member "s" doc) Json.to_string_opt);
+  check Alcotest.bool "list member" true
+    (Option.bind (Json.member "l" doc) Json.to_list_opt <> None)
+
+let test_prometheus_help_sanitize () =
+  let m = Metrics.create ~name:"ph" () in
+  Metrics.add (Metrics.counter m "qos_samples_total") 3;
+  Metrics.observe (Metrics.histogram m "lat.ns-odd") 10.0;
+  let text = Export.prometheus (Metrics.snapshot m) in
+  let has affix = Astring.String.is_infix ~affix text in
+  check Alcotest.bool "HELP for known counter" true
+    (has "# HELP zmsq_qos_samples_total");
+  check Alcotest.bool "TYPE counter" true (has "# TYPE zmsq_qos_samples_total counter");
+  check Alcotest.bool "TYPE histogram" true (has "# TYPE zmsq_lat_ns_odd histogram");
+  check Alcotest.bool "odd chars sanitized" true (has "zmsq_lat_ns_odd_bucket");
+  check Alcotest.bool "no raw dot name" true (not (has "zmsq_lat.ns-odd"))
+
+let test_trace_complete_and_dropped () =
+  let tr = Trace.create ~capacity:16 () in
+  let t0 = Zmsq_util.Timing.now_ns () in
+  Trace.complete tr ~arg:5 ~t0 Trace.Drain;
+  check Alcotest.int "complete records one event" 1 (Trace.recorded tr);
+  (* Unbalanced span_end discards the open span and accounts for it. *)
+  Trace.span_begin tr Trace.Insert;
+  Trace.span_end tr Trace.Refill;
+  check Alcotest.int "unbalanced span counted as dropped" 1 (Trace.dropped tr);
+  let json = Trace.to_chrome_json tr in
+  let has affix = Astring.String.is_infix ~affix json in
+  check Alcotest.bool "drain span in dump" true (has "\"name\":\"drain\"");
+  check Alcotest.bool "dropped_events_total in otherData" true
+    (has "\"dropped_events_total\":1")
+
+let test_qos_sampling_single_thread () =
+  (* Shift 0 samples every operation; a lone handle's rank-error proxy
+     must stay within the structural window batch + 1*buffer_len. *)
+  let params =
+    Zmsq.Params.default
+    |> Zmsq.Params.with_obs Zmsq_obs.Level.Full
+    |> Zmsq.Params.with_obs_sample 0
+  in
+  let q = Q.create ~params () in
+  let h = Q.register q in
+  let rng = Zmsq_util.Rng.create ~seed:42 () in
+  let n = 5_000 in
+  for _ = 1 to n do
+    Q.insert h (Zmsq_pq.Elt.of_priority (Zmsq_util.Rng.int rng 1_000_000))
+  done;
+  Q.flush h;
+  let extracted = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    if Zmsq_pq.Elt.is_none (Q.extract h) then continue_ := false
+    else incr extracted
+  done;
+  Q.unregister h;
+  check Alcotest.int "all extracted" n !extracted;
+  let s = Metrics.snapshot (Q.metrics q) in
+  let counter name = try List.assoc name s.Metrics.counters with Not_found -> 0 in
+  check Alcotest.int "every extract sampled" n (counter "qos_samples_total");
+  let rank_err = List.assoc "rank_error_sampled" s.Metrics.hists in
+  check Alcotest.int "rank error per sample" n (Hist.count rank_err);
+  let bound = params.Zmsq.Params.batch + params.Zmsq.Params.buffer_len in
+  check Alcotest.bool "rank error within relaxation bound" true
+    (Hist.max_value rank_err <= float_of_int bound);
+  let gap = List.assoc "rank_gap_keys" s.Metrics.hists in
+  check Alcotest.int "rank gap per sample" n (Hist.count gap);
+  let sojourn = List.assoc "sojourn_ns" s.Metrics.hists in
+  check Alcotest.bool "sojourn probes landed" true (Hist.count sojourn > 0);
+  check Alcotest.bool "staleness gauge present" true
+    (List.mem_assoc "staleness_ns" s.Metrics.gauges)
+
+let test_params_obs_sample_validate () =
+  let p = Zmsq.Params.with_obs_sample 0 Zmsq.Params.default in
+  check Alcotest.int "shift 0 accepted" 0 p.Zmsq.Params.obs_sample_shift;
+  let rejects shift =
+    match Zmsq.Params.with_obs_sample shift Zmsq.Params.default with
+    | _ -> Alcotest.fail (Printf.sprintf "shift %d must be rejected" shift)
+    | exception Invalid_argument _ -> ()
+  in
+  rejects (-1);
+  rejects 31
+
 let suite =
   [
     ("counter exact across domains", `Quick, test_counter_exact_multidomain);
@@ -222,4 +397,12 @@ let suite =
     ("jsonl line", `Quick, test_jsonl_line);
     ("json escaping", `Quick, test_json_escaping);
     ("table save_json", `Quick, test_table_save_json);
+    ("histogram p999 + max", `Quick, test_hist_p999_max);
+    ("global snapshot monotone", `Quick, test_global_snapshot_monotone);
+    ("jsonl lines well-formed", `Quick, test_jsonl_wellformed);
+    ("json parser", `Quick, test_json_parser);
+    ("prometheus HELP/TYPE + sanitize", `Quick, test_prometheus_help_sanitize);
+    ("trace complete + dropped", `Quick, test_trace_complete_and_dropped);
+    ("qos sampling single thread", `Quick, test_qos_sampling_single_thread);
+    ("params obs_sample validation", `Quick, test_params_obs_sample_validate);
   ]
