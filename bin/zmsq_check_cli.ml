@@ -98,6 +98,12 @@ let () =
           Printf.printf "FAIL %-28s (%.2fs)\n" name dt;
           print_string (Zmsq_check.Explore.pp_report r))
     entries;
+  (* Race-detector volume: proof the instrumentation actually ran. A suite
+     where sync_events or plain accesses read zero means the shim stopped
+     emitting and every "no race found" above is vacuous. *)
+  print_string "race detector:";
+  List.iter (fun (k, v) -> Printf.printf " %s=%d" k v) (Zmsq_check.Race.stats ());
+  print_newline ();
   if !failures > 0 then begin
     Printf.printf "%d scenario(s) failed\n" !failures;
     exit 1

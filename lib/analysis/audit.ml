@@ -1,0 +1,181 @@
+(* R4: atomics inventory + cache-line padding audit.
+
+   Every [Atomic.t] field declared inside a record type is a potential
+   false-sharing site: two hot atomics in adjacent words ping-pong a cache
+   line between cores even though they are logically independent. The
+   audit forces a decision at every such field:
+
+   - [(* lint: padded *)] — the field is isolated (stride-allocated,
+     alone on its line of the struct, or otherwise spaced); or
+   - [(* lint: unpadded <reason> *)] — sharing is accepted, with the
+     reason recorded (cold field, config-time only, measured harmless).
+
+   An [Atomic.t] record field with neither annotation is a finding. Type
+   aliases ([type 'a t = 'a Atomic.t]) and prose mentions in comments are
+   not fields and are ignored. The full inventory — annotated or not — is
+   emitted machine-readably into [results/atomics-audit.json], which the
+   ROADMAP's padding work item consumes. *)
+
+open Source
+
+type status =
+  | Padded
+  | Unpadded of string  (** accepted, with the declared reason *)
+  | Unannotated  (** a finding: the decision was never made *)
+
+type entry = { e_file : string; e_line : int; e_field : string; e_status : status }
+
+(* One field: [name : <type up to the next ; or brace>]. Matched anywhere
+   in a line so single-line records ([{ a : t; top : Elt.t Atomic.t }])
+   are inventoried too, not just one-field-per-line layouts. *)
+let field_re = Str.regexp "\\([a-z_][A-Za-z0-9_']*\\) *:\\([^;{}]*\\)"
+let unpadded_re = Str.regexp "lint: unpadded \\([^*]+\\)\\*)"
+
+let atomic_fields_of_line masked =
+  let acc = ref [] in
+  let pos = ref 0 in
+  (try
+     while true do
+       let at = Str.search_forward field_re masked !pos in
+       let field = Str.matched_group 1 masked in
+       let ty = Str.matched_group 2 masked in
+       pos := max (at + 1) (Str.match_end ());
+       if Source.contains ty "Atomic.t" then acc := field :: !acc
+     done
+   with Not_found -> ());
+  List.rev !acc
+
+(* Records live between the braces of a [type] declaration (including
+   inline variant records). Brace depth is tracked over masked text; the
+   type context ends at the next toplevel definition keyword. *)
+let audit_src src =
+  let entries = ref [] in
+  let in_type = ref false in
+  let depth = ref 0 in
+  Array.iteri
+    (fun i masked ->
+      let t = String.trim masked in
+      if starts_with "type " t || starts_with "and " t then in_type := true
+      else if
+        !depth = 0
+        && (starts_with "let " t || starts_with "module " t || starts_with "val " t
+           || starts_with "exception " t || starts_with "external " t)
+      then in_type := false;
+      let opens = ref 0 and closes = ref 0 in
+      String.iter
+        (fun c -> if c = '{' then incr opens else if c = '}' then incr closes)
+        masked;
+      let inside = !depth > 0 || !opens > 0 in
+      if !in_type && inside then begin
+        let status_of raw =
+          if contains raw "lint: padded" then Padded
+          else
+            match Str.search_forward unpadded_re raw 0 with
+            | _ -> Unpadded (String.trim (Str.matched_group 1 raw))
+            | exception Not_found -> Unannotated
+        in
+        let status =
+          match status_of src.raw.(i) with
+          | Unannotated
+          (* A comment-only line directly above covers the declaration —
+             the natural spot for single-line records with several atomic
+             fields. A *field* line above never lends its annotation. *)
+            when i > 0 && starts_with "(*" (String.trim src.raw.(i - 1)) ->
+              status_of src.raw.(i - 1)
+          | s -> s
+        in
+        List.iter
+          (fun field ->
+            entries :=
+              { e_file = src.file; e_line = i + 1; e_field = field; e_status = status }
+              :: !entries)
+          (atomic_fields_of_line masked)
+      end;
+      depth := max 0 (!depth + !opens - !closes))
+    src.masked;
+  List.rev !entries
+
+let audit_source ~file content = audit_src (Source.of_string ~file content)
+let audit_file path = audit_src (Source.of_file path)
+
+let findings entries =
+  List.filter_map
+    (fun e ->
+      match e.e_status with
+      | Padded | Unpadded _ -> None
+      | Unannotated ->
+          Some
+            {
+              Source.file = e.e_file;
+              line = e.e_line;
+              rule = "unpadded-atomic";
+              message =
+                Printf.sprintf
+                  "Atomic.t field '%s' in a shared record needs a padding decision: annotate \
+                   (* lint: padded *) or (* lint: unpadded <reason> *)"
+                  e.e_field;
+            })
+    entries
+
+(* {2 JSON emission} *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let entry_json e =
+  let status, reason =
+    match e.e_status with
+    | Padded -> ("padded", None)
+    | Unpadded r -> ("unpadded", Some r)
+    | Unannotated -> ("unannotated", None)
+  in
+  Printf.sprintf "    {\"file\": \"%s\", \"line\": %d, \"field\": \"%s\", \"status\": \"%s\"%s}"
+    (json_escape e.e_file) e.e_line (json_escape e.e_field) status
+    (match reason with Some r -> Printf.sprintf ", \"reason\": \"%s\"" (json_escape r) | None -> "")
+
+(* The audit artifact: atomics inventory + prim-functorization coverage,
+   including the blessed coverage floor the CI gate compares against
+   (re-blessed via [zmsq_analyze --bless]; see ANALYSIS.md). *)
+let to_json ~entries ~coverage ~blessed_pct =
+  let counts status = List.length (List.filter (fun e -> e.e_status = status) entries) in
+  let unpadded =
+    List.length
+      (List.filter (fun e -> match e.e_status with Unpadded _ -> true | _ -> false) entries)
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"zmsq-atomics-audit/1\",\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"summary\": {\"atomic_fields\": %d, \"padded\": %d, \"unpadded\": %d, \
+        \"unannotated\": %d},\n"
+       (List.length entries) (counts Padded) unpadded (counts Unannotated));
+  Buffer.add_string b
+    (Printf.sprintf
+       (* Full precision: the gate compares the freshly computed pct against
+          the stored floor, so a 2dp round-up here would read as a phantom
+          regression on the very next clean run. *)
+       "  \"prim_coverage\": {\"covered_sites\": %d, \"total_sites\": %d, \"pct\": %.6f, \
+        \"blessed_pct\": %.6f},\n"
+       coverage.Coverage.covered coverage.Coverage.total coverage.Coverage.pct blessed_pct);
+  Buffer.add_string b "  \"atomics\": [\n";
+  Buffer.add_string b (String.concat ",\n" (List.map entry_json entries));
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+let write_json ~path ~entries ~coverage ~blessed_pct =
+  let dir = Filename.dirname path in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out path in
+  output_string oc (to_json ~entries ~coverage ~blessed_pct);
+  close_out oc

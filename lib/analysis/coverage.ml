@@ -1,0 +1,79 @@
+(* R6: prim-functorization coverage.
+
+   The model checker can only exercise code that reaches its primitives
+   through a PRIM parameter; a raw [Atomic.get] in a non-functorized file
+   is invisible to every scenario. This pass counts synchronization-
+   operation sites (atomic/mutex/futex calls, [cpu_relax]) across the
+   scanned sources and reports the percentage living in files marked
+   [(* lint: prim-functorized *)] — i.e. reachable by the checker.
+
+   The percentage is gated against the blessed floor recorded in
+   [results/atomics-audit.json]: new sync-heavy code either goes in
+   functorized files or consciously lowers the floor via
+   [zmsq_analyze --bless]. Files under [lib/prim] and [lib/check] are the
+   seam and the checker themselves, not subjects, and are excluded. *)
+
+open Source
+
+type file_stat = { f_file : string; f_sites : int; f_covered : bool }
+type t = { covered : int; total : int; pct : float; files : file_stat list }
+
+let sync_tokens = [ "Atomic."; "Mutex."; "Futex."; "cpu_relax" ]
+
+let excluded path = contains path "lib/prim" || contains path "lib/check"
+
+let count_token line tok =
+  let nl = String.length line and nt = String.length tok in
+  let c = ref 0 in
+  for i = 0 to nl - nt do
+    if String.sub line i nt = tok then incr c
+  done;
+  !c
+
+let scan_src src =
+  let sites =
+    Array.fold_left
+      (fun acc line ->
+        acc + List.fold_left (fun a tok -> a + count_token line tok) 0 sync_tokens)
+      0 src.masked
+  in
+  { f_file = src.file; f_sites = sites; f_covered = Lint.prim_functorized src }
+
+let scan_source ~file content = scan_src (Source.of_string ~file content)
+
+let of_stats files =
+  let total = List.fold_left (fun a f -> a + f.f_sites) 0 files in
+  let covered = List.fold_left (fun a f -> a + if f.f_covered then f.f_sites else 0) 0 files in
+  let pct = if total = 0 then 100.0 else 100.0 *. float_of_int covered /. float_of_int total in
+  { covered; total; pct; files }
+
+let scan_files paths =
+  of_stats (List.map (fun p -> scan_src (Source.of_file p)) (List.filter (fun p -> not (excluded p)) paths))
+
+(* The committed floor, parsed out of the audit JSON without a JSON
+   dependency; [None] when the artifact does not exist yet. *)
+let blessed_re = Str.regexp "\"blessed_pct\": *\\([0-9.]+\\)"
+
+let read_blessed path =
+  if not (Sys.file_exists path) then None
+  else
+    let content = Source.read_file path in
+    match Str.search_forward blessed_re content 0 with
+    | _ -> float_of_string_opt (Str.matched_group 1 content)
+    | exception Not_found -> None
+
+let gate ~blessed t =
+  if t.pct +. 1e-6 < blessed then
+    [
+      {
+        Source.file = "(coverage)";
+        line = 0;
+        rule = "prim-coverage";
+        message =
+          Printf.sprintf
+            "prim-functorization coverage regressed: %.2f%% of %d sync sites, blessed floor \
+             is %.2f%% (move new sync code behind PRIM, or re-bless with zmsq_analyze --bless)"
+            t.pct t.total blessed;
+      };
+    ]
+  else []

@@ -1,6 +1,6 @@
 (* Source-level lock-discipline lint over the library code.
 
-   Three rules, all driven by structured comments so the discipline is
+   Four rules, all driven by structured comments so the discipline is
    declared where it applies (see ANALYSIS.md for the full semantics):
 
    - [raise-under-lock] (R1): a [Mutex.lock] must be followed within a few
@@ -16,40 +16,58 @@
      must reach atomics/mutexes/pauses through their [PRIM] parameter —
      literal [Stdlib.Atomic], [Stdlib.Mutex] or [Domain.cpu_relax] tokens
      mean a code path escapes the checker.
+   - [blocking-under-lock] (R5): no blocking call ([Eventcount.wait],
+     [Unix.sleepf], [extract_blocking], ...) between a lock acquisition
+     statement and its release — a sleeper holding a mutex stalls every
+     thread that needs it, and under the model scheduler it deadlocks.
 
    Findings on lines carrying [(* lint: allow <rule> *)] are suppressed.
    The engine is purely textual (line-based with indentation-scoped
-   function blocks): cheap, dependency-free and testable on snippets; it
-   trades soundness for zero false positives on this codebase's idioms. *)
+   function blocks) over {!Source}-masked text — comments and string
+   literals cannot trip code-token rules. It trades soundness for zero
+   false positives on this codebase's idioms. *)
 
-type finding = { file : string; line : int; rule : string; message : string }
+type finding = Source.finding = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+}
 
-let pp_finding f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.message
+let pp_finding = Source.pp_finding
 
-let contains hay needle =
-  let nh = String.length hay and nn = String.length needle in
-  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
-  nn = 0 || go 0
+open Source
 
 let suppressed line rule = contains line ("lint: allow " ^ rule)
-
-let indent_of line =
-  let n = String.length line in
-  let rec go i = if i < n && line.[i] = ' ' then go (i + 1) else i in
-  go 0
-
-let is_blank line = String.trim line = ""
 
 (* A "scope" is a top-level-ish definition: a [let] at the shallowest
    indentation seen since the last [struct]/[sig] opener. Nested lets stay
    inside their enclosing scope. *)
 type scope = { start : int; stop : int }
 
-let starts_with pre s =
-  String.length s >= String.length pre && String.sub s 0 (String.length pre) = pre
+(* Indentation alone misattributes a [let] that merely continues the
+   previous expression — most commonly a [match] arm whose body re-indents
+   shallower than the enclosing binding. Two textual cues catch those: the
+   line itself is a [let ... in] expression, or the previous non-blank
+   line ends in a token that cannot close a definition. *)
+let continuation_tokens =
+  [ "->"; "="; "("; "begin"; "then"; "else"; "in"; ";"; "@@"; "|>"; "&&"; "||"; "fun" ]
 
-let scopes_of lines =
-  let n = Array.length lines in
+let expr_level_let masked i =
+  let t = String.trim masked.(i) in
+  contains (" " ^ t ^ " ") " in "
+  ||
+  let rec prev j =
+    if j < 0 then None
+    else if is_blank masked.(j) then prev (j - 1)
+    else Some (String.trim masked.(j))
+  in
+  match prev (i - 1) with
+  | None -> false
+  | Some p -> List.exists (fun tok -> ends_with tok p) continuation_tokens
+
+let scopes_of masked =
+  let n = Array.length masked in
   let scopes = ref [] in
   let cur_start = ref (-1) in
   let cur_indent = ref max_int in
@@ -58,7 +76,7 @@ let scopes_of lines =
     cur_start := -1
   in
   for i = 0 to n - 1 do
-    let line = lines.(i) in
+    let line = masked.(i) in
     let t = String.trim line in
     if contains line "= struct" || contains line "= sig" || starts_with "module " t then begin
       (* entering a new module body resets the scope indentation level *)
@@ -67,7 +85,7 @@ let scopes_of lines =
     end
     else if starts_with "let " t || starts_with "let[" t || starts_with "and " t then begin
       let ind = indent_of line in
-      if ind <= !cur_indent then begin
+      if ind <= !cur_indent && not (expr_level_let masked i) then begin
         if !cur_start >= 0 then close (i - 1);
         cur_start := i;
         cur_indent := ind
@@ -81,12 +99,13 @@ let scopes_of lines =
 
 let mutex_lock_re = Str.regexp "Mutex\\.lock\\b"
 let fun_protect_re = Str.regexp "Fun\\.protect"
+let matches re line = try ignore (Str.search_forward re line 0); true with Not_found -> false
 
-let check_raise_under_lock ~file lines =
-  let n = Array.length lines in
+let check_raise_under_lock src =
+  let n = Array.length src.masked in
   let findings = ref [] in
   for i = 0 to n - 1 do
-    let line = lines.(i) in
+    let line = src.masked.(i) in
     let trimmed = String.trim line in
     let statement_position =
       (* Only statement-position acquisitions ([Mutex.lock m;]) are
@@ -94,11 +113,8 @@ let check_raise_under_lock ~file lines =
          aliases, not critical-section entries. *)
       String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = ';'
     in
-    if
-      (try ignore (Str.search_forward mutex_lock_re line 0); true with Not_found -> false)
-      && statement_position
-      && (not (suppressed line "raise-under-lock"))
-      && not (starts_with "(*" trimmed)
+    if matches mutex_lock_re line && statement_position
+       && not (suppressed src.raw.(i) "raise-under-lock")
     then begin
       (* Fun.protect must appear on this line or within the next 3
          non-blank lines — the lock-then-protect idiom. *)
@@ -106,10 +122,9 @@ let check_raise_under_lock ~file lines =
       let seen = ref 0 in
       let j = ref i in
       while (not !ok) && !seen <= 3 && !j < n do
-        let l = lines.(!j) in
+        let l = src.masked.(!j) in
         if not (is_blank l) then begin
-          if (try ignore (Str.search_forward fun_protect_re l 0); true with Not_found -> false)
-          then ok := true;
+          if matches fun_protect_re l then ok := true;
           incr seen
         end;
         incr j
@@ -117,7 +132,7 @@ let check_raise_under_lock ~file lines =
       if not !ok then
         findings :=
           {
-            file;
+            file = src.file;
             line = i + 1;
             rule = "raise-under-lock";
             message =
@@ -135,7 +150,7 @@ let guarded_by_re = Str.regexp "(\\* lint: guarded-by \\([A-Za-z0-9_']+\\) \\*)"
 let field_name_re = Str.regexp "\\(mutable +\\)?\\([a-z_][A-Za-z0-9_']*\\) *:"
 
 (* Collect [(field, lock)] pairs declared by guarded-by annotations. *)
-let guarded_fields lines =
+let guarded_fields src =
   let acc = ref [] in
   Array.iter
     (fun line ->
@@ -146,7 +161,7 @@ let guarded_fields lines =
           | _ -> acc := (Str.matched_group 2 line, lock) :: !acc
           | exception Not_found -> ())
       | exception Not_found -> ())
-    lines;
+    src.raw;
   !acc
 
 let scope_text lines scope =
@@ -157,23 +172,24 @@ let scope_text lines scope =
   done;
   Buffer.contents b
 
-(* The scope shows evidence of holding [lock]. The line just above the
-   scope's first line (a comment block) is included so annotations placed
-   above the [let] count. *)
-let holds_evidence lines scope lock =
-  let above = if scope.start > 0 then lines.(scope.start - 1) ^ "\n" else "" in
-  let text = above ^ scope_text lines scope in
+(* The scope shows evidence of holding [lock]. Evidence is read from the
+   raw text — [lint: holds] / [lint: quiescent] are comments — and the
+   line just above the scope's first line is included so annotations
+   placed above the [let] count. *)
+let holds_evidence src scope lock =
+  let above = if scope.start > 0 then src.raw.(scope.start - 1) ^ "\n" else "" in
+  let text = above ^ scope_text src.raw scope in
   contains text "acquire"
   || contains text "Mutex.lock"
   || contains text ("with_" ^ lock)
   || contains text ("lint: holds " ^ lock)
   || contains text "lint: quiescent"
 
-let check_guarded_by ~file lines =
-  let fields = guarded_fields lines in
+let check_guarded_by src =
+  let fields = guarded_fields src in
   if fields = [] then []
   else begin
-    let scopes = scopes_of lines in
+    let scopes = scopes_of src.masked in
     let findings = ref [] in
     List.iter
       (fun (field, lock) ->
@@ -184,17 +200,16 @@ let check_guarded_by ~file lines =
         in
         List.iter
           (fun scope ->
-            if not (holds_evidence lines scope lock) then
+            if not (holds_evidence src scope lock) then
               for i = scope.start to scope.stop do
-                let line = lines.(i) in
-                if
-                  (try ignore (Str.search_forward access_re line 0); true
-                   with Not_found -> false)
-                  && not (suppressed line "guarded-by")
+                (* Accesses are matched on the masked line: a string
+                   literal like ["zmsq.handles"] is data, not an access. *)
+                if matches access_re src.masked.(i)
+                   && not (suppressed src.raw.(i) "guarded-by")
                 then
                   findings :=
                     {
-                      file;
+                      file = src.file;
                       line = i + 1;
                       rule = "guarded-by";
                       message =
@@ -214,21 +229,23 @@ let check_guarded_by ~file lines =
 
 let raw_tokens = [ "Stdlib.Atomic"; "Stdlib.Mutex"; "Domain.cpu_relax" ]
 
-let check_raw_prims ~file lines =
+let prim_functorized src =
   (* Exact-line match: prose that merely *mentions* the marker (doc
      comments in intf.ml, this file) must not opt a file in. *)
-  let marked = Array.exists (fun l -> String.trim l = "(* lint: prim-functorized *)") lines in
-  if not marked then []
+  Array.exists (fun l -> String.trim l = "(* lint: prim-functorized *)") src.raw
+
+let check_raw_prims src =
+  if not (prim_functorized src) then []
   else begin
     let findings = ref [] in
     Array.iteri
       (fun i line ->
         List.iter
           (fun tok ->
-            if contains line tok && not (suppressed line "raw-primitive") then
+            if contains line tok && not (suppressed src.raw.(i) "raw-primitive") then
               findings :=
                 {
-                  file;
+                  file = src.file;
                   line = i + 1;
                   rule = "raw-primitive";
                   message =
@@ -239,24 +256,79 @@ let check_raw_prims ~file lines =
                 }
                 :: !findings)
           raw_tokens)
-      lines;
+      src.masked;
     !findings
   end
 
+(* {2 R5: blocking calls under a lock} *)
+
+(* A held region starts at a statement-position acquisition and ends at
+   the first statement that *begins* with an unlock/release call — an
+   unlock tucked inside a [Fun.protect ~finally:...] closure does not end
+   it, so protected bodies are scanned too. *)
+let lock_stmt_re = Str.regexp "^\\([A-Za-z_']+\\.\\)*\\(lock\\|acquire\\)\\b.*;$"
+let unlock_stmt_re = Str.regexp "^\\([A-Za-z_']+\\.\\)*\\(unlock\\|release\\)\\b"
+
+let blocking_tokens =
+  (* [Condition.wait] is deliberately absent: waiting on a condition
+     releases the mutex by construction. *)
+  [
+    "Unix.sleepf";
+    "Thread.delay";
+    "Futex.wait";
+    "Eventcount.wait";
+    "wait_before_extract";
+    "extract_blocking";
+  ]
+
+let check_blocking_under_lock src =
+  let findings = ref [] in
+  List.iter
+    (fun scope ->
+      (* [held] carries the lock statement's indentation: a non-blank line
+         dedenting below it has left the critical section — which is how a
+         [Fun.protect]-shaped section (unlock inside the [~finally]
+         closure, body indented deeper) is delimited textually. *)
+      let held = ref None in
+      for i = scope.start to scope.stop do
+        let line = src.masked.(i) in
+        let t = String.trim line in
+        (match !held with
+        | Some ind when (not (is_blank line)) && indent_of line < ind -> held := None
+        | _ -> ());
+        if Str.string_match unlock_stmt_re t 0 then held := None
+        else if Str.string_match lock_stmt_re t 0 then held := Some (indent_of line)
+        else if !held <> None then
+          List.iter
+            (fun tok ->
+              if contains t tok && not (suppressed src.raw.(i) "blocking-under-lock") then
+                findings :=
+                  {
+                    file = src.file;
+                    line = i + 1;
+                    rule = "blocking-under-lock";
+                    message =
+                      Printf.sprintf
+                        "'%s' while holding a lock: sleepers must not own a mutex (release \
+                         first, or suppress with lint: allow blocking-under-lock)"
+                        tok;
+                  }
+                  :: !findings)
+            blocking_tokens
+      done)
+    (scopes_of src.masked);
+  !findings
+
 (* {2 Driver} *)
 
-let lint_source ~file content =
-  let lines = Array.of_list (String.split_on_char '\n' content) in
+let lint_src src =
   let fs =
-    check_raise_under_lock ~file lines
-    @ check_guarded_by ~file lines
-    @ check_raw_prims ~file lines
+    check_raise_under_lock src
+    @ check_guarded_by src
+    @ check_raw_prims src
+    @ check_blocking_under_lock src
   in
   List.sort (fun a b -> compare (a.line, a.rule) (b.line, b.rule)) fs
 
-let lint_file path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let content = really_input_string ic len in
-  close_in ic;
-  lint_source ~file:path content
+let lint_source ~file content = lint_src (Source.of_string ~file content)
+let lint_file path = lint_src (Source.of_file path)

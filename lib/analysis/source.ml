@@ -1,0 +1,145 @@
+(* Shared substrate for the textual analyzer passes: file walking, line
+   predicates, and a comment/string masker.
+
+   Masking is what keeps the passes honest on real sources: rules that
+   look for code tokens ([Atomic.t] fields, lock statements, guarded-field
+   accesses) run on the masked text, where comments and string literals
+   have been blanked out — a tracked-cell name like ["zmsq.handles"] or a
+   doc comment mentioning [Atomic.t] must not trip a rule. Rules driven by
+   structured annotations ([lint: ...], [race: ...]) read the raw text,
+   because the annotations *are* comments. *)
+
+type finding = { file : string; line : int; rule : string; message : string }
+
+let pp_finding f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.message
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let starts_with pre s =
+  String.length s >= String.length pre && String.sub s 0 (String.length pre) = pre
+
+let ends_with suf s =
+  String.length s >= String.length suf
+  && String.sub s (String.length s - String.length suf) (String.length suf) = suf
+
+let indent_of line =
+  let n = String.length line in
+  let rec go i = if i < n && line.[i] = ' ' then go (i + 1) else i in
+  go 0
+
+let is_blank line = String.trim line = ""
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  content
+
+let lines_of content = Array.of_list (String.split_on_char '\n' content)
+
+(* Blank out comments (nested, per OCaml), string literals (including
+   [{|...|}] quoted strings) and char literals, preserving line structure
+   so line numbers and indentation survive. Escapes inside strings are
+   honored; a lone type-variable quote (['a]) is left alone. *)
+let mask content =
+  let n = String.length content in
+  let out = Bytes.of_string content in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let i = ref 0 in
+  let comment = ref 0 in
+  while !i < n do
+    let c = content.[!i] in
+    if !comment > 0 then begin
+      if c = '(' && !i + 1 < n && content.[!i + 1] = '*' then begin
+        blank !i;
+        blank (!i + 1);
+        incr comment;
+        i := !i + 2
+      end
+      else if c = '*' && !i + 1 < n && content.[!i + 1] = ')' then begin
+        blank !i;
+        blank (!i + 1);
+        decr comment;
+        i := !i + 2
+      end
+      else begin
+        blank !i;
+        incr i
+      end
+    end
+    else if c = '(' && !i + 1 < n && content.[!i + 1] = '*' then begin
+      blank !i;
+      blank (!i + 1);
+      comment := 1;
+      i := !i + 2
+    end
+    else if c = '"' then begin
+      blank !i;
+      incr i;
+      let stop = ref false in
+      while (not !stop) && !i < n do
+        (match content.[!i] with
+        | '\\' when !i + 1 < n ->
+            blank !i;
+            blank (!i + 1);
+            i := !i + 1
+        | '"' -> stop := true
+        | _ -> blank !i);
+        blank !i;
+        incr i
+      done
+    end
+    else if c = '{' && !i + 1 < n && content.[!i + 1] = '|' then begin
+      (* {|...|} quoted string (delimiter-id forms are not used here) *)
+      blank !i;
+      blank (!i + 1);
+      i := !i + 2;
+      let stop = ref false in
+      while (not !stop) && !i < n do
+        if content.[!i] = '|' && !i + 1 < n && content.[!i + 1] = '}' then begin
+          blank !i;
+          blank (!i + 1);
+          i := !i + 2;
+          stop := true
+        end
+        else begin
+          blank !i;
+          incr i
+        end
+      done
+    end
+    else if
+      c = '\''
+      && ((!i + 2 < n && content.[!i + 2] = '\'' && content.[!i + 1] <> '\\')
+         || (!i + 3 < n && content.[!i + 1] = '\\' && content.[!i + 3] = '\''))
+    then begin
+      (* a char literal like '"' or '\n' — not a type variable *)
+      let stop = if content.[!i + 1] = '\\' then !i + 3 else !i + 2 in
+      for j = !i to stop do
+        blank j
+      done;
+      i := stop + 1
+    end
+    else incr i
+  done;
+  Bytes.to_string out
+
+(* Raw and masked views of one source, split into lines. *)
+type t = { file : string; raw : string array; masked : string array }
+
+let of_string ~file content =
+  { file; raw = lines_of content; masked = lines_of (mask content) }
+
+let of_file path = of_string ~file:path (read_file path)
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Array.fold_left (fun acc f -> walk acc (Filename.concat path f)) acc (Sys.readdir path)
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let ml_files roots = List.sort compare (List.concat_map (walk []) roots)

@@ -86,8 +86,8 @@ module Store = struct
   let chunk_size = 1 lsl chunk_bits
 
   type t = {
-    chunks : (int * int * int) array option Atomic.t array;
-    cursor : int Atomic.t;
+    chunks : (int * int * int) array option Atomic.t array; (* lint: unpadded write-once publish slots; read-mostly after *)
+    cursor : int Atomic.t; (* lint: unpadded single FAA per 16K-node chunk; cold *)
     grow_mu : Mutex.t;
   }
 

@@ -1,0 +1,238 @@
+(* FastTrack-style happens-before race detection for the model scheduler.
+
+   Every synchronization event the shim executes — atomic load/store/
+   exchange/CAS/FAA, mutex lock/trylock-success/unlock, futex get/CAS/
+   wait/wake (and therefore every eventcount wait/signal, which is built
+   from those), plus fiber spawn/finish — maintains per-thread vector
+   clocks. OCaml's memory model makes every atomic access to a location
+   synchronize with all earlier accesses to that location, so each sync
+   event is modeled as acquire+release on its object: the thread joins the
+   object's clock, publishes its own, and ticks its local epoch.
+
+   Non-atomic shared cells go through the PRIM [Plain] API; under the shim
+   each access is checked against the FastTrack epochs (last-write epoch +
+   per-thread read epochs). Two accesses to the same cell from different
+   threads with no happens-before edge between them — at least one a write
+   — are a data race: the first such pair is reported with both access
+   stacks, and because the report is raised as a scheduler violation the
+   existing explorer machinery attaches the schedule prefix for replay.
+
+   Cells declared [~benign:"<reason>"] (mirrored by a
+   [(* race: benign <reason> *)] comment at the declaration site) are
+   counted but not checked: the race is by design, and the declaration is
+   what this detector exists to force into the open. *)
+
+(* {2 Vector clocks} *)
+
+module Vc = struct
+  (* Component [i] is the newest epoch of thread [i] known to happen
+     before the clock's owner; absent components read as 0. *)
+  type t = { mutable c : int array }
+
+  let create () = { c = [||] }
+  let get t i = if i >= 0 && i < Array.length t.c then t.c.(i) else 0
+
+  (* Grow to exactly [n]: components are indexed by thread id, so lengths
+     are bounded by the scenario's thread count. Over-allocating (e.g.
+     doubling) is a trap here — [join] calls [ensure] with the *other*
+     clock's length, and any slack ping-pongs between two clocks that
+     repeatedly join each other, growing both without bound. *)
+  let ensure t n =
+    if Array.length t.c < n then begin
+      let a = Array.make n 0 in
+      Array.blit t.c 0 a 0 (Array.length t.c);
+      t.c <- a
+    end
+
+  let set t i v =
+    ensure t (i + 1);
+    t.c.(i) <- v
+
+  let tick t i = set t i (get t i + 1)
+
+  let join dst src =
+    ensure dst (Array.length src.c);
+    Array.iteri (fun i v -> if v > dst.c.(i) then dst.c.(i) <- v) src.c
+
+  let leq a b =
+    let ok = ref true in
+    Array.iteri (fun i v -> if v > get b i then ok := false) a.c;
+    !ok
+
+  let to_list t = Array.to_list t.c
+end
+
+(* {2 Per-execution state} *)
+
+type access = {
+  a_tid : int;
+  a_clk : int;  (** the accessor's own epoch at access time *)
+  a_step : int;  (** schedule position, for cross-referencing the trace *)
+  a_write : bool;
+  a_stack : Printexc.raw_backtrace;
+}
+
+type cell = {
+  c_name : string;
+  c_benign : string option;
+  mutable c_write : access option;
+  mutable c_reads : access list;  (** at most one entry per thread *)
+}
+
+(* Set by {!Sched} at module-initialization time so reports can cite the
+   schedule position without a dependency cycle. *)
+let step_source : (unit -> int) ref = ref (fun () -> 0)
+
+type ctx = { mutable clocks : Vc.t array; objvc : (int, Vc.t) Hashtbl.t }
+
+let ctx = { clocks = [||]; objvc = Hashtbl.create 64 }
+
+(* Cumulative counters (not reset per execution): the CLI prints them as
+   the race-run summary, and BENCH_pr7.json records them. *)
+let n_sync = ref 0
+let n_spawns = ref 0
+let n_joins = ref 0
+let n_reads = ref 0
+let n_writes = ref 0
+let n_cells = ref 0
+let n_benign_cells = ref 0
+let n_races = ref 0
+
+let stats () =
+  [
+    ("sync_events", !n_sync);
+    ("fiber_spawns", !n_spawns);
+    ("fiber_joins", !n_joins);
+    ("plain_reads", !n_reads);
+    ("plain_writes", !n_writes);
+    ("cells_tracked", !n_cells);
+    ("cells_benign", !n_benign_cells);
+    ("races_reported", !n_races);
+  ]
+
+let begin_run () =
+  ctx.clocks <- [||];
+  Hashtbl.reset ctx.objvc
+
+let clock_of tid =
+  let n = Array.length ctx.clocks in
+  if tid >= n then begin
+    let a = Array.init (tid + 1) (fun i -> if i < n then ctx.clocks.(i) else Vc.create ()) in
+    ctx.clocks <- a
+  end;
+  ctx.clocks.(tid)
+
+(* A fresh thread's first epoch is 1, so its accesses are never covered by
+   another thread's all-zero view: unsynchronized cross-thread pairs race
+   even when the actual schedule happened to serialize them. *)
+let spawn tid =
+  incr n_spawns;
+  let c = clock_of tid in
+  if Vc.get c tid = 0 then Vc.tick c tid
+
+let join_thread tid =
+  incr n_joins;
+  ignore (clock_of tid)
+
+let objvc_of obj =
+  match Hashtbl.find_opt ctx.objvc obj with
+  | Some v -> v
+  | None ->
+      let v = Vc.create () in
+      Hashtbl.add ctx.objvc obj v;
+      v
+
+(* Acquire + release on [obj]: C_t := C_t ⊔ V_o; V_o := V_o ⊔ C_t; tick. *)
+let sync ~tid ~obj =
+  if tid >= 0 then begin
+    incr n_sync;
+    let c = clock_of tid in
+    let v = objvc_of obj in
+    Vc.join c v;
+    Vc.join v c;
+    Vc.tick c tid
+  end
+
+(* {2 Plain cells} *)
+
+let cell_name c = c.c_name
+
+let new_cell ?benign ~name () =
+  incr n_cells;
+  if benign <> None then incr n_benign_cells;
+  { c_name = name; c_benign = benign; c_write = None; c_reads = [] }
+
+let stack_depth = 24
+
+let indent_stack bt =
+  Printexc.raw_backtrace_to_string bt
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map (fun l -> "    " ^ l)
+  |> String.concat "\n"
+
+let pp_access cell a =
+  Printf.sprintf "  t%d %s of '%s' at step %d (epoch %d)\n%s" a.a_tid
+    (if a.a_write then "write" else "read")
+    cell.c_name a.a_step a.a_clk (indent_stack a.a_stack)
+
+let report cell ~prior ~cur =
+  incr n_races;
+  Printf.sprintf "data race on plain cell '%s': unsynchronized %s/%s pair\n%s\n%s" cell.c_name
+    (if prior.a_write then "write" else "read")
+    (if cur.a_write then "write" else "read")
+    (pp_access cell prior) (pp_access cell cur)
+
+let mk_access ~tid ~write c =
+  {
+    a_tid = tid;
+    a_clk = Vc.get c tid;
+    a_step = !step_source ();
+    a_write = write;
+    a_stack = Printexc.get_callstack stack_depth;
+  }
+
+(* [read]/[write] return the formatted race report for the first racy pair
+   (the caller raises it as a scheduler violation), or [None]. *)
+let read ~tid cell =
+  incr n_reads;
+  if tid < 0 || cell.c_benign <> None then None
+  else begin
+    let c = clock_of tid in
+    let me = mk_access ~tid ~write:false c in
+    match cell.c_write with
+    | Some w when w.a_tid <> tid && w.a_clk > Vc.get c w.a_tid ->
+        Some (report cell ~prior:w ~cur:me)
+    | _ ->
+        cell.c_reads <- me :: List.filter (fun a -> a.a_tid <> tid) cell.c_reads;
+        None
+  end
+
+let write ~tid cell =
+  incr n_writes;
+  if tid < 0 || cell.c_benign <> None then None
+  else begin
+    let c = clock_of tid in
+    let me = mk_access ~tid ~write:true c in
+    match cell.c_write with
+    | Some w when w.a_tid <> tid && w.a_clk > Vc.get c w.a_tid ->
+        Some (report cell ~prior:w ~cur:me)
+    | _ -> (
+        match
+          List.find_opt (fun r -> r.a_tid <> tid && r.a_clk > Vc.get c r.a_tid) cell.c_reads
+        with
+        | Some r -> Some (report cell ~prior:r ~cur:me)
+        | None ->
+            (* The write is ordered after every recorded read, so the read
+               set collapses into the new write epoch (FastTrack). *)
+            cell.c_write <- Some me;
+            cell.c_reads <- [];
+            None)
+  end
+
+(* {2 Introspection for tests} *)
+
+module Debug = struct
+  let clock tid = Vc.to_list (clock_of tid)
+  let obj_clock obj = Vc.to_list (objvc_of obj)
+end

@@ -1162,6 +1162,91 @@ let zmsq_chaos_buffered =
         (producers @ [ consumer ], final));
   }
 
+(* {2 Race-detector scenarios (PR 7)}
+
+   The first pair is the detector's own seeded-bug twin: two writers hit a
+   shared [Plain] cell with no synchronization at all. Undeclared, the
+   happens-before checker must flag the pair (with a replayable schedule);
+   declared [~benign], the identical access pattern must pass — which is
+   exactly the contract the benign vocabulary promises, and what keeps
+   "remove an annotation" an observable CI failure. The private per-fiber
+   atomics exist only to give the failing execution a non-empty schedule
+   prefix, so the replay path is exercised too. *)
+let race_plain ~benign =
+  {
+    Explore.name = (if benign then "race-benign-declared" else "race-unsync-counter");
+    make =
+      (fun () ->
+        let cell =
+          P.Plain.make
+            ?benign:(if benign then Some "scenario: unsynchronized by design" else None)
+            ~name:"race.counter" 0
+        in
+        let a1 = P.Atomic.make 0 in
+        let a2 = P.Atomic.make 0 in
+        let writer private_ops () =
+          P.Atomic.incr private_ops;
+          P.Plain.set cell (P.Plain.get cell + 1)
+        in
+        ([ writer a1; writer a2 ], fun () -> ()));
+  }
+
+(* True-negative fence: the same increment pattern, but under a mutex. The
+   lock acquire joins the unlocking thread's clock through the mutex
+   object, so the cross-thread write/write pairs are ordered and the
+   detector must stay silent across the full DFS. *)
+let race_lock_fence =
+  {
+    Explore.name = "race-lock-fence";
+    make =
+      (fun () ->
+        let mu = P.Mutex.create () in
+        let cell = P.Plain.make ~name:"race.locked" 0 in
+        (* The shared gate forces a DPOR backtrack point before either lock:
+           a blocked [lock] never seeds one itself (it is disabled while the
+           mutex is held), and without the gate DFS would explore only one
+           acquisition order. *)
+        let gate = P.Atomic.make 0 in
+        let writer () =
+          P.Atomic.incr gate;
+          P.Mutex.lock mu; (* lint: allow raise-under-lock — model scenario, nothing raises *)
+          P.Plain.set cell (P.Plain.get cell + 1);
+          P.Mutex.unlock mu
+        in
+        let final () =
+          P.Mutex.lock mu; (* lint: allow raise-under-lock — model scenario, nothing raises *)
+          let v = P.Plain.get cell in
+          P.Mutex.unlock mu;
+          if v <> 2 then Sched.violation "lock-fenced counter: %d, expected 2" v
+        in
+        ([ writer; writer ], final));
+  }
+
+(* True-negative fence through the real eventcount: producer writes the
+   cell, then signals; consumer returns from [wait_before_extract] (either
+   through the insert-counter fast path or a futex sleep/wake) and reads.
+   Both release/acquire chains — the insert counter's FAA/get pair and the
+   futex-slot CAS feeding the scheduler's wake-resume edge — must order
+   the write before the read. *)
+let race_ec_fence =
+  {
+    Explore.name = "race-ec-fence";
+    make =
+      (fun () ->
+        let ec = EC.create ~slots:1 ~spin:0 ~initial:0 () in
+        let cell = P.Plain.make ~name:"race.handoff" 0 in
+        let producer () =
+          P.Plain.set cell 41;
+          EC.signal_after_insert ec
+        in
+        let consumer () =
+          EC.wait_before_extract ec;
+          let v = P.Plain.get cell in
+          if v <> 41 then Sched.violation "eventcount handoff read %d, expected 41" v
+        in
+        ([ producer; consumer ], fun () -> ()));
+  }
+
 (* {2 Registry} *)
 
 type mode = Dfs | Rand of { executions : int; seed : int }
@@ -1258,6 +1343,16 @@ let all =
       expect_fail = false; max_steps = 8000; max_executions = 0 };
     { scenario = zmsq_chaos_buffered; mode = Rand { executions = 150; seed = 0xC4A6 };
       expect_fail = false; max_steps = 20_000; max_executions = 0 };
+    (* PR 7 race-detector twins: the seeded true positive, its benign-declared
+       double, and the two fence false-positive guards. *)
+    { scenario = race_plain ~benign:false; mode = Dfs; expect_fail = true;
+      max_steps = 200; max_executions = 20_000 };
+    { scenario = race_plain ~benign:true; mode = Dfs; expect_fail = false;
+      max_steps = 200; max_executions = 20_000 };
+    { scenario = race_lock_fence; mode = Dfs; expect_fail = false;
+      max_steps = 200; max_executions = 20_000 };
+    { scenario = race_ec_fence; mode = Dfs; expect_fail = false;
+      max_steps = 400; max_executions = 50_000 };
   ]
 
 let find name = List.find_opt (fun e -> e.scenario.Explore.name = name) all

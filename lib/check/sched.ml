@@ -68,6 +68,10 @@ type ctx = {
 
 let ctx = { slots = [||]; current = -1; steps = 0; objs = 0; active = false }
 
+(* The race detector cites schedule positions in its reports; handing it a
+   closure here avoids a [Race] -> [Sched] dependency cycle. *)
+let () = Race.step_source := fun () -> ctx.steps
+
 let fresh_obj () =
   let o = ctx.objs in
   ctx.objs <- o + 1;
@@ -110,10 +114,14 @@ type exec_result =
 
 let start tid body =
   ctx.current <- tid;
+  Race.spawn tid;
   let open Effect.Deep in
   match_with body ()
     {
-      retc = (fun () -> ctx.slots.(tid) <- Finished);
+      retc =
+        (fun () ->
+          Race.join_thread tid;
+          ctx.slots.(tid) <- Finished);
       exnc = (fun e -> raise (Fiber_exn (tid, e)));
       effc =
         (fun (type a) (eff : a Effect.t) ->
@@ -151,9 +159,13 @@ let execute tid =
       | Sleep_then v ->
           ctx.slots.(tid) <-
             Sleeping { fobj = spec.info.obj; resume = (fun () -> Effect.Deep.continue k v) })
-  | Woken { resume; _ } ->
+  | Woken { fobj; resume } ->
       ctx.current <- tid;
       ctx.steps <- ctx.steps + 1;
+      (* The waker released into the futex object's clock at [Fwake] time;
+         resuming is the matching acquire, ordering the sleeper's later
+         accesses after whatever the waker published before waking. *)
+      Race.sync ~tid ~obj:fobj;
       resume ()
   | Sleeping _ | Finished -> invalid_arg "Sched.execute: thread not schedulable");
   ctx.current <- -1
@@ -169,6 +181,7 @@ let run ~max_steps ~make ~choose ~on_step =
   ctx.current <- -1;
   ctx.steps <- 0;
   ctx.objs <- 0;
+  Race.begin_run ();
   let result =
     try
       let bodies, final_check = make () in
@@ -209,6 +222,11 @@ let run ~max_steps ~make ~choose ~on_step =
       loop ()
     with
     | Violation m -> Exec_violation m
+    | Fiber_exn (_, Violation m) ->
+        (* Violations raised from plain fiber code (e.g. the race detector
+           flagging a [Plain] access, which is not a yield point) carry
+           their own context; don't wrap them in [Printexc] noise. *)
+        Exec_violation m
     | Fiber_exn (tid, e) ->
         Exec_violation (Printf.sprintf "t%d raised %s" tid (Printexc.to_string e))
   in

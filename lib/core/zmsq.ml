@@ -84,15 +84,16 @@ module Make_prim (P : Zmsq_prim.Intf.PRIM) (L : Zmsq_sync.Lock.S) (Set : Set_int
 struct
   module Atomic = P.Atomic
   module Mutex = P.Mutex
+  module Plain = P.Plain
   module Eventcount = Zmsq_sync.Eventcount.Make (P)
   module Hazard = Zmsq_hp.Hazard.Make (P)
 
   type tnode = {
     lock : L.t;
     set : Set.t; (* lint: guarded-by lock *)
-    max : Elt.t Atomic.t; (* caches, written under [lock], read anywhere *)
-    min : Elt.t Atomic.t;
-    count : int Atomic.t;
+    max : Elt.t Atomic.t; (* lint: unpadded caches, written under [lock], read anywhere; co-touched with the node lock *)
+    min : Elt.t Atomic.t; (* lint: unpadded same: node-granular contention dominates *)
+    count : int Atomic.t; (* lint: unpadded same: node-granular contention dominates *)
   }
 
   let fresh_tnode () =
@@ -163,28 +164,28 @@ struct
 
   type t = {
     params : Params.t;
-    levels : tnode array Atomic.t array;
-    leaf_level : int Atomic.t;
+    levels : tnode array Atomic.t array; (* lint: unpadded read-mostly; written only under expand_mu *)
+    leaf_level : int Atomic.t; (* lint: unpadded read-mostly; written only under expand_mu *)
     expand_mu : Mutex.t;
-    size : int Atomic.t; (* global element count: exact emptiness *)
-    pool : Elt.t Atomic.t array;
-    pool_next : int Atomic.t;
-    mutable pool_fill : int; (* last refill size; guarded by the root lock *)
+    size : int Atomic.t; (* lint: unpadded global element count: exact emptiness; hot FAA accepted, perf-CI gated *)
+    pool : Elt.t Atomic.t array;  (* lint: unpadded helper pool slots; batch-refilled under the root lock *)
+    pool_next : int Atomic.t; (* lint: unpadded helper cursor; contended only during refill windows *)
+    pool_fill : int Plain.t; (* last refill size; guarded by the root lock *)
     buffer_on : bool; (* params.buffer_len > 0, hoisted for the hot paths *)
-    buffered : int Atomic.t; (* staged in handle buffers; excluded from [size] *)
-    flush_demand : bool Atomic.t; (* consumer -> producers: publish your backlog *)
-    state : int Atomic.t; (* lifecycle: st_open / st_draining / st_closed *)
+    buffered : int Atomic.t; (* lint: unpadded staged-in-buffers count; touched once per batch, not per op *)
+    flush_demand : bool Atomic.t; (* lint: unpadded consumer -> producers backlog signal; read-mostly, set on empty *)
+    state : int Atomic.t; (* lint: unpadded lifecycle st_open/st_draining/st_closed; written twice per queue lifetime *)
     handles_mu : Mutex.t;
-    mutable handles : handle list; (* lint: guarded-by handles_mu *)
+    handles : handle list Plain.t; (* lint: guarded-by handles_mu *)
     ec : Eventcount.t option;
     hp : tnode Hazard.t option; (* None in leaky mode *)
     obs_on : bool; (* params.obs <> Off, hoisted for the hot paths *)
     obs_full : bool; (* params.obs = Full *)
     sample_mask : int; (* (1 lsl obs_sample_shift) - 1; QoS sampling at Full *)
-    probe_key : Elt.t Atomic.t array; (* sojourn probes: sampled in-flight keys *)
-    probe_ts : int Atomic.t array; (* insert timestamp per armed probe *)
-    probe_armed : int Atomic.t; (* armed probe count: extract's one-read gate *)
-    drain_t0 : int Atomic.t; (* Draining-entry timestamp for the Drain span *)
+    probe_key : Elt.t Atomic.t array; (* lint: unpadded sojourn probes: sampled in-flight keys, 1-in-2^k traffic *)
+    probe_ts : int Atomic.t array; (* lint: unpadded insert timestamp per armed probe; sampled traffic only *)
+    probe_armed : int Atomic.t; (* lint: unpadded armed probe count: extract's one-read gate; sampled writes *)
+    drain_t0 : int Atomic.t; (* lint: unpadded Draining-entry timestamp; written once per drain *)
     metrics : Metrics.t;
     mc : mcounters;
     mh : mhists;
@@ -196,13 +197,18 @@ struct
     rng : Rng.t;
     hp_thread : tnode Hazard.thread option;
     buf : Elt.t array; (* staged inserts, sorted ascending in [0, buf_n) *)
-    mutable buf_n : int;
-    mutable buf_target : int; (* adaptive fill threshold in [1, buffer_len] *)
-    owner : int Atomic.t; (* own_live / own_orphaned / own_reclaimed / own_unregistered *)
+    buf_n : int Plain.t; (* race: benign — ownership handoff, see below *)
+    buf_target : int Plain.t; (* adaptive fill threshold in [1, buffer_len] *)
+    owner : int Atomic.t; (* lint: unpadded own_live/orphaned/reclaimed/unregistered word; CAS only on reclaim paths *)
     (* [buf]/[buf_n]/[buf_target] are owned by whoever the [owner] word says
        owns the handle: the registering domain while [Live], the scavenger
        that won the CAS once [Reclaimed] (handles must not be shared);
-       [q.buffered] and [owner] itself are the only cross-domain fields. *)
+       [q.buffered] and [owner] itself are the only cross-domain fields.
+       The handoff is racy by design: the CAS on [owner] orders the *claim*
+       but not the owner's final buffer writes, which the protocol instead
+       covers by requiring the owner to be quiescent (crashed or between
+       operations) before [orphan] is ever called — so the cells are
+       declared [~benign] to the race detector rather than synchronized. *)
   }
 
   let name = Printf.sprintf "zmsq(%s,%s)" Set.name L.name
@@ -231,13 +237,13 @@ struct
         size = Atomic.make 0;
         pool = Array.init (max params.batch 1) (fun _ -> Atomic.make Elt.none);
         pool_next = Atomic.make (-1);
-        pool_fill = 0;
+        pool_fill = Plain.make ~name:"zmsq.pool_fill" 0;
         buffer_on = params.buffer_len > 0;
         buffered = Atomic.make 0;
         flush_demand = Atomic.make false;
         state = Atomic.make st_open;
         handles_mu = Mutex.create ();
-        handles = [];
+        handles = Plain.make ~name:"zmsq.handles" [];
         ec = (if params.blocking then Some (Eventcount.create ~initial:0 ()) else None);
         hp =
           (if params.leaky then None
@@ -401,7 +407,8 @@ struct
     Fun.protect ~finally:(fun () -> Mutex.unlock q.handles_mu) f
 
   let forget_handle q h =
-    with_handles_mu q (fun () -> q.handles <- List.filter (fun h' -> h' != h) q.handles)
+    with_handles_mu q (fun () ->
+        Plain.set q.handles (List.filter (fun h' -> h' != h) (Plain.get q.handles)))
 
   let handle_state h =
     let s = Atomic.get h.owner in
@@ -441,12 +448,19 @@ struct
         rng = Rng.create ~seed:(Atomic.fetch_and_add handle_seed 0x9E3779B9) ();
         hp_thread = Option.map Hazard.register q.hp;
         buf = Array.make q.params.buffer_len Elt.none;
-        buf_n = 0;
-        buf_target = max 1 (q.params.buffer_len / 4);
+        buf_n =
+          Plain.make ~name:"zmsq.handle.buf_n"
+            ~benign:
+              "owner-word CAS transfers buffer ownership; the owner is quiescent before \
+               orphan/reclaim (see the handle comment)"
+            0;
+        buf_target =
+          Plain.make ~name:"zmsq.handle.buf_target"
+            ~benign:"same ownership handoff as buf_n; adaptive hint only" (max 1 (q.params.buffer_len / 4));
         owner = Atomic.make own_live;
       }
     in
-    with_handles_mu q (fun () -> q.handles <- h :: q.handles);
+    with_handles_mu q (fun () -> Plain.set q.handles (h :: Plain.get q.handles));
     h
 
   let length q = Atomic.get q.size
@@ -825,7 +839,7 @@ struct
 
   let bulk_flush h reason =
     let q = h.q in
-    let n = h.buf_n in
+    let n = Plain.get h.buf_n in
     if n > 0 then begin
       let t0 = if q.obs_full then Zmsq_util.Timing.now_ns () else 0 in
       let bmax = h.buf.(n - 1) in
@@ -850,7 +864,7 @@ struct
         end
       in
       attempt ();
-      h.buf_n <- 0;
+      Plain.set h.buf_n 0;
       ignore (Atomic.fetch_and_add q.buffered (-n));
       (* Adaptive fill threshold: node-trylock contention during the flush
          (the same events the obs registry counts as [insert_retries_total])
@@ -861,11 +875,12 @@ struct
          very next window. *)
       let cap = q.params.buffer_len in
       let minimum = max 1 (cap / 8) in
+      let target = Plain.get h.buf_target in
       (match reason with
-      | Demand | Drain -> h.buf_target <- max minimum (h.buf_target / 2)
+      | Demand | Drain -> Plain.set h.buf_target (max minimum (target / 2))
       | Full | Unregister | Manual | Reclaim ->
-          if !fails > 0 then h.buf_target <- min cap (2 * h.buf_target)
-          else h.buf_target <- max minimum (h.buf_target - 1));
+          if !fails > 0 then Plain.set h.buf_target (min cap (2 * target))
+          else Plain.set h.buf_target (max minimum (target - 1)));
       (match reason with Demand -> Atomic.set q.flush_demand false | _ -> ());
       tick q (flush_counter q reason);
       (* [tr] is populated iff obs_full, when [t0] was measured: the span
@@ -886,13 +901,14 @@ struct
     let q = h.q in
     (* Sorted ascending insertion shift; the handle's best staged element
        stays at the top index for O(1) claims in [extract]. *)
-    let i = ref h.buf_n in
+    let n = Plain.get h.buf_n in
+    let i = ref n in
     while !i > 0 && h.buf.(!i - 1) > e do
       h.buf.(!i) <- h.buf.(!i - 1);
       decr i
     done;
     h.buf.(!i) <- e;
-    h.buf_n <- h.buf_n + 1;
+    Plain.set h.buf_n (n + 1);
     Atomic.incr q.buffered;
     (* A consumer's flush demand is honored only *after* staging, so the
        element just inserted is covered by the very flush that answers the
@@ -901,11 +917,11 @@ struct
        single insert, then silence — left its element staged invisibly and
        the consumer sleeping on the eventcount unboundedly. *)
     if Atomic.get q.flush_demand then bulk_flush h Demand
-    else if h.buf_n >= h.buf_target then bulk_flush h Full
+    else if n + 1 >= Plain.get h.buf_target then bulk_flush h Full
 
   let flush h =
     ensure_owner h "Zmsq.flush";
-    if h.q.buffer_on && h.buf_n > 0 then bulk_flush h Manual
+    if h.q.buffer_on && Plain.get h.buf_n > 0 then bulk_flush h Manual
 
   let unregister h =
     (* Claim the handle for teardown: the CAS settles the race against a
@@ -922,7 +938,7 @@ struct
       else invalid_arg "Zmsq.unregister: handle already unregistered"
     in
     claim ();
-    if h.q.buffer_on && h.buf_n > 0 then bulk_flush h Unregister;
+    if h.q.buffer_on && Plain.get h.buf_n > 0 then bulk_flush h Unregister;
     Option.iter Hazard.unregister h.hp_thread;
     forget_handle h.q h
 
@@ -937,14 +953,14 @@ struct
   let reclaim_orphans q =
     let candidates =
       with_handles_mu q (fun () ->
-          List.filter (fun h -> Atomic.get h.owner = own_orphaned) q.handles)
+          List.filter (fun h -> Atomic.get h.owner = own_orphaned) (Plain.get q.handles))
     in
     let published = ref 0 in
     List.iter
       (fun h ->
         if Atomic.compare_and_set h.owner own_orphaned own_reclaimed then begin
           let t0 = if q.obs_full then Zmsq_util.Timing.now_ns () else 0 in
-          let n = h.buf_n in
+          let n = Plain.get h.buf_n in
           if q.buffer_on && n > 0 then bulk_flush h Reclaim;
           published := !published + n;
           Option.iter Hazard.unregister h.hp_thread;
@@ -1122,7 +1138,7 @@ struct
     else begin
       let t0 = if q.obs_full then Zmsq_util.Timing.now_ns () else 0 in
       (* Wait for lagging consumers holding indexes into the old pool. *)
-      for i = 0 to q.pool_fill - 1 do
+      for i = 0 to Plain.get q.pool_fill - 1 do
         while not (Elt.is_none (Atomic.get q.pool.(i))) do
           P.cpu_relax ()
         done
@@ -1135,7 +1151,7 @@ struct
         (* pool.(i) ascending: the highest index is claimed first. *)
         Atomic.set q.pool.(i) top.(n - i)
       done;
-      q.pool_fill <- n;
+      Plain.set q.pool_fill n;
       refresh root;
       tick q q.mc.c_refills;
       if n > 0 then Atomic.set q.pool_next (n - 1);
@@ -1170,11 +1186,12 @@ struct
     else root_max
 
   let try_buf_claim h =
-    if h.buf_n = 0 then Elt.none
+    let n = Plain.get h.buf_n in
+    if n = 0 then Elt.none
     else begin
-      let head = h.buf.(h.buf_n - 1) in
+      let head = h.buf.(n - 1) in
       if head > best_staged h.q then begin
-        h.buf_n <- h.buf_n - 1;
+        Plain.set h.buf_n (n - 1);
         Atomic.decr h.q.buffered;
         tick h.q h.q.mc.c_buf_claims;
         head
@@ -1191,7 +1208,7 @@ struct
         let v = extract_pool h in
         if not (Elt.is_none v) then finish v
         else if Atomic.get q.size = 0 then
-          if q.buffer_on && h.buf_n > 0 then begin
+          if q.buffer_on && Plain.get h.buf_n > 0 then begin
             (* The published structure is drained but our own backlog is
                not: publish it and retry, so extract still succeeds on a
                queue this handle knows to be nonempty. *)
@@ -1417,11 +1434,11 @@ struct
       if q.params.batch = 0 || n < 0 then 0 else n + 1
 
     let buffered q = Atomic.get q.buffered
-    let live_handles q = with_handles_mu q (fun () -> List.length q.handles)
+    let live_handles q = with_handles_mu q (fun () -> List.length (Plain.get q.handles))
 
     let pool_elements q =
       let acc = ref [] in
-      for i = 0 to q.pool_fill - 1 do
+      for i = 0 to Plain.get q.pool_fill - 1 do
         let v = Atomic.get q.pool.(i) in
         if not (Elt.is_none v) then acc := v :: !acc
       done;
@@ -1459,7 +1476,7 @@ struct
         let next = Atomic.get q.pool_next in
         if q.params.batch = 0 then next < 0
         else begin
-          let ok = ref (next < q.pool_fill) in
+          let ok = ref (next < Plain.get q.pool_fill) in
           for i = 0 to min next (Array.length q.pool - 1) do
             if Elt.is_none (Atomic.get q.pool.(i)) then ok := false
           done;

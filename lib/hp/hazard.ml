@@ -32,14 +32,23 @@ end
 module Make (P : Zmsq_prim.Intf.PRIM) = struct
   module Atomic = P.Atomic
   module Mutex = P.Mutex
+  module Plain = P.Plain
 
   type 'a atomic_src = 'a P.Atomic.t
 
+  (* [retired]/[retired_len] belong to the record's registered thread; the
+     [active] CAS in [register]/[unregister] orders the handoff when a
+     record is recycled. They are still declared racy-by-design: a
+     scavenger unregistering a *crashed* owner's record (ZMSQ orphan
+     reclaim) reads them with no edge from the owner's final writes — the
+     protocol covers that by requiring the owner to be quiescent first —
+     and [live_retired] sums [retired_len] across live records with no
+     synchronization at all (a monitoring estimate, not an invariant). *)
   type 'a record = {
-    active : bool Atomic.t;
-    slots : 'a option Atomic.t array;
-    mutable retired : 'a list;
-    mutable retired_len : int;
+    active : bool Atomic.t; (* lint: unpadded registration word; CAS only at register/unregister *)
+    slots : 'a option Atomic.t array; (* lint: unpadded per-owner hazard slots; foreign reads only during scans *)
+    retired : 'a list Plain.t; (* race: benign — quiescent-owner handoff *)
+    retired_len : int Plain.t; (* race: benign — also racy monitoring reads *)
   }
 
   type 'a t = {
@@ -49,11 +58,11 @@ module Make (P : Zmsq_prim.Intf.PRIM) = struct
     recycle : 'a -> unit;
     (* Retired nodes inherited from unregistered threads. *)
     orphans_mu : Mutex.t;
-    mutable orphans : 'a list; (* lint: guarded-by orphans_mu *)
-    mutable orphans_len : int;
-    retired_total : int Atomic.t;
-    recycled_total : int Atomic.t;
-    scans : int Atomic.t;
+    orphans : 'a list Plain.t; (* lint: guarded-by orphans_mu *)
+    orphans_len : int Plain.t; (* lint: guarded-by orphans_mu *)
+    retired_total : int Atomic.t; (* lint: unpadded monitoring counter; scan-rate traffic *)
+    recycled_total : int Atomic.t; (* lint: unpadded monitoring counter; scan-rate traffic *)
+    scans : int Atomic.t; (* lint: unpadded monitoring counter; scan-rate traffic *)
   }
 
   type 'a thread = { dom : 'a t; record : 'a record }
@@ -77,15 +86,19 @@ module Make (P : Zmsq_prim.Intf.PRIM) = struct
             {
               active = Atomic.make false;
               slots = Array.init slots_per_thread (fun _ -> Atomic.make None);
-              retired = [];
-              retired_len = 0;
+              retired =
+                Plain.make ~name:"hazard.retired"
+                  ~benign:"owner-quiescence handoff on scavenger unregister" [];
+              retired_len =
+                Plain.make ~name:"hazard.retired_len"
+                  ~benign:"unsynchronized live_retired monitoring reads" 0;
             });
       slots_per_thread;
       scan_threshold;
       recycle;
       orphans_mu = Mutex.create ();
-      orphans = [];
-      orphans_len = 0;
+      orphans = Plain.make ~name:"hazard.orphans" [];
+      orphans_len = Plain.make ~name:"hazard.orphans_len" 0;
       retired_total = Atomic.make 0;
       recycled_total = Atomic.make 0;
       scans = Atomic.make 0;
@@ -157,24 +170,25 @@ module Make (P : Zmsq_prim.Intf.PRIM) = struct
 
   let take_orphans dom =
     with_orphans_mu dom (fun () ->
-        let o = dom.orphans and n = dom.orphans_len in
-        dom.orphans <- [];
-        dom.orphans_len <- 0;
+        let o = Plain.get dom.orphans and n = Plain.get dom.orphans_len in
+        Plain.set dom.orphans [];
+        Plain.set dom.orphans_len 0;
         (o, n))
 
   let scan th =
     let dom = th.dom in
     let orphans, _ = take_orphans dom in
-    let survivors, len = scan_list dom (List.rev_append orphans th.record.retired) in
-    th.record.retired <- survivors;
-    th.record.retired_len <- len
+    let survivors, len = scan_list dom (List.rev_append orphans (Plain.get th.record.retired)) in
+    Plain.set th.record.retired survivors;
+    Plain.set th.record.retired_len len
 
   let retire th v =
     let r = th.record in
-    r.retired <- v :: r.retired;
-    r.retired_len <- r.retired_len + 1;
+    Plain.set r.retired (v :: Plain.get r.retired);
+    let len = Plain.get r.retired_len + 1 in
+    Plain.set r.retired_len len;
     Atomic.incr th.dom.retired_total;
-    if r.retired_len >= th.dom.scan_threshold then scan th
+    if len >= th.dom.scan_threshold then scan th
 
   let flush th = scan th
 
@@ -182,13 +196,13 @@ module Make (P : Zmsq_prim.Intf.PRIM) = struct
     clear_all th;
     scan th;
     let r = th.record in
-    if r.retired_len > 0 then begin
+    if Plain.get r.retired_len > 0 then begin
       let dom = th.dom in
       with_orphans_mu dom (fun () ->
-          dom.orphans <- List.rev_append r.retired dom.orphans;
-          dom.orphans_len <- dom.orphans_len + r.retired_len);
-      r.retired <- [];
-      r.retired_len <- 0
+          Plain.set dom.orphans (List.rev_append (Plain.get r.retired) (Plain.get dom.orphans));
+          Plain.set dom.orphans_len (Plain.get dom.orphans_len + Plain.get r.retired_len));
+      Plain.set r.retired [];
+      Plain.set r.retired_len 0
     end;
     Atomic.set r.active false
 
@@ -197,8 +211,8 @@ module Make (P : Zmsq_prim.Intf.PRIM) = struct
   let scan_count dom = Atomic.get dom.scans
 
   let live_retired dom =
-    let local = Array.fold_left (fun acc r -> acc + r.retired_len) 0 dom.records in
-    let o = with_orphans_mu dom (fun () -> dom.orphans_len) in
+    let local = Array.fold_left (fun acc r -> acc + Plain.get r.retired_len) 0 dom.records in
+    let o = with_orphans_mu dom (fun () -> Plain.get dom.orphans_len) in
     local + o
 end
 

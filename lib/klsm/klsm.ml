@@ -86,6 +86,7 @@ let lsm_merge_into dst src =
   src.runs <- [];
   src.total <- 0
 
+(* lint: unpadded gtop/len share a line of boxed atomics; global-lock contention dominates both *)
 type t = { k : int; glock : Lock.t; global : lsm; gtop : Elt.t Atomic.t; len : int Atomic.t }
 
 type handle = { q : t; local : lsm }

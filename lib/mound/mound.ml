@@ -4,6 +4,7 @@ module Elt = Zmsq_pq.Elt
 
 (* One tree node: a sorted (descending) list whose head is the node's
    maximum, cached in an atomic so traversals need no lock. *)
+(* lint: unpadded max is co-touched with the node lock; node-granular contention dominates *)
 type tnode = { lock : Lock.t; mutable list : Elt.t list; max : Elt.t Atomic.t }
 
 let fresh_tnode () = { lock = Lock.create (); list = []; max = Atomic.make Elt.none }
@@ -11,10 +12,10 @@ let fresh_tnode () = { lock = Lock.create (); list = []; max = Atomic.make Elt.n
 let max_levels = 30
 
 type t = {
-  levels : tnode array Atomic.t array; (* levels.(i) holds 2^i nodes once populated *)
-  leaf_level : int Atomic.t;
+  levels : tnode array Atomic.t array; (* lint: unpadded levels.(i) holds 2^i nodes; read-mostly, written under expand_mu *)
+  leaf_level : int Atomic.t; (* lint: unpadded read-mostly; written only under expand_mu *)
   expand_mu : Mutex.t;
-  len : int Atomic.t;
+  len : int Atomic.t; (* lint: unpadded element count; hot FAA accepted, perf-CI gated *)
   attempts_per_level : int;
 }
 

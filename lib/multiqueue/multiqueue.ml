@@ -3,8 +3,10 @@ module Lock = Zmsq_sync.Lock.Tatas
 module Elt = Zmsq_pq.Elt
 module Heap = Zmsq_pq.Pairing_heap
 
+(* lint: unpadded top is co-touched with the per-queue lock; queue-granular contention dominates *)
 type queue = { lock : Lock.t; heap : Heap.t; top : Elt.t Atomic.t }
 
+(* lint: unpadded len is the only atomic in the record; neighbors are immutable *)
 type t = { queues : queue array; len : int Atomic.t }
 
 type handle = { q : t; rng : Rng.t }

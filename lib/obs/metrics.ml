@@ -20,10 +20,10 @@ let mask = nslots - 1
 let stride = 8
 let slot_index () = ((Domain.self () :> int) land mask) * stride
 
-type counter = { c_slots : int Atomic.t array }
+type counter = { c_slots : int Atomic.t array } (* lint: padded — stride-8 boxed slots, see above *)
 type gauge = { g_read : unit -> int }
 
-type histogram = { h_slots : Stats.Histogram.t option Atomic.t array }
+type histogram = { h_slots : Stats.Histogram.t option Atomic.t array } (* lint: padded — same stride-8 layout *)
 
 type t = {
   name : string;

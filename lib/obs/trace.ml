@@ -84,6 +84,7 @@ let nrings =
 
 let rmask = nrings - 1
 
+(* lint: unpadded ring slots are write-once publishes; steady state is all reads *)
 type t = { cap : int; rings : ring option Atomic.t array }
 
 let create ?(capacity = 4096) () =

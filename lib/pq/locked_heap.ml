@@ -1,5 +1,6 @@
 module Lock = Zmsq_sync.Lock.Tatas
 
+(* lint: unpadded len is co-touched with the global lock; lock contention dominates *)
 type t = { lock : Lock.t; heap : Binary_heap.t; len : int Atomic.t }
 
 type handle = t

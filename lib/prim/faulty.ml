@@ -319,6 +319,12 @@ end = struct
       P.Mutex.unlock t
   end
 
+  (* Plain cells pass straight through: a non-atomic access is not a
+     primitive operation (no [tick], no yield point under the shim), and
+     perturbing its timing is the scheduler's job, not the fault policy's.
+     Forwarding keeps the wrapped PRIM's race tracking intact. *)
+  module Plain = P.Plain
+
   module Futex = struct
     type t = P.Futex.t
 

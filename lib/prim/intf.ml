@@ -19,7 +19,7 @@
     whole-domain freezes) for the chaos scenarios and the soak runner.
 
     Algorithm code must never touch [Stdlib.Atomic], [Stdlib.Mutex],
-    [Domain.cpu_relax] or a raw futex directly — the [zmsq_lint] pass
+    [Domain.cpu_relax] or a raw futex directly — the [zmsq_analyze] pass
     enforces this for files marked [(* lint: prim-functorized *)]. *)
 
 module type ATOMIC = sig
@@ -68,10 +68,30 @@ module type FUTEX = sig
   (** Wake every thread currently blocked in {!wait} on [t]. *)
 end
 
+(** A tracked non-atomic cell: the declared home for every mutable field
+    that is shared across threads but deliberately *not* an atomic. Native
+    code pays nothing (the cell is exactly a [ref]); under the checker each
+    access is an epoch-checked event in the happens-before race detector
+    ([Zmsq_check.Race]), so an access pair with no synchronization between
+    it is reported with both stacks and a replayable schedule.
+
+    [?benign] declares a known racy-by-design cell: the detector skips it,
+    and the reason string plus a matching [(* race: benign <reason> *)]
+    comment at the declaration site document why the race is acceptable
+    (see ANALYSIS.md, "Race annotation vocabulary"). *)
+module type PLAIN = sig
+  type 'a t
+
+  val make : ?benign:string -> ?name:string -> 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+end
+
 module type PRIM = sig
   module Atomic : ATOMIC
   module Mutex : MUTEX
   module Futex : FUTEX
+  module Plain : PLAIN
 
   val cpu_relax : unit -> unit
   (** Spin-loop hint. A no-op under the checker (every spin loop must

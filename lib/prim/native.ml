@@ -7,7 +7,19 @@
 module Atomic = Stdlib.Atomic
 module Mutex = Stdlib.Mutex
 
+(* Zero-cost tracked cell: the record is exactly [ref], the labels are
+   dropped at [make] time, and [get]/[set] compile to one load/store. The
+   checker's shim gives the same API an epoch-checked implementation. *)
+module Plain = struct
+  type 'a t = { mutable v : 'a }
+
+  let make ?benign:_ ?name:_ v = { v }
+  let get t = t.v
+  let set t v = t.v <- v
+end
+
 module Futex = struct
+  (* lint: unpadded word/mu/cond are one wait-channel; sleepers serialize on mu anyway *)
   type t = { word : int Atomic.t; mu : Mutex.t; cond : Condition.t }
 
   let create v = { word = Atomic.make v; mu = Mutex.create (); cond = Condition.create () }

@@ -5,7 +5,7 @@ module Elt = Zmsq_pq.Elt
    level-0 link is marked. CAS operates on the physical identity of the
    [link] record. *)
 type link = { succ : node; marked : bool }
-and node = Nil | Node of { key : Elt.t; links : link Atomic.t array }
+and node = Nil | Node of { key : Elt.t; links : link Atomic.t array } (* lint: unpadded per-node tower; spray spreads contention by design *)
 
 type t = {
   head : node; (* sentinel, key = +inf, full height *)
@@ -13,9 +13,9 @@ type t = {
   spray_factor : int;
   scan_limit : int;
   max_retries : int;
-  threads : int Atomic.t;
-  len : int Atomic.t;
-  clean_tickets : int Atomic.t;
+  threads : int Atomic.t; (* lint: unpadded registration count; written at register/unregister only *)
+  len : int Atomic.t; (* lint: unpadded element count; hot FAA accepted, perf-CI gated *)
+  clean_tickets : int Atomic.t; (* lint: unpadded cleaner admission; 1-in-k traffic *)
 }
 
 type handle = { q : t; rng : Rng.t }

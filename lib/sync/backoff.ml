@@ -9,19 +9,23 @@ module type S = sig
 end
 
 module Make (P : Zmsq_prim.Intf.PRIM) = struct
-  type t = { min_spins : int; max_spins : int; mutable current : int }
+  module Plain = P.Plain
+
+  (* A backoff is thread-local by contract; the tracked cell turns any
+     accidental sharing into a detected race under the model checker. *)
+  type t = { min_spins : int; max_spins : int; current : int Plain.t }
 
   let create ?(min_spins = 4) ?(max_spins = 1024) () =
     if min_spins <= 0 || max_spins < min_spins then invalid_arg "Backoff.create";
-    { min_spins; max_spins; current = min_spins }
+    { min_spins; max_spins; current = Plain.make ~name:"backoff.current" min_spins }
 
   let once t =
-    for _ = 1 to t.current do
+    for _ = 1 to Plain.get t.current do
       P.cpu_relax ()
     done;
-    t.current <- min t.max_spins (t.current * 2)
+    Plain.set t.current (min t.max_spins (Plain.get t.current * 2))
 
-  let reset t = t.current <- t.min_spins
+  let reset t = Plain.set t.current t.min_spins
 end
 
 include Make (Zmsq_prim.Native)

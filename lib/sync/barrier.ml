@@ -1,3 +1,4 @@
+(* lint: unpadded arrived/sense are startup-only rendezvous state, not hot-path *)
 type t = { parties : int; arrived : int Atomic.t; sense : bool Atomic.t }
 
 let create parties =

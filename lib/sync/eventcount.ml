@@ -23,11 +23,11 @@ module Make (P : Zmsq_prim.Intf.PRIM) = struct
     slots : Futex.t array;
     mask : int;
     spin : int;
-    inserts : int Atomic.t; (* wake tickets: total completed insertions *)
-    extracts : int Atomic.t; (* sleep tickets: total extraction attempts *)
-    closed : bool Atomic.t; (* poisoned: every wait returns immediately *)
-    sleep_count : int Atomic.t;
-    wake_count : int Atomic.t;
+    inserts : int Atomic.t; (* lint: unpadded wake tickets: total completed insertions; FAA'd together with extracts by design *)
+    extracts : int Atomic.t; (* lint: unpadded sleep tickets: total extraction attempts *)
+    closed : bool Atomic.t; (* lint: unpadded poisoned flag: read-mostly, written once at close *)
+    sleep_count : int Atomic.t; (* lint: unpadded monitoring counter; sleep-rate traffic only *)
+    wake_count : int Atomic.t; (* lint: unpadded monitoring counter; wake-rate traffic only *)
   }
 
   let create ?(slots = 16) ?(spin = 512) ~initial () =

@@ -82,6 +82,7 @@ module Make (P : Zmsq_prim.Intf.PRIM) = struct
   end
 
   module Ticket = struct
+    (* lint: unpadded next/owner on one line is the classic ticket-lock layout; both sides of the handoff touch both words *)
     type t = { next : int Atomic.t; owner : int Atomic.t }
 
     let create () = { next = Atomic.make 0; owner = Atomic.make 0 }

@@ -1,11 +1,11 @@
 (* Regression tests for the deterministic concurrency checker: the DFS
    explorer must exhaust (or boundedly pass) the correct variants, detect
-   the seeded bugs with a schedule that replays, and the lint engine must
-   flag exactly the bad idioms on small snippets. *)
+   the seeded bugs with a schedule that replays, and the happens-before
+   race detector must flag exactly the unsynchronized pairs. *)
 
 module Explore = Zmsq_check.Explore
 module Scenarios = Zmsq_check.Scenarios
-module Lint = Zmsq_check.Lint
+module Race = Zmsq_check.Race
 
 let check = Alcotest.check
 
@@ -120,80 +120,87 @@ let test_replay_deterministic () =
       in
       check Alcotest.string "replay outcome stable" (reason (go ())) (reason (go ()))
 
-(* {2 Lint unit tests} *)
+(* {2 Race-detector unit tests}
 
-let findings_of src = Lint.lint_source ~file:"snippet.ml" src
-let rules fs = List.map (fun f -> f.Lint.rule) fs
+   The vector-clock algebra and the FastTrack cell checks are driven
+   directly, outside any scheduler run; the scenario-level tests below
+   then cover the full pipeline (shim events -> detection -> replay). *)
 
-let test_lint_raise_under_lock_bad () =
-  let src = {|let f mu =
-  Mutex.lock mu;
-  update ();
-  Mutex.unlock mu
-|} in
-  check Alcotest.(list string) "R1 flags bare lock" [ "raise-under-lock" ] (rules (findings_of src))
+let test_race_vc_algebra () =
+  let open Race.Vc in
+  let a = create () and b = create () in
+  tick a 0;
+  tick a 0;
+  tick b 1;
+  check Alcotest.int "own component" 2 (get a 0);
+  check Alcotest.int "absent component reads 0" 0 (get a 5);
+  check Alcotest.bool "incomparable" false (leq a b || leq b a);
+  join b a;
+  check Alcotest.(list int) "join is pointwise max" [ 2; 1 ] (to_list b);
+  check Alcotest.bool "a <= a join b" true (leq a b);
+  join b a;
+  check Alcotest.(list int) "join idempotent" [ 2; 1 ] (to_list b)
 
-let test_lint_raise_under_lock_good () =
-  let src = {|let f mu =
-  Mutex.lock mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock mu) update
-|} in
-  check Alcotest.(list string) "R1 accepts Fun.protect" [] (rules (findings_of src))
+let test_race_acquire_release () =
+  Race.begin_run ();
+  Race.spawn 0;
+  Race.spawn 1;
+  (* t0 releases into object #7; t1's acquire joins it: t1 now knows t0's
+     epoch at release time, and the object carries both clocks. *)
+  Race.sync ~tid:0 ~obj:7;
+  Race.sync ~tid:1 ~obj:7;
+  check Alcotest.(list int) "t1 acquired t0's release epoch" [ 1; 2 ] (Race.Debug.clock 1);
+  check Alcotest.(list int) "object clock joins both" [ 1; 1 ] (Race.Debug.obj_clock 7);
+  (* a different object shares no edge *)
+  Race.sync ~tid:0 ~obj:8;
+  check Alcotest.(list int) "t1 unchanged by foreign sync" [ 1; 2 ] (Race.Debug.clock 1)
 
-let test_lint_raise_under_lock_alias () =
-  (* value bindings are aliases, not critical-section entries *)
-  let src = {|let acquire = P.Mutex.lock
-|} in
-  check Alcotest.(list string) "R1 skips aliases" [] (rules (findings_of src))
+let test_race_cell_detects () =
+  Race.begin_run ();
+  Race.spawn 0;
+  Race.spawn 1;
+  let cell = Race.new_cell ~name:"unit.cell" () in
+  check Alcotest.bool "first write clean" true (Race.write ~tid:0 cell = None);
+  (match Race.read ~tid:1 cell with
+  | None -> Alcotest.fail "unsynchronized write/read pair not detected"
+  | Some report ->
+      check Alcotest.bool "report names the cell" true
+        (Astring.String.is_infix ~affix:"unit.cell" report));
+  (* write/write from another thread is also a race *)
+  Race.begin_run ();
+  Race.spawn 0;
+  Race.spawn 1;
+  let cell = Race.new_cell ~name:"unit.ww" () in
+  check Alcotest.bool "first write clean" true (Race.write ~tid:0 cell = None);
+  check Alcotest.bool "write/write detected" true (Race.write ~tid:1 cell <> None)
 
-let test_lint_suppression () =
-  let src = {|let f mu =
-  Mutex.lock mu; (* lint: allow raise-under-lock *)
-  update ();
-  Mutex.unlock mu
-|} in
-  check Alcotest.(list string) "allow suppresses" [] (rules (findings_of src))
+let test_race_cell_fenced () =
+  Race.begin_run ();
+  Race.spawn 0;
+  Race.spawn 1;
+  let cell = Race.new_cell ~name:"unit.fenced" () in
+  check Alcotest.bool "write clean" true (Race.write ~tid:0 cell = None);
+  (* t0 releases, t1 acquires: the pair is ordered, no race *)
+  Race.sync ~tid:0 ~obj:3;
+  Race.sync ~tid:1 ~obj:3;
+  check Alcotest.bool "fenced read clean" true (Race.read ~tid:1 cell = None);
+  check Alcotest.bool "fenced write clean" true (Race.write ~tid:1 cell = None)
 
-let test_lint_guarded_by_bad () =
-  let src = {|type t = {
-  mu : Mutex.t;
-  mutable count : int; (* lint: guarded-by mu *)
-}
+let test_race_cell_benign () =
+  Race.begin_run ();
+  Race.spawn 0;
+  Race.spawn 1;
+  let cell = Race.new_cell ~benign:"declared for the test" ~name:"unit.benign" () in
+  check Alcotest.bool "write clean" true (Race.write ~tid:0 cell = None);
+  check Alcotest.bool "benign read not reported" true (Race.read ~tid:1 cell = None);
+  check Alcotest.bool "benign write not reported" true (Race.write ~tid:1 cell = None)
 
-let bump t = t.count <- t.count + 1
-|} in
-  check Alcotest.(list string) "R2 flags unguarded access" [ "guarded-by" ]
-    (rules (findings_of src))
+(* {2 Race-detector scenarios: seeded positive + fence negatives} *)
 
-let test_lint_guarded_by_good () =
-  let src = {|type t = {
-  mu : Mutex.t;
-  mutable count : int; (* lint: guarded-by mu *)
-}
-
-let bump t =
-  Mutex.lock t.mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) (fun () -> t.count <- t.count + 1)
-
-(* lint: holds mu *)
-let peek t = t.count
-|} in
-  check Alcotest.(list string) "R2 accepts lock evidence" [] (rules (findings_of src))
-
-let test_lint_raw_prims () =
-  let marked = {|(* lint: prim-functorized *)
-let x = Stdlib.Atomic.make 0
-|} in
-  check Alcotest.(list string) "R3 flags raw atomic in marked file" [ "raw-primitive" ]
-    (rules (findings_of marked));
-  let unmarked = {|let x = Stdlib.Atomic.make 0
-|} in
-  check Alcotest.(list string) "R3 ignores unmarked files" [] (rules (findings_of unmarked));
-  (* prose mentioning the marker mid-line must not opt the file in *)
-  let prose = {|(* files marked (* lint: prim-functorized *) are checked *)
-let x = Stdlib.Atomic.make 0
-|} in
-  check Alcotest.(list string) "R3 needs exact marker line" [] (rules (findings_of prose))
+let test_race_unsync_counter () = expect_detect_and_replay "race-unsync-counter"
+let test_race_benign_declared () = expect_pass ~want_complete:true "race-benign-declared"
+let test_race_lock_fence () = expect_pass ~want_complete:true "race-lock-fence"
+let test_race_ec_fence () = expect_pass ~want_complete:true "race-ec-fence"
 
 let suite =
   [
@@ -230,11 +237,13 @@ let suite =
     ("zmsq insert-close conservation under model", `Slow, test_zmsq_insert_close_conserve);
     ("zmsq orphan reclaim race under model", `Slow, test_zmsq_orphan_reclaim_race);
     ("zmsq drain exactness under model", `Slow, test_zmsq_drain_exact);
-    ("lint raise-under-lock bad", `Quick, test_lint_raise_under_lock_bad);
-    ("lint raise-under-lock good", `Quick, test_lint_raise_under_lock_good);
-    ("lint raise-under-lock alias", `Quick, test_lint_raise_under_lock_alias);
-    ("lint suppression", `Quick, test_lint_suppression);
-    ("lint guarded-by bad", `Quick, test_lint_guarded_by_bad);
-    ("lint guarded-by good", `Quick, test_lint_guarded_by_good);
-    ("lint raw prims", `Quick, test_lint_raw_prims);
+    ("race vc algebra", `Quick, test_race_vc_algebra);
+    ("race acquire release", `Quick, test_race_acquire_release);
+    ("race cell detects", `Quick, test_race_cell_detects);
+    ("race cell fenced", `Quick, test_race_cell_fenced);
+    ("race cell benign", `Quick, test_race_cell_benign);
+    ("race unsync counter detected", `Quick, test_race_unsync_counter);
+    ("race benign declared passes", `Quick, test_race_benign_declared);
+    ("race lock fence clean", `Quick, test_race_lock_fence);
+    ("race eventcount fence clean", `Quick, test_race_ec_fence);
   ]

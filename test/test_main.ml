@@ -21,4 +21,5 @@ let () =
       ("linearize", Test_linearize.suite);
       ("apps", Test_apps.suite);
       ("check", Test_check.suite);
+      ("analysis", Test_analysis.suite);
     ]
