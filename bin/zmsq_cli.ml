@@ -31,20 +31,32 @@ let buffer_len_arg =
        & info [ "buffer-len" ] ~docv:"L"
            ~doc:"ZMSQ per-handle insert buffer capacity (0, the default, disables buffering).")
 
-let factory_of ~queue ~batch ~target_len ~buffer_len =
+let shards_arg =
+  Arg.(value & opt (some int) None
+       & info [ "shards" ] ~docv:"N"
+           ~doc:"ZMSQ shard count (routes the plain \"zmsq\" queue through zmsq-shard when > 1).")
+
+let factory_of ~queue ~batch ~target_len ~buffer_len ~shards =
+  (* `--shards N` on the default queue means "the sharded build", so users
+     do not have to spell -q zmsq-shard as well. *)
+  let queue =
+    match (queue, shards) with "zmsq", Some s when s > 1 -> "zmsq-shard" | _ -> queue
+  in
   match queue with
-  | "zmsq" | "zmsq-array" | "zmsq-leak" | "zmsq-tas" | "zmsq-mutex" ->
+  | "zmsq" | "zmsq-array" | "zmsq-leak" | "zmsq-tas" | "zmsq-mutex" | "zmsq-shard" ->
       let params =
         Zmsq.Params.default
         |> (match batch with Some b -> Zmsq.Params.with_batch b | None -> Fun.id)
         |> (match target_len with Some l -> Zmsq.Params.with_target_len l | None -> Fun.id)
-        |> match buffer_len with Some l -> Zmsq.Params.with_buffer_len l | None -> Fun.id
+        |> (match buffer_len with Some l -> Zmsq.Params.with_buffer_len l | None -> Fun.id)
+        |> match shards with Some s -> Zmsq.Params.with_shards s | None -> Fun.id
       in
       (match queue with
       | "zmsq" -> Zmsq_harness.Instances.zmsq ~params ()
       | "zmsq-array" -> Zmsq_harness.Instances.zmsq_array ~params ()
       | "zmsq-leak" -> Zmsq_harness.Instances.zmsq_leak ~params ()
       | "zmsq-tas" -> Zmsq_harness.Instances.zmsq_tas ~params ()
+      | "zmsq-shard" -> Zmsq_harness.Instances.zmsq_shard ~params ()
       | _ -> Zmsq_harness.Instances.zmsq_mutex ~params ())
   | _ -> Zmsq_harness.Instances.by_name queue
 
@@ -90,8 +102,8 @@ let throughput_cmd =
     Arg.(value & opt int 500 & info [ "insert-permil" ] ~docv:"P" ~doc:"Insert fraction, per mille.")
   in
   let preload = Arg.(value & opt int 0 & info [ "preload" ] ~docv:"N" ~doc:"Initial elements.") in
-  let run queue threads batch target_len buffer_len ops mix preload =
-    let factory = factory_of ~queue ~batch ~target_len ~buffer_len in
+  let run queue threads batch target_len buffer_len shards ops mix preload =
+    let factory = factory_of ~queue ~batch ~target_len ~buffer_len ~shards in
     let spec =
       {
         Zmsq_harness.Throughput.default_spec with
@@ -107,16 +119,16 @@ let throughput_cmd =
   in
   Cmd.v (Cmd.info "throughput" ~doc:"Measure mixed insert/extract throughput")
     Term.(
-      const run $ queue_arg $ threads_arg $ batch_arg $ target_len_arg $ buffer_len_arg $ ops
-      $ mix $ preload)
+      const run $ queue_arg $ threads_arg $ batch_arg $ target_len_arg $ buffer_len_arg
+      $ shards_arg $ ops $ mix $ preload)
 
 (* {2 accuracy} *)
 
 let accuracy_cmd =
   let qsize = Arg.(value & opt int 65536 & info [ "qsize" ] ~docv:"N" ~doc:"Initial queue size.") in
   let extracts = Arg.(value & opt int 6553 & info [ "extracts" ] ~docv:"N" ~doc:"Extractions.") in
-  let run queue threads batch target_len buffer_len qsize extracts =
-    let factory = factory_of ~queue ~batch ~target_len ~buffer_len in
+  let run queue threads batch target_len buffer_len shards qsize extracts =
+    let factory = factory_of ~queue ~batch ~target_len ~buffer_len ~shards in
     let pct =
       Zmsq_harness.Accuracy.run factory
         { Zmsq_harness.Accuracy.qsize; extracts; threads; seed = 0xACC }
@@ -126,8 +138,8 @@ let accuracy_cmd =
   in
   Cmd.v (Cmd.info "accuracy" ~doc:"Measure extraction accuracy (Table 1 protocol)")
     Term.(
-      const run $ queue_arg $ threads_arg $ batch_arg $ target_len_arg $ buffer_len_arg $ qsize
-      $ extracts)
+      const run $ queue_arg $ threads_arg $ batch_arg $ target_len_arg $ buffer_len_arg
+      $ shards_arg $ qsize $ extracts)
 
 (* {2 sssp} *)
 
@@ -138,7 +150,7 @@ let sssp_cmd =
              ~doc:"artist | politician | livejournal | grid | er | ba:<n>:<m>")
   in
   let check = Arg.(value & flag & info [ "check" ] ~doc:"Validate against Dijkstra.") in
-  let run queue threads batch target_len buffer_len graph check =
+  let run queue threads batch target_len buffer_len shards graph check =
     let rng = Zmsq_util.Rng.create ~seed:0x6EA () in
     let g =
       match String.split_on_char ':' graph with
@@ -152,7 +164,7 @@ let sssp_cmd =
             ~max_weight:100
       | _ -> failwith ("unknown graph spec: " ^ graph)
     in
-    let factory = factory_of ~queue ~batch ~target_len ~buffer_len in
+    let factory = factory_of ~queue ~batch ~target_len ~buffer_len ~shards in
     let dist, st = Zmsq_harness.Sssp.run_checked ~check factory ~graph:g ~threads in
     let reached = Array.fold_left (fun a d -> if d < Zmsq_graph.Dijkstra.infinity_dist then a + 1 else a) 0 dist in
     Printf.printf
@@ -165,17 +177,17 @@ let sssp_cmd =
   Cmd.v (Cmd.info "sssp" ~doc:"Run parallel SSSP on a generated graph")
     Term.(
       const run $ queue_arg $ threads_arg $ batch_arg $ target_len_arg $ buffer_len_arg
-      $ graph_arg $ check)
+      $ shards_arg $ graph_arg $ check)
 
 (* {2 knapsack} *)
 
 let knapsack_cmd =
   let items = Arg.(value & opt int 36 & info [ "items" ] ~docv:"N" ~doc:"Number of items.") in
-  let run queue threads batch target_len buffer_len items =
+  let run queue threads batch target_len buffer_len shards items =
     let rng = Zmsq_util.Rng.create ~seed:0xCAFE () in
     let inst = Zmsq_apps.Knapsack.generate rng ~n:items ~tightness:0.35 () in
     let opt = Zmsq_apps.Knapsack.solve_dp inst in
-    let factory = factory_of ~queue ~batch ~target_len ~buffer_len in
+    let factory = factory_of ~queue ~batch ~target_len ~buffer_len ~shards in
     let v, st = Zmsq_apps.Knapsack.solve_bb (factory ()) inst ~threads in
     Printf.printf
       "%s: value %d (dp oracle %d, %s) in %.3f s — %d explored, %d pruned\n" queue v opt
@@ -186,17 +198,18 @@ let knapsack_cmd =
   in
   Cmd.v (Cmd.info "knapsack" ~doc:"Parallel branch-and-bound knapsack (validated against DP)")
     Term.(
-      const run $ queue_arg $ threads_arg $ batch_arg $ target_len_arg $ buffer_len_arg $ items)
+      const run $ queue_arg $ threads_arg $ batch_arg $ target_len_arg $ buffer_len_arg
+      $ shards_arg $ items)
 
 (* {2 linearize} *)
 
 let linearize_cmd =
   let rounds = Arg.(value & opt int 20 & info [ "rounds" ] ~docv:"N" ~doc:"Histories to check.") in
   let ops = Arg.(value & opt int 6 & info [ "ops" ] ~docv:"N" ~doc:"Ops per thread per history.") in
-  let run queue threads batch target_len buffer_len rounds ops =
+  let run queue threads batch target_len buffer_len shards rounds ops =
     let target_len = target_len in
     let batch = match batch with Some b -> Some b | None -> Some 0 (* strict by default *) in
-    let factory = factory_of ~queue ~batch ~target_len ~buffer_len in
+    let factory = factory_of ~queue ~batch ~target_len ~buffer_len ~shards in
     let failures = ref 0 in
     for round = 1 to rounds do
       let inst = factory () in
@@ -223,8 +236,8 @@ let linearize_cmd =
     (Cmd.info "linearize"
        ~doc:"Check recorded concurrent histories against the strict max-queue specification")
     Term.(
-      const run $ queue_arg $ threads_arg $ batch_arg $ target_len_arg $ buffer_len_arg $ rounds
-      $ ops)
+      const run $ queue_arg $ threads_arg $ batch_arg $ target_len_arg $ buffer_len_arg
+      $ shards_arg $ rounds $ ops)
 
 (* {2 stats / trace}
 

@@ -7,11 +7,12 @@
 let usage () =
   prerr_endline
     "usage: zmsq_soak [--secs S] [--seed N] [--producers N] [--consumers N]\n\
-    \                 [--buffer N] [--batch N] [--stale-ms MS] [--artifacts DIR]\n\
-    \                 [--phases CSV] [--no-faults] [--quiet]\n\
+    \                 [--buffer N] [--batch N] [--shards N] [--stale-ms MS]\n\
+    \                 [--artifacts DIR] [--phases CSV] [--no-faults] [--quiet]\n\
      Fault-injected soak of the blocking/buffering queue; ZMSQ_SOAK_SECS\n\
      overrides the default duration. --phases takes a comma-separated\n\
-     subset of: mixed,burst,producer-dies,consumer-starves,handle-churn.";
+     subset of: mixed,burst,producer-dies,consumer-starves,handle-churn,\n\
+     shard-churn. --shards sets the shard count of the shard-churn phase.";
   exit 2
 
 let () =
@@ -41,6 +42,9 @@ let () =
         parse rest
     | "--batch" :: v :: rest ->
         cfg := { !cfg with batch = int_of_string v };
+        parse rest
+    | "--shards" :: v :: rest ->
+        cfg := { !cfg with shards = int_of_string v };
         parse rest
     | "--stale-ms" :: v :: rest ->
         cfg := { !cfg with stale_ms = float_of_string v };

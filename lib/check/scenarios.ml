@@ -1043,6 +1043,164 @@ let zmsq_drain_exact =
         ([ producer; closer; consumer ], final));
   }
 
+(* {2 PR 8 sharding: sticky-routing / two-choice seeded-bug pairs}
+
+   The [Zmsq_shard] routing decisions get miniature twins like the PR 4/5
+   protocol pairs: shards are modeled as (trylock word, published count)
+   cells plus a cached-maximum array, so the two decisions under test —
+   re-roll away from a stuck sticky shard, and sweep past stale cached
+   maxima — are isolated from the mound machinery. *)
+
+(* Twin of the sticky re-roll vs [Drain] decision: a peer holds the sticky
+   shard's node trylock for the whole scenario (a preempted flush), so the
+   handle's staged element can never publish there. The fixed path treats
+   the lost trylock as a contention hint and re-rolls to another shard;
+   the buggy path stays sticky, retrying the stuck shard, and the element
+   is still staged when the drain accounts for it — stranded. *)
+let shard_reroll_mini ~buggy =
+  {
+    Explore.name =
+      (if buggy then "shard-reroll-mini-sticky-stuck" else "shard-reroll-mini");
+    make =
+      (fun () ->
+        let lock0 = P.Atomic.make false in
+        let lock1 = P.Atomic.make false in
+        let pub0 = P.Atomic.make 0 in
+        let pub1 = P.Atomic.make 0 in
+        let staged = P.Atomic.make 1 in
+        let held, await_held = gate () in
+        let holder () =
+          (* shard 0's node lock, taken and never released while the
+             fibers run — the drain cannot wait it out *)
+          if P.Atomic.compare_and_set lock0 false true then held ()
+          else held ()
+        in
+        let try_publish lock pub =
+          if P.Atomic.compare_and_set lock false true then begin
+            P.Atomic.set pub (P.Atomic.get pub + P.Atomic.get staged);
+            P.Atomic.set staged 0;
+            P.Atomic.set lock false;
+            true
+          end
+          else false
+        in
+        let flusher () =
+          await_held ();
+          (* the drain demands a flush; the sticky shard is shard 0 *)
+          if not (try_publish lock0 pub0) then begin
+            if buggy then
+              (* seeded bug: stay sticky — one more try at the same
+                 shard, then give up with the element still staged *)
+              ignore (try_publish lock0 pub0)
+            else
+              (* fixed: the lost trylock re-rolls the handle *)
+              ignore (try_publish lock1 pub1)
+          end
+        in
+        let final () =
+          if P.Atomic.get staged > 0 then
+            Sched.violation
+              "drain: element stranded on a stuck sticky shard (%d published)"
+              (P.Atomic.get pub0 + P.Atomic.get pub1)
+        in
+        ([ holder; flusher ], final));
+  }
+
+(* Twin of the two-choice extraction vs stale cached maxima: the element
+   lives in shard 2, but its owner was preempted before the cached-max
+   bump, so shard 2's cache reads empty while shard 0's still carries a
+   leftover claim from an element long extracted. The two-choice pick
+   (winner shard 0, loser shard 1) misses twice; the fixed path then
+   sweeps every shard before concluding empty, the buggy path trusts the
+   caches and returns none while shard 2 is provably nonempty. *)
+let shard_stale_max_mini ~buggy =
+  {
+    Explore.name =
+      (if buggy then "shard-stale-max-mini-no-sweep" else "shard-stale-max-mini");
+    make =
+      (fun () ->
+        let sizes = Array.init 3 (fun _ -> P.Atomic.make 0) in
+        let cmax = Array.init 3 (fun _ -> P.Atomic.make 0) in
+        let got = ref false in
+        let landed, await_landed = gate () in
+        let producer () =
+          P.Atomic.set cmax.(0) 1 (* stale: claims an extracted element *);
+          P.Atomic.incr sizes.(2) (* the real element; no cache bump *);
+          landed ()
+        in
+        let try_shard i =
+          let n = P.Atomic.get sizes.(i) in
+          n > 0 && P.Atomic.compare_and_set sizes.(i) n (n - 1)
+        in
+        let extractor () =
+          await_landed ();
+          (* two-choice over the cached maxima: 0 beats 1 *)
+          let winner = if P.Atomic.get cmax.(0) >= P.Atomic.get cmax.(1) then 0 else 1 in
+          let loser = 1 - winner in
+          if try_shard winner then got := true
+          else if try_shard loser then got := true
+          else if not buggy then
+            (* fixed: a full sweep before reporting empty *)
+            Array.iteri (fun i _ -> if (not !got) && try_shard i then got := true) sizes
+        in
+        let final () =
+          let live = Array.fold_left (fun a s -> a + P.Atomic.get s) 0 sizes in
+          if (not !got) && live > 0 then
+            Sched.violation
+              "two-choice returned none while a shard held %d element(s)" live
+        in
+        ([ producer; extractor ], final));
+  }
+
+(* And a real sharded queue under the random scheduler: two shards, sticky
+   routing, two-choice extraction — concurrent inserts and extracts must
+   conserve elements, leave every shard's mound intact, and a post-run
+   drain through the outer queue must reach exact emptiness (no element
+   hidden behind a stale cached maximum). *)
+let zmsq_shard_conserve =
+  {
+    Explore.name = "zmsq-shard-conserve";
+    make =
+      (fun () ->
+        let module Q = Zmsq.Shard.Make_prim (Shim.Prim) (Shim.Lock) (Zmsq.List_set) in
+        let q =
+          Q.create
+            ~params:
+              { model_params with Zmsq.Params.shards = 2; stickiness = 2; seed = Some 11 }
+            ()
+        in
+        let extracted = ref [] in
+        let inserted = [ [ 9; 4; 6 ]; [ 8; 2 ] ] in
+        let body vals =
+          let h = Q.register q in
+          fun () ->
+            List.iter (fun v -> Q.insert h v) vals;
+            let v = Q.extract h in
+            if not (Elt.is_none v) then extracted := v :: !extracted;
+            Q.unregister h
+        in
+        let bodies = List.map body inserted in
+        let final () =
+          if not (Q.Debug.check_invariant q) then
+            Sched.violation "sharded mound invariant broken";
+          let h = Q.register q in
+          let rec drain acc =
+            let v = Q.extract h in
+            if Elt.is_none v then acc else drain (v :: acc)
+          in
+          let rest = drain [] in
+          Q.unregister h;
+          if not (Q.is_empty q) then
+            Sched.violation "drain left %d element(s) behind a stale shard max" (Q.length q);
+          let all = List.sort compare (List.concat inserted) in
+          let seen = List.sort compare (!extracted @ rest) in
+          if all <> seen then
+            Sched.violation "sharded element conservation broken: %d in, %d accounted"
+              (List.length all) (List.length seen)
+        in
+        (bodies, final));
+  }
+
 (* {2 Chaos mode: the Faulty adapter under the model scheduler}
 
    The Faulty functor is applied to the shim *inside make*, so each
@@ -1353,6 +1511,19 @@ let all =
       max_steps = 200; max_executions = 20_000 };
     { scenario = race_ec_fence; mode = Dfs; expect_fail = false;
       max_steps = 400; max_executions = 50_000 };
+    (* PR 8 sharding pairs: the sticky re-roll and two-choice-sweep
+       decisions as exhaustively explored miniature twins... *)
+    { scenario = shard_reroll_mini ~buggy:false; mode = Dfs; expect_fail = false;
+      max_steps = 300; max_executions = 20_000 };
+    { scenario = shard_reroll_mini ~buggy:true; mode = Dfs; expect_fail = true;
+      max_steps = 300; max_executions = 20_000 };
+    { scenario = shard_stale_max_mini ~buggy:false; mode = Dfs; expect_fail = false;
+      max_steps = 300; max_executions = 20_000 };
+    { scenario = shard_stale_max_mini ~buggy:true; mode = Dfs; expect_fail = true;
+      max_steps = 300; max_executions = 20_000 };
+    (* ...and the real sharded queue under the random scheduler. *)
+    { scenario = zmsq_shard_conserve; mode = Rand { executions = 200; seed = 0x54A2 };
+      expect_fail = false; max_steps = 8000; max_executions = 0 };
   ]
 
 let find name = List.find_opt (fun e -> e.scenario.Explore.name = name) all

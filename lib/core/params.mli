@@ -47,6 +47,28 @@ type t = {
           buffering entirely and is bit-for-bit the unbuffered
           implementation. Must be [<= target_len] so a flush fits in one
           leaf set without immediately violating the split bound. *)
+  shards : int;
+      (** extension (after the Engineering MultiQueues line): number of
+          independent ZMSQ instances composed by {!Zmsq.Shard}. The plain
+          single-queue functors ignore this field; [Zmsq.Shard] requires it
+          to be [>= 1] and with [1] delegates every operation directly to
+          one inner queue (bit-for-bit the single-queue behaviour). Widens
+          the relaxation window to
+          [shards * (batch + ndomains * buffer_len)] plus a two-choice
+          selection slack — see {!Zmsq_harness.Accuracy.sharded_bound}. *)
+  stickiness : int;
+      (** how many consecutive inserts a handle directs at its chosen shard
+          before re-rolling ([k] in the MultiQueue papers). A re-roll also
+          happens early when the chosen shard's trylock is contended or the
+          queue starts draining. Must be [>= 1]; ignored when
+          [shards = 1]. *)
+  seed : int option;
+      (** fixed seed for per-handle RNG streams. [None] (the default) draws
+          from a process-global counter, so distinct queues get distinct
+          probe sequences. [Some s] makes handle RNGs a deterministic
+          function of registration order within this queue — used by the
+          property suite to compare a sharded queue bit-for-bit against a
+          plain one. *)
   obs : Zmsq_obs.Level.t;
       (** instrumentation level: [Off] (nothing), [Counters] (sharded event
           counters only — the default, near-zero cost), or [Full] (latency
@@ -88,6 +110,17 @@ val with_target_len : int -> t -> t
 val with_buffer_len : int -> t -> t
 (** Sets the per-handle insert-buffer capacity (re-validating, so raises
     if it exceeds [target_len]). [0] disables buffering. *)
+
+val with_shards : int -> t -> t
+(** Sets the shard count for {!Zmsq.Shard} (re-validating, so raises if
+    [< 1]). *)
+
+val with_stickiness : int -> t -> t
+(** Sets the sticky-routing run length (re-validating, so raises if
+    [< 1]). *)
+
+val with_seed : int -> t -> t
+(** Fixes the per-handle RNG seed (sets {!field-seed} to [Some _]). *)
 
 val with_obs : Zmsq_obs.Level.t -> t -> t
 

@@ -127,6 +127,13 @@ module type S = sig
       elements were accepted before the close and must still be
       publishable. *)
 
+  val insert_contended : handle -> bool
+  (** Whether this handle's most recent tree publication (a direct insert
+      or a buffer flush) hit node-trylock contention, or was a flush forced
+      by consumer demand/drain. A handle-private hint — {!Shard} uses it to
+      re-roll sticky routing away from a contended or consumer-starved
+      shard. *)
+
   val close : ?drain:bool -> t -> unit
   (** Atomically end the queue's life ([drain] defaults to [false]).
       [close q] moves {!Open} (or {!Draining}) to {!Closed}: subsequent
@@ -173,10 +180,10 @@ module type S = sig
   (** Exact at any instant (the global element count is zero). *)
 
   val peek : t -> Zmsq_pq.Elt.t
-  (** The best currently staged element (next pool claim, or the root's
-      cached maximum) without removing it; {!Zmsq_pq.Elt.none} when empty.
-      An O(1) estimate: concurrent operations may change it before an
-      extract. *)
+  (** The best currently published element (the larger of the next pool
+      claim and the root's cached maximum) without removing it;
+      {!Zmsq_pq.Elt.none} when empty. An O(1) estimate: concurrent
+      operations may change it before an extract. *)
 
   val helper_pass : ?visits:int -> handle -> int
   (** One quality-improvement pass (the paper's Section 5 "helper threads"
@@ -259,3 +266,46 @@ module Tas_q : S
 
 module Mutex_q : S
 (** OS mutex + list sets (Figure 2's std::mutex baseline). *)
+
+(** The single-queue API plus shard introspection — what {!Shard}'s
+    functors provide. *)
+module type SHARDED = sig
+  include S
+
+  val shard_count : t -> int
+
+  val shard_sizes : t -> int array
+  (** Per-shard element counts (same caveats as [length]). *)
+
+  val shard_metrics : t -> Zmsq_obs.Metrics.t array
+  (** Each inner queue's private metrics registry, in shard order (the
+      outer registry from [metrics] carries only the routing counters). *)
+end
+
+(** Sharded ZMSQ-of-ZMSQs (ROADMAP item 1, after the Engineering
+    MultiQueues line): [params.shards] independent ZMSQ instances behind
+    the single-queue API, with sticky insert routing
+    ([params.stickiness] consecutive inserts per chosen shard, re-rolling
+    on contention or consumer-demand flushes), power-of-two-choices
+    extraction over padded per-shard cached maxima (with a full-sweep
+    fallback, so [extract] returns none only after visiting every shard),
+    and a fan-out Open → Draining → Closed lifecycle (a drain completes
+    only when every shard is exactly empty; orphan reclamation sweeps all
+    shards). Relaxation widens to
+    [shards * (batch + ndomains * buffer_len)] plus a two-choice selection
+    slack — see [Zmsq_harness.Accuracy.sharded_bound]. With [shards = 1]
+    every operation delegates directly to the single inner queue
+    (bit-for-bit the plain implementation, checked by the property
+    suite). Note [exact_emptiness = false] once [shards > 1]: a sweep
+    visits shards one at a time. *)
+module Shard : sig
+  module type SHARDED = SHARDED
+
+  module Make_prim (P : Zmsq_prim.Intf.PRIM) (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) :
+    SHARDED
+
+  module Make (L : Zmsq_sync.Lock.S) (Set : Set_intf.SET) : SHARDED
+
+  module Default : SHARDED
+  (** TATAS trylocks + sorted-list sets. *)
+end

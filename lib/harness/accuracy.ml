@@ -72,6 +72,26 @@ let max_zero_gap ranks =
     ranks;
   !best
 
+(* Rank-error bound for the sharded queue (Zmsq.Shard). Each of the
+   [shards] inner queues hides at most [batch + ndomains * buffer_len]
+   elements above the one it returns (the single-queue bound), so an
+   extraction that picked the right shard sees rank error at most
+   [shards * (batch + ndomains * buffer_len)] — the other shards'
+   windows stack on top. Two-choice selection over cached maxima is
+   probabilistic, not adversarial: with 2 shards both are sampled (the
+   choice is exact up to cache staleness), and with s > 2 each extraction
+   misses the best shard with probability at most (s-2)/s, so a run of
+   consecutive misses longer than [4 * s * (s - 1)] has vanishing
+   probability under the property suite's iteration counts (at s = 4:
+   (1/2)^48 ≈ 4e-15). The slack term covers exactly those runs plus
+   cached-maximum staleness; [shards = 1] collapses to the single-queue
+   bound. *)
+let sharded_bound ~shards ~batch ~ndomains ~buffer_len =
+  if shards < 1 then invalid_arg "Accuracy.sharded_bound";
+  let per_shard = batch + (ndomains * buffer_len) in
+  let selection_slack = if shards = 1 then 0 else 4 * shards * (shards - 1) in
+  (shards * per_shard) + selection_slack
+
 let run factory spec =
   validate spec;
   let inst = factory () in

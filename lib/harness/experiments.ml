@@ -872,6 +872,88 @@ let buffer () =
     accuracy_table;
   ]
 
+(* {2 Sharded ZMSQ-of-ZMSQs (ROADMAP item 1 / Engineering MultiQueues)}
+
+   Throughput and accuracy across the shards axis. Insert-heavy workloads
+   are where sharding pays: sticky routing sends each handle's flushes at
+   its own shard, so the per-shard root and leaf locks see 1/shards of the
+   traffic. The accuracy table shows the cost side — the rank-error window
+   widens to shards * (batch + ndomains*buffer_len) plus the two-choice
+   selection slack (Accuracy.sharded_bound). *)
+
+let shard_counts = [ 1; 2; 4 ]
+
+let shard () =
+  let ops = scaled 1_000_000 in
+  let factory shards =
+    Instances.zmsq_shard
+      ~params:
+        P.(
+          default |> with_batch 48 |> with_target_len 72 |> with_buffer_len 64
+          |> with_shards shards)
+      ()
+  in
+  let table ~id ~title ~insert_permil ~preload =
+    let rows =
+      List.map
+        (fun t ->
+          let spec =
+            {
+              Throughput.default_spec with
+              Throughput.total_ops = ops;
+              insert_permil;
+              preload;
+              keys = uniform_keys;
+              threads = t;
+            }
+          in
+          row_f (string_of_int t)
+            (List.map
+               (fun s -> Throughput.run_avg ~repeats:(repeats ()) (factory s) spec)
+               shard_counts))
+        (threads ())
+    in
+    Table.make ~id ~title
+      ~notes:
+        [
+          Printf.sprintf "%d ops, batch=48 target_len=72 buf=64, uniform keys%s" ops
+            (if preload > 0 then Printf.sprintf ", %d preloaded" preload else ", empty start");
+          "shards=1 delegates to the plain queue; values: Mops/s (higher is better)";
+        ]
+      ~header:("threads" :: List.map (fun s -> Printf.sprintf "shards=%d" s) shard_counts)
+      rows
+  in
+  let accuracy_table =
+    let qsize = 16384 and extracts = 1638 in
+    let rows =
+      List.map
+        (fun t ->
+          row_f (string_of_int t)
+            (List.map
+               (fun s ->
+                 Accuracy.run_avg ~repeats:(repeats ()) (factory s)
+                   { Accuracy.qsize; extracts; threads = t; seed = 0x5ACC })
+               shard_counts))
+        [ 2; 4 ]
+    in
+    Table.make ~id:"shard-accuracy" ~title:"top-10% hit rate vs shards"
+      ~notes:
+        [
+          Printf.sprintf "%d keys preloaded, %d extractions" qsize extracts;
+          "the rank-error window is shards * (batch + ndomains*buffer_len) plus the";
+          "two-choice selection slack (Accuracy.sharded_bound, enforced in test_props)";
+        ]
+      ~header:("threads" :: List.map (fun s -> Printf.sprintf "shards=%d" s) shard_counts)
+      rows
+  in
+  [
+    table ~id:"shard-insert" ~title:"insert-only throughput vs shards" ~insert_permil:1000
+      ~preload:0;
+    table ~id:"shard-mixed" ~title:"50/50 mix throughput vs shards" ~insert_permil:500
+      ~preload:(ops / 2);
+    accuracy_table;
+  ]
+
 (* {2 Registry} *)
 
 let all =
@@ -913,6 +995,7 @@ let all =
     { id = "ablations"; title = "design-choice ablations"; paper = "Sections 3.2/4.1"; run = ablations };
     { id = "helper"; title = "helper-thread extension"; paper = "Section 5"; run = helper_study };
     { id = "buffer"; title = "insert-buffering extension"; paper = "Section 5 / MultiQueue"; run = buffer };
+    { id = "shard"; title = "sharded ZMSQ-of-ZMSQs"; paper = "MultiQueue / ROADMAP 1"; run = shard };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -18,6 +18,9 @@ let zmsq_leak ?(params = Zmsq.Params.default) () () =
 let zmsq_tas ?(params = Zmsq.Params.default) () () =
   Intf.pack (module Zmsq.Tas_q) (Zmsq.Tas_q.create ~params ())
 
+let zmsq_shard ?(params = Zmsq.Params.default) () () =
+  Intf.pack (module Zmsq.Shard.Default) (Zmsq.Shard.Default.create ~params ())
+
 let zmsq_mutex ?(params = Zmsq.Params.default) () () =
   let params = { params with Zmsq.Params.lock_policy = Zmsq.Params.Blocking } in
   Intf.pack (module Zmsq.Mutex_q) (Zmsq.Mutex_q.create ~params ())
@@ -35,8 +38,8 @@ let klsm ?(k = 256) () () = Intf.pack (module Zmsq_klsm.Klsm) (Zmsq_klsm.Klsm.cr
 let locked_heap () = Intf.pack (module Zmsq_pq.Locked_heap) (Zmsq_pq.Locked_heap.create ())
 
 let names =
-  [ "zmsq"; "zmsq-array"; "zmsq-lazy"; "zmsq-leak"; "zmsq-tas"; "zmsq-mutex"; "mound";
-    "spraylist"; "multiqueue"; "klsm"; "locked-heap" ]
+  [ "zmsq"; "zmsq-array"; "zmsq-lazy"; "zmsq-leak"; "zmsq-tas"; "zmsq-mutex"; "zmsq-shard";
+    "mound"; "spraylist"; "multiqueue"; "klsm"; "locked-heap" ]
 
 let by_name = function
   | "zmsq" -> zmsq ()
@@ -45,6 +48,7 @@ let by_name = function
   | "zmsq-leak" -> zmsq_leak ()
   | "zmsq-tas" -> zmsq_tas ()
   | "zmsq-mutex" -> zmsq_mutex ()
+  | "zmsq-shard" -> zmsq_shard ()
   | "mound" -> mound
   | "spraylist" -> spraylist
   | "multiqueue" -> multiqueue ()

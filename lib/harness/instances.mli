@@ -20,6 +20,10 @@ val zmsq_leak : ?params:Zmsq.Params.t -> unit -> factory
 val zmsq_tas : ?params:Zmsq.Params.t -> unit -> factory
 val zmsq_mutex : ?params:Zmsq.Params.t -> unit -> factory
 
+val zmsq_shard : ?params:Zmsq.Params.t -> unit -> factory
+(** Sharded ZMSQ-of-ZMSQs ({!Zmsq.Shard.Default}): [params.shards]
+    inner queues with sticky insert routing and two-choice extraction. *)
+
 val mound : factory
 val spraylist : factory
 val multiqueue : ?queues:int -> unit -> factory
@@ -27,8 +31,8 @@ val klsm : ?k:int -> unit -> factory
 val locked_heap : factory
 
 val by_name : string -> factory
-(** Resolve "zmsq" | "zmsq-array" | "zmsq-leak" | "mound" | "spraylist" |
-    "multiqueue" | "klsm" | "locked-heap" (CLI use). Raises
+(** Resolve "zmsq" | "zmsq-array" | "zmsq-leak" | "zmsq-shard" | "mound" |
+    "spraylist" | "multiqueue" | "klsm" | "locked-heap" (CLI use). Raises
     [Invalid_argument] on unknown names. *)
 
 val names : string list

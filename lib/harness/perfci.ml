@@ -95,6 +95,69 @@ let fig4_run ~scale =
       ("wakes", Json.Int r.Handoff.wakes);
     ] )
 
+(* Sharded insert-heavy throughput (the ISSUE-8 gate): shards=4 with
+   sticky routing and per-handle buffering on a 90/10 insert/extract mix
+   over a preloaded queue, plus the speedup over the single-shard
+   buffered build measured back-to-back in the same process (same
+   ambient noise), floored at 1.5x. The extract leg is what the floor
+   leans on: every single-queue extraction funnels through the one root
+   lock, while the sharded build spreads it across shard roots via
+   two-choice selection — a serialization win that survives even a
+   single-core runner, where a preempted root-lock holder stalls every
+   spinning extractor for a full timeslice. *)
+let shard_params ~shards =
+  P.(
+    default |> with_batch 48 |> with_target_len 72 |> with_buffer_len 64
+    |> with_shards shards)
+
+let shard_spec ~scale ~threads =
+  {
+    Throughput.total_ops = ops scale 400_000;
+    insert_permil = 900;
+    preload = 100_000;
+    keys = Keys.Uniform { bits = 20 };
+    threads;
+    seed = 0x5EED;
+  }
+
+let shard_run ~scale =
+  let t = threads () in
+  let spec = shard_spec ~scale ~threads:t in
+  let mops =
+    Throughput.run_avg ~repeats:3 (Instances.zmsq_shard ~params:(shard_params ~shards:4) ()) spec
+  in
+  ( mops,
+    [
+      ("threads", Json.Int t);
+      ("total_ops", Json.Int spec.Throughput.total_ops);
+      ("insert_permil", Json.Int 900);
+      ("preload", Json.Int spec.Throughput.preload);
+      ("shards", Json.Int 4);
+      ("buffer_len", Json.Int 64);
+    ] )
+
+let shard_speedup_run ~scale =
+  let t = threads () in
+  let spec = shard_spec ~scale ~threads:t in
+  (* Interleaved best-of pairs, like [overhead_run]: a background spike
+     must hit every run of one side to skew the ratio. *)
+  let single = ref 0.0 and sharded = ref 0.0 in
+  for _ = 1 to 3 do
+    let s1 = Throughput.run (Instances.zmsq ~params:(shard_params ~shards:1) ()) spec in
+    let s4 = Throughput.run (Instances.zmsq_shard ~params:(shard_params ~shards:4) ()) spec in
+    if s1 > !single then single := s1;
+    if s4 > !sharded then sharded := s4
+  done;
+  ( !sharded /. !single,
+    [
+      ("threads", Json.Int t);
+      ("total_ops", Json.Int spec.Throughput.total_ops);
+      ("insert_permil", Json.Int 900);
+      ("preload", Json.Int spec.Throughput.preload);
+      ("single_shard_mops", Json.Float !single);
+      ("sharded_mops", Json.Float !sharded);
+    ] )
+
 (* Single-thread roofline: ns per steady-state insert+extract pair on a
    10K-element queue, ZMSQ (via its concurrent API) over [Binary_heap]
    (the sequential reference). The *ratio* is the gated metric — absolute
@@ -214,6 +277,29 @@ let experiments =
       e_run = buffer_run;
     };
     {
+      e_id = "shard_insert_mops";
+      e_title = "90% inserts over preload, shards=4 buf=64 (sharded build)";
+      e_unit = "Mops/s";
+      e_higher_better = true;
+      e_threshold_pct = 35.0;
+      e_limit = None;
+      e_run = shard_run;
+    };
+    {
+      e_id = "shard_speedup_ratio";
+      e_title = "sharded / single-shard buffered insert-heavy throughput";
+      e_unit = "ratio";
+      e_higher_better = true;
+      e_threshold_pct = 25.0;
+      e_limit =
+        (* Floor, not cap ([higher_better] flips the limit's direction):
+           sharding must stay >= 1.5x the single-shard buffered build. *)
+        Some
+          (float_of_int (Zmsq_util.Env.int "ZMSQ_PERFCI_SHARD_SPEEDUP_FLOOR_X10" ~default:15)
+          /. 10.0);
+      e_run = shard_speedup_run;
+    };
+    {
       e_id = "roofline_pair_ratio";
       e_title = "single-thread pair latency: zmsq / Binary_heap";
       e_unit = "ratio";
@@ -227,7 +313,11 @@ let experiments =
       e_title = "ZMSQ_OBS=full (1/256 sampling) overhead vs counters";
       e_unit = "%";
       e_higher_better = false;
-      e_threshold_pct = 0.0 (* gated by the absolute limit, not the baseline *);
+      (* Gated by the absolute limit, not the baseline: a relative gate on
+         a small percentage is all noise (a 1.7% -> 4.4% wobble is a +157%
+         "regression" while comfortably under the 5% cap), so the baseline
+         threshold is wide open and the limit below does the real work. *)
+      e_threshold_pct = 1000.0;
       e_limit = Some (float_of_int (Zmsq_util.Env.int "ZMSQ_PERFCI_OVERHEAD_LIMIT" ~default:5));
       e_run = overhead_run;
     };
@@ -313,7 +403,14 @@ let compare_one baseline r =
     | None -> true (* no baseline or zero baseline: nothing to gate on *)
     | Some d -> if r.higher_better then d >= -.threshold else d <= threshold
   in
-  let within_limit = match r.limit with None -> true | Some lim -> r.value <= lim in
+  (* The limit follows the metric's direction: a cap for lower-is-better
+     metrics (the <= 5% obs overhead), a floor for higher-is-better ones
+     (the >= 1.5x shard speedup). *)
+  let within_limit =
+    match r.limit with
+    | None -> true
+    | Some lim -> if r.higher_better then r.value >= lim else r.value <= lim
+  in
   {
     cmp_id = r.id;
     cmp_value = r.value;

@@ -17,6 +17,11 @@ module FLock =
 
 module Q = Zmsq.Make_prim (FP) (FLock) (Zmsq.List_set)
 
+(* The sharded build under the same fault adapter: shard-churn drives
+   sticky insert routing and two-choice extraction through injected
+   trylock losses. *)
+module SQ = Zmsq.Shard.Make_prim (FP) (FLock) (Zmsq.List_set)
+
 type faults = {
   trylock_fail_1in : int;
   wake_delay_1in : int;
@@ -52,7 +57,7 @@ let default_faults =
     freeze_ms = 40.;
   }
 
-type phase = Mixed | Burst | Producer_dies | Consumer_starves | Handle_churn
+type phase = Mixed | Burst | Producer_dies | Consumer_starves | Handle_churn | Shard_churn
 
 let phase_name = function
   | Mixed -> "mixed"
@@ -60,6 +65,7 @@ let phase_name = function
   | Producer_dies -> "producer-dies"
   | Consumer_starves -> "consumer-starves"
   | Handle_churn -> "handle-churn"
+  | Shard_churn -> "shard-churn"
 
 let phase_of_name = function
   | "mixed" -> Some Mixed
@@ -67,9 +73,11 @@ let phase_of_name = function
   | "producer-dies" -> Some Producer_dies
   | "consumer-starves" -> Some Consumer_starves
   | "handle-churn" -> Some Handle_churn
+  | "shard-churn" -> Some Shard_churn
   | _ -> None
 
-let all_phases = [ Mixed; Burst; Producer_dies; Consumer_starves; Handle_churn ]
+let all_phases =
+  [ Mixed; Burst; Producer_dies; Consumer_starves; Handle_churn; Shard_churn ]
 
 type phase_report = {
   phase : phase;
@@ -109,6 +117,7 @@ type config = {
   artifacts_dir : string option;
   log : (string -> unit) option;
   phases : phase list;
+  shards : int;
 }
 
 let default_config =
@@ -124,6 +133,7 @@ let default_config =
     artifacts_dir = None;
     log = None;
     phases = all_phases;
+    shards = 4;
   }
 
 let now_ns = Zmsq_util.Timing.now_ns
@@ -296,7 +306,10 @@ let run_phase cfg ~index ~phase ~dur =
                 churn ()
           end
         in
-        churn ());
+        churn ()
+    | Shard_churn ->
+        (* Dispatched to [run_shard_phase] by [run]; never reaches here. *)
+        assert false);
     (* The crashed victim never unregisters — that is the point. *)
     if not (phase = Producer_dies && idx = 0) then Q.unregister h
   in
@@ -532,15 +545,323 @@ let run_phase cfg ~index ~phase ~dur =
     },
     !artifacts )
 
+(* Shard-churn: the sharded build under the same fault adapter. Producers
+   are sticky inserters that migrate — each periodically retires its handle
+   (a fraction via [orphan], abandoning staged buffers for the scavenger)
+   and registers a fresh one — while injected trylock losses force extra
+   sticky re-rolls through the contention hint. Consumers run two-choice
+   extraction. Watchdogs: conservation, staleness, drain exactness on
+   every shard, zero staged residue, and the sampled rank error against
+   the {e sharded} relaxation bound ({!Accuracy.sharded_bound}), merged
+   across the per-shard QoS histograms. *)
+let run_shard_phase cfg ~index ~phase ~dur =
+  let log s =
+    match cfg.log with
+    | Some f -> f (Printf.sprintf "[soak %-16s] %s" (phase_name phase) s)
+    | None -> ()
+  in
+  let f = cfg.faults in
+  FP.Ctl.reset ();
+  FP.Ctl.install
+    {
+      Faulty.seed = cfg.seed lxor ((index + 1) * 0x9E37);
+      trylock_fail_1in = f.trylock_fail_1in;
+      wake_delay_1in = f.wake_delay_1in;
+      wake_delay_ops = f.wake_delay_ops;
+      spurious_timeout_1in = f.spurious_timeout_1in;
+      stall_faa_1in = f.stall_faa_1in;
+      stall_exchange_1in = f.stall_exchange_1in;
+      stall_relax = f.stall_relax;
+    };
+  let params =
+    Zmsq.Params.validate
+      {
+        Zmsq.Params.default with
+        batch = cfg.batch;
+        buffer_len = cfg.buffer_len;
+        blocking = true;
+        shards = cfg.shards;
+        (* Short sticky windows: re-rolls must actually churn while the
+           phase runs, not only when a trylock loss trips the hint. *)
+        stickiness = 4;
+        seed = Some cfg.seed;
+        obs = Zmsq_obs.Level.Full;
+        obs_sample_shift = 4;
+      }
+  in
+  let q = SQ.create ~params () in
+  let stop = Stdlib.Atomic.make false in
+  let inserted = Stdlib.Atomic.make 0 in
+  let extracted = Stdlib.Atomic.make 0 in
+  let producer_keys = Array.make (max 1 cfg.producers) (-1) in
+  let vio_mu = Stdlib.Mutex.create () in
+  let vios = ref [] in
+  let artifacts = ref [] in
+  let dumped = ref false in
+  let violation msg =
+    Stdlib.Mutex.lock vio_mu;
+    Fun.protect
+      ~finally:(fun () -> Stdlib.Mutex.unlock vio_mu)
+      (fun () ->
+        vios := msg :: !vios;
+        log ("VIOLATION: " ^ msg);
+        match cfg.artifacts_dir with
+        | Some dir when not !dumped ->
+            dumped := true;
+            mkdir_p dir;
+            let snap = Zmsq_obs.Metrics.snapshot (SQ.metrics q) in
+            let mpath =
+              Zmsq_obs.Export.write_file
+                ~path:(Filename.concat dir "soak-shard-churn-metrics.json")
+                (Zmsq_obs.Json.to_string (Zmsq_obs.Export.json_of_snapshot snap))
+            in
+            artifacts :=
+              (match SQ.trace q with
+              | Some tr ->
+                  [ mpath; Zmsq_obs.Trace.save ~path:(Filename.concat dir "soak-shard-churn-trace.json") tr ]
+              | None -> [ mpath ])
+        | _ -> ())
+  in
+  let bar = Barrier.create (cfg.producers + cfg.consumers + 2) in
+  let rec register_fresh () =
+    (* Hazard pressure: with [orphan]-leaked handles in flight a register
+       may find a shard's table full; it must succeed after a scavenge. *)
+    try SQ.register q
+    with Invalid_argument _ ->
+      ignore (SQ.reclaim_orphans q);
+      register_fresh ()
+  in
+  let producer idx () =
+    producer_keys.(idx) <- FP.Ctl.self_key ();
+    let rng = Rng.create ~seed:(cfg.seed + (211 * idx) + 3) () in
+    let h = ref (SQ.register q) in
+    Barrier.wait bar;
+    while not (Stdlib.Atomic.get stop) do
+      Stdlib.Atomic.incr inserted;
+      SQ.insert !h (Elt.of_priority (Rng.int rng 1_000_000));
+      (* Migrate the sticky handle: most retire cleanly, a fraction are
+         abandoned mid-stick with whatever stayed staged — conservation
+         then depends on the outer-then-inner orphan reclamation. *)
+      if Rng.int rng 96 = 0 then begin
+        (if Rng.int rng 4 = 0 then SQ.orphan !h else SQ.unregister !h);
+        h := register_fresh ()
+      end;
+      if Rng.int rng 512 = 0 then Unix.sleepf 0.0002
+    done;
+    match SQ.handle_state !h with Zmsq.Live -> SQ.unregister !h | _ -> ()
+  in
+  let consumer _idx () =
+    let h = SQ.register q in
+    Barrier.wait bar;
+    while not (Stdlib.Atomic.get stop) do
+      let v = SQ.extract_timeout h ~timeout_ns:2_000_000 in
+      if not (Elt.is_none v) then Stdlib.Atomic.incr extracted
+    done;
+    SQ.unregister h
+  in
+  let monitor () =
+    FP.Ctl.exempt_self ();
+    Barrier.wait bar;
+    let stale_ns = int_of_float (cfg.stale_ms *. 1e6) in
+    let start = now_ns () in
+    let anchor = ref start in
+    let last_ext = ref 0 in
+    let next_beat = ref (start + 500_000_000) in
+    let freeze_due =
+      if f.freeze_ms > 0. then Some (start + int_of_float (dur *. 0.4 *. 1e9)) else None
+    in
+    let frozen = ref None in
+    while not (Stdlib.Atomic.get stop) do
+      Unix.sleepf 0.002;
+      FP.Ctl.quiesce ();
+      let now = now_ns () in
+      let ext = Stdlib.Atomic.get extracted in
+      let ins = Stdlib.Atomic.get inserted in
+      if ext > ins then
+        violation (Printf.sprintf "conservation: extracted %d > inserted %d" ext ins);
+      if ext <> !last_ext then begin
+        last_ext := ext;
+        anchor := now
+      end;
+      if SQ.length q = 0 then anchor := now;
+      (match (freeze_due, !frozen) with
+      | Some due, None when now >= due && producer_keys.(min 1 (cfg.producers - 1)) >= 0
+        ->
+          (* Freeze a sticky producer mid-stick: its current shard may hold
+             staged elements and a mid-flush lock, and the other shards must
+             keep the phase live until the thaw. *)
+          let victim = producer_keys.(min 1 (cfg.producers - 1)) in
+          FP.Ctl.freeze victim;
+          frozen := Some (victim, now + int_of_float (f.freeze_ms *. 1e6))
+      | _ -> ());
+      (match !frozen with
+      | Some (victim, until) when now >= until ->
+          FP.Ctl.thaw victim;
+          frozen := Some (victim, max_int);
+          anchor := now
+      | _ -> ());
+      if now - !anchor > stale_ns then begin
+        violation
+          (Printf.sprintf
+             "stale element: %d published elements but no extraction progress in \
+              %.0f ms"
+             (SQ.length q) cfg.stale_ms);
+        anchor := now
+      end;
+      if now >= !next_beat then begin
+        next_beat := now + 500_000_000;
+        log
+          (Printf.sprintf "heartbeat: inserted=%d extracted=%d sizes=[%s] buffered=%d"
+             ins ext
+             (String.concat ";"
+                (Array.to_list (Array.map string_of_int (SQ.shard_sizes q))))
+             (SQ.Debug.buffered q))
+      end
+    done;
+    (match !frozen with
+    | Some (victim, _) -> FP.Ctl.thaw victim
+    | None -> ());
+    FP.Ctl.quiesce ()
+  in
+  let t0 = now_ns () in
+  let doms =
+    List.init cfg.producers (fun i -> Domain.spawn (producer i))
+    @ List.init cfg.consumers (fun i -> Domain.spawn (consumer i))
+  in
+  let mon = Domain.spawn monitor in
+  let hmain = SQ.register q in
+  Barrier.wait bar;
+  Unix.sleepf dur;
+  Stdlib.Atomic.set stop true;
+  Domain.join mon;
+  List.iter Domain.join doms;
+  FP.Ctl.quiesce ();
+  let seconds = float_of_int (now_ns () - t0) /. 1e9 in
+  ignore (SQ.reclaim_orphans q);
+  let drained = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let v = SQ.extract hmain in
+    if Elt.is_none v then continue_ := false else incr drained
+  done;
+  let ins = Stdlib.Atomic.get inserted in
+  let ext = Stdlib.Atomic.get extracted in
+  if ins <> ext + !drained then
+    violation
+      (Printf.sprintf "conservation: inserted %d <> extracted %d + drained %d" ins
+         ext !drained);
+  (* Drain exactness per shard: an "empty" sharded queue means every shard
+     is exactly empty, not just the two shards the last extraction probed. *)
+  Array.iteri
+    (fun i sz ->
+      if sz <> 0 then
+        violation (Printf.sprintf "drain exactness: shard %d still holds %d elements" i sz))
+    (SQ.shard_sizes q);
+  if SQ.Debug.buffered q <> 0 then
+    violation
+      (Printf.sprintf "staged residue after unregister+reclaim+drain: %d"
+         (SQ.Debug.buffered q));
+  if not (SQ.Debug.check_invariant q) then violation "tree invariant check failed";
+  (* Zero-budget final poll, as in the single-queue phases, through the
+     two-choice path. *)
+  SQ.insert hmain (Elt.of_priority 7);
+  SQ.flush hmain;
+  let probe = SQ.extract_timeout hmain ~timeout_ns:0 in
+  if Elt.is_none probe then
+    violation "final poll: zero-budget extract_timeout missed a present element";
+  SQ.unregister hmain;
+  if SQ.Debug.live_handles q <> 0 then
+    violation
+      (Printf.sprintf "handle registry leak: %d handles survive teardown"
+         (SQ.Debug.live_handles q));
+  let outer = Zmsq_obs.Metrics.snapshot (SQ.metrics q) in
+  let outer_counter name =
+    try List.assoc name outer.Zmsq_obs.Metrics.counters with Not_found -> 0
+  in
+  if cfg.shards > 1 && outer_counter "shard_rerolls_total" = 0 then
+    violation "sticky routing never re-rolled despite injected trylock losses";
+  let reclaimed = (SQ.Debug.counters q).Zmsq.orphan_reclaims in
+  let ec_sleeps, ec_wakes =
+    match SQ.Debug.eventcount_stats q with Some (s, w) -> (s, w) | None -> (0, 0)
+  in
+  (* QoS telemetry lives in the inner queues; merge the per-shard
+     histograms and gate the worst sampled rank error against the sharded
+     bound — each shard's own window widened by the other shards' content
+     plus the two-choice selection slack. *)
+  let module Hist = Zmsq_util.Stats.Histogram in
+  let snaps =
+    Array.to_list (Array.map Zmsq_obs.Metrics.snapshot (SQ.shard_metrics q))
+  in
+  let sum_counter name =
+    List.fold_left
+      (fun acc s ->
+        acc + (try List.assoc name s.Zmsq_obs.Metrics.counters with Not_found -> 0))
+      0 snaps
+  in
+  let merge_hist name f =
+    List.fold_left
+      (fun acc s ->
+        match List.assoc_opt name s.Zmsq_obs.Metrics.hists with
+        | Some h -> Float.max acc (f h)
+        | None -> acc)
+      0.0 snaps
+  in
+  let qos_samples = sum_counter "qos_samples_total" in
+  let rank_err_max = merge_hist "rank_error_sampled" Hist.max_value in
+  let rank_gap_p99 = merge_hist "rank_gap_keys" (fun h -> Hist.percentile h 99.0) in
+  let sojourn_p99_ns = merge_hist "sojourn_ns" (fun h -> Hist.percentile h 99.0) in
+  let relax_bound =
+    Accuracy.sharded_bound ~shards:cfg.shards ~batch:cfg.batch
+      ~ndomains:(cfg.producers + cfg.consumers + 1)
+      ~buffer_len:cfg.buffer_len
+  in
+  if qos_samples > 0 && rank_err_max > float_of_int relax_bound then
+    violation
+      (Printf.sprintf
+         "relaxation bound: sampled rank error %.0f exceeds the sharded bound \
+          shards*(batch + ndomains*buffer_len) + slack = %d"
+         rank_err_max relax_bound);
+  log
+    (Printf.sprintf
+       "done in %.2fs: inserted=%d extracted=%d drained=%d reclaimed=%d \
+        rerolls=%d two_choice=%d sweeps=%d qos=%d rank_err_max=%.0f violations=%d"
+       seconds ins ext !drained reclaimed
+       (outer_counter "shard_rerolls_total")
+       (outer_counter "shard_two_choice_total")
+       (outer_counter "shard_fallback_sweeps_total")
+       qos_samples rank_err_max (List.length !vios));
+  ( {
+      phase;
+      seconds;
+      inserted = ins;
+      extracted = ext;
+      drained = !drained;
+      reclaimed;
+      ec_sleeps;
+      ec_wakes;
+      qos_samples;
+      rank_err_max;
+      rank_gap_p99;
+      sojourn_p99_ns;
+      violations = List.rev !vios;
+    },
+    !artifacts )
+
 let run cfg =
   if cfg.producers < 1 || cfg.consumers < 1 then invalid_arg "Soak.run: need workers";
   if cfg.secs <= 0. then invalid_arg "Soak.run: secs must be positive";
   if cfg.phases = [] then invalid_arg "Soak.run: need at least one phase";
+  if cfg.shards < 1 then invalid_arg "Soak.run: shards must be >= 1";
   let stats0 = FP.Ctl.stats () in
   let dur = cfg.secs /. float_of_int (List.length cfg.phases) in
   let phases, artifacts =
     List.split
-      (List.mapi (fun index phase -> run_phase cfg ~index ~phase ~dur) cfg.phases)
+      (List.mapi
+         (fun index phase ->
+           match phase with
+           | Shard_churn -> run_shard_phase cfg ~index ~phase ~dur
+           | _ -> run_phase cfg ~index ~phase ~dur)
+         cfg.phases)
   in
   let fault_stats = diff_stats stats0 (FP.Ctl.stats ()) in
   FP.Ctl.reset ();

@@ -4,8 +4,10 @@
     shapes — mixed steady-state, bursty producers with a blocking consumer,
     a producer that {e crashes} mid-phase without unregistering (its staged
     buffer is recovered via {!Zmsq.orphan} + {!Zmsq.reclaim_orphans}),
-    one-shot producers racing consumer demand, and rapid handle churn that
-    deliberately exhausts the hazard-slot budget — all on top of the
+    one-shot producers racing consumer demand, rapid handle churn that
+    deliberately exhausts the hazard-slot budget, and shard churn (sticky
+    inserters migrating across a {!Zmsq.Shard} build, a fraction abandoned
+    via orphan, under injected trylock losses) — all on top of the
     {!Zmsq_prim.Faulty} adapter, so trylock failures, delayed futex wakes,
     spurious timeouts and scheduling stalls fire continuously under real
     parallelism.
@@ -24,6 +26,9 @@
       OBSERVABILITY.md) must stay within the structural relaxation window
       [batch + ndomains * buffer_len] — an extract may be outranked by at
       most one staged extraction batch plus every handle's insert buffer.
+      The shard-churn phase gates the worst per-shard sample against
+      {!Accuracy.sharded_bound} instead, and additionally requires drain
+      exactness on {e every} shard plus at least one sticky re-roll.
 
     On any violation the phase's metrics snapshot and (when [params.obs]
     permits) Chrome trace are dumped under [artifacts_dir]. *)
@@ -45,7 +50,7 @@ type faults = {
 val no_faults : faults
 val default_faults : faults
 
-type phase = Mixed | Burst | Producer_dies | Consumer_starves | Handle_churn
+type phase = Mixed | Burst | Producer_dies | Consumer_starves | Handle_churn | Shard_churn
 
 val phase_name : phase -> string
 
@@ -95,11 +100,12 @@ type config = {
   artifacts_dir : string option;
   log : (string -> unit) option;  (** heartbeats and phase banners *)
   phases : phase list;  (** which phases to run, in order *)
+  shards : int;  (** shard count for the shard-churn phase (>= 1) *)
 }
 
 val default_config : config
 (** seed 1, 2 s, 2x2 domains, batch 48, buffer 8, stale 1500 ms,
-    {!default_faults}, no artifacts, no log, {!all_phases}. *)
+    {!default_faults}, no artifacts, no log, {!all_phases}, 4 shards. *)
 
 val run : config -> report
 

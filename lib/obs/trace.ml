@@ -13,6 +13,7 @@ type kind =
   | Close
   | Reclaim
   | Drain
+  | Shard_select
 
 let kind_name = function
   | Insert -> "insert"
@@ -29,6 +30,7 @@ let kind_name = function
   | Close -> "close"
   | Reclaim -> "reclaim"
   | Drain -> "drain"
+  | Shard_select -> "shard_select"
 
 let kind_code = function
   | Insert -> 0
@@ -45,6 +47,7 @@ let kind_code = function
   | Close -> 11
   | Reclaim -> 12
   | Drain -> 13
+  | Shard_select -> 14
 
 let kind_of_code = function
   | 0 -> Insert
@@ -60,7 +63,8 @@ let kind_of_code = function
   | 10 -> Buf_flush
   | 11 -> Close
   | 12 -> Reclaim
-  | _ -> Drain
+  | 13 -> Drain
+  | _ -> Shard_select
 
 (* One ring per domain slot. A span is recorded on [span_end] as a
    complete event (begin timestamp + duration), which keeps the dump

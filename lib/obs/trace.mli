@@ -30,6 +30,9 @@ type kind =
   | Close  (** a lifecycle transition ([close] or drain completion) *)
   | Reclaim  (** an orphaned handle's buffer reclaimed by the scavenger *)
   | Drain  (** the whole Draining window, from [close ~drain:true] to empty *)
+  | Shard_select
+      (** a sharded queue's routing decision ([arg] = the chosen shard):
+          a sticky-insert re-roll or a two-choice extraction pick *)
 
 val kind_name : kind -> string
 

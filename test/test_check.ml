@@ -195,6 +195,23 @@ let test_race_cell_benign () =
   check Alcotest.bool "benign read not reported" true (Race.read ~tid:1 cell = None);
   check Alcotest.bool "benign write not reported" true (Race.write ~tid:1 cell = None)
 
+(* {2 Sharding scenarios (PR 8): the sticky re-roll and two-choice-sweep
+   decisions must be exhaustively clean, their seeded buggy twins detected
+   with a replayable schedule, and the real sharded queue must conserve
+   elements under the random scheduler. *)
+
+let test_shard_reroll_mini_ok () = expect_pass ~want_complete:true "shard-reroll-mini"
+
+let test_shard_reroll_mini_bug () =
+  expect_detect_and_replay "shard-reroll-mini-sticky-stuck"
+
+let test_shard_stale_max_mini_ok () = expect_pass ~want_complete:true "shard-stale-max-mini"
+
+let test_shard_stale_max_mini_bug () =
+  expect_detect_and_replay "shard-stale-max-mini-no-sweep"
+
+let test_zmsq_shard_conserve () = random_pass ~executions:60 ~seed:0x54A2 "zmsq-shard-conserve"
+
 (* {2 Race-detector scenarios: seeded positive + fence negatives} *)
 
 let test_race_unsync_counter () = expect_detect_and_replay "race-unsync-counter"
@@ -237,6 +254,11 @@ let suite =
     ("zmsq insert-close conservation under model", `Slow, test_zmsq_insert_close_conserve);
     ("zmsq orphan reclaim race under model", `Slow, test_zmsq_orphan_reclaim_race);
     ("zmsq drain exactness under model", `Slow, test_zmsq_drain_exact);
+    ("shard re-roll mini", `Quick, test_shard_reroll_mini_ok);
+    ("shard re-roll mini bug detected", `Quick, test_shard_reroll_mini_bug);
+    ("shard stale-max mini", `Quick, test_shard_stale_max_mini_ok);
+    ("shard stale-max mini bug detected", `Quick, test_shard_stale_max_mini_bug);
+    ("zmsq shard conservation under model", `Slow, test_zmsq_shard_conserve);
     ("race vc algebra", `Quick, test_race_vc_algebra);
     ("race acquire release", `Quick, test_race_acquire_release);
     ("race cell detects", `Quick, test_race_cell_detects);

@@ -224,6 +224,139 @@ let relaxation_cases =
     (fun batch -> List.map (fun buffer_len -> (batch, buffer_len)) [ 0; 4; 8 ])
     [ 0; 4; 16; 48 ]
 
+(* {2 Part 3: the sharded build (shards ∈ {1,2,4})}
+
+   Two properties fence [Zmsq.Shard]:
+
+   - shards=1 is {e bit-for-bit} the single queue: with the same params —
+     including [seed], which pins the handle RNG — the same operation
+     sequence must produce element-for-element identical extractions, even
+     in relaxed configurations where both sides are free to reorder.
+     QCheck shrinks any divergence to a minimal op sequence.
+
+   - at shards > 1 the zero-rank gap obeys the {e sharded} bound
+     [Accuracy.sharded_bound]: each shard contributes its own relaxation
+     window, plus the two-choice selection slack for windows where the
+     best shard dodges the sampler. *)
+
+module SQ = Zmsq.Shard.Default
+
+let sharded_identity_params ~buffer_len =
+  P.validate
+    {
+      P.default with
+      P.batch = 4;
+      target_len = 4;
+      buffer_len;
+      shards = 1;
+      seed = Some seed;
+    }
+
+let sharded_identity_ok params ops =
+  let module Q = Zmsq.Default in
+  let q = Q.create ~params () and sq = SQ.create ~params () in
+  let h = Q.register q and sh = SQ.register sq in
+  let mismatch = ref None in
+  List.iteri
+    (fun i op ->
+      if !mismatch = None then
+        match op with
+        | Some k ->
+            Q.insert h (Elt.of_priority k);
+            SQ.insert sh (Elt.of_priority k)
+        | None ->
+            let a = Q.extract h and b = SQ.extract sh in
+            if a <> b then mismatch := Some (i, a, b))
+    ops;
+  Q.flush h;
+  SQ.flush sh;
+  let rec drain i =
+    if !mismatch = None then begin
+      let a = Q.extract h and b = SQ.extract sh in
+      if a <> b then mismatch := Some (i, a, b)
+      else if not (Elt.is_none a) then drain (i + 1)
+    end
+  in
+  drain (List.length ops);
+  let inv = SQ.Debug.check_invariant sq in
+  Q.unregister h;
+  SQ.unregister sh;
+  match !mismatch with
+  | Some (i, a, b) ->
+      QCheck.Test.fail_reportf
+        "step %d: plain queue returned %s, shards=1 returned %s [%s]" i (pp_elt a)
+        (pp_elt b)
+        (Format.asprintf "%a" P.pp params)
+  | None ->
+      inv
+      || QCheck.Test.fail_reportf "sharded invariant broken after drain [%s]"
+           (Format.asprintf "%a" P.pp params)
+
+let sharded_identity_tests =
+  List.map
+    (fun buffer_len ->
+      QCheck.Test.make
+        ~name:(Printf.sprintf "shards=1 bit-for-bit vs single queue (buf=%d)" buffer_len)
+        ~count:iters ops_arb
+        (sharded_identity_ok (sharded_identity_params ~buffer_len)))
+    [ 0; 3 ]
+
+(* Round-robin three handles in one domain, as in [relaxation_multi]; the
+   consumer's two-choice extraction walks the shards while the producers
+   keep every shard's staging active. *)
+let relaxation_sharded ~shards ~batch ~buffer_len =
+  let params =
+    P.(
+      default |> with_batch batch |> with_buffer_len buffer_len |> with_shards shards
+      |> with_seed (seed + (shards * 7)))
+  in
+  let nhandles = 3 in
+  let sq = SQ.create ~params () in
+  let consumer = SQ.register sq in
+  let producers = Array.init (nhandles - 1) (fun _ -> SQ.register sq) in
+  let rng = Rng.create ~seed:(seed + (shards * 389) + (batch * 977) + (buffer_len * 13)) () in
+  let oracle = Oracle.create () in
+  let ranks = ref [] in
+  let insert_via h =
+    let e = Elt.of_priority (Rng.int rng 1_000_000) in
+    SQ.insert h e;
+    Oracle.add oracle e
+  in
+  let observe e = ranks := Oracle.observe oracle e :: !ranks in
+  for _ = 1 to 2_000 do
+    insert_via producers.(0)
+  done;
+  for _ = 1 to 4_000 do
+    Array.iter insert_via producers;
+    let e = SQ.extract consumer in
+    if not (Elt.is_none e) then observe e
+  done;
+  Array.iter SQ.unregister producers;
+  let rec drain () =
+    let e = SQ.extract consumer in
+    if not (Elt.is_none e) then begin
+      observe e;
+      drain ()
+    end
+  in
+  drain ();
+  SQ.unregister consumer;
+  let gap = Accuracy.max_zero_gap (List.rev !ranks) in
+  let bound = Accuracy.sharded_bound ~shards ~batch ~ndomains:nhandles ~buffer_len in
+  if gap <= bound then Ok gap
+  else
+    Error
+      (Printf.sprintf
+         "shards=%d: zero-rank gap %d exceeds sharded bound %d (batch=%d buf=%d)" shards
+         gap bound batch buffer_len)
+
+let sharded_relaxation_cases =
+  List.concat_map
+    (fun shards ->
+      List.map (fun (batch, buffer_len) -> (shards, batch, buffer_len))
+        [ (0, 0); (4, 4); (16, 8); (48, 8) ])
+    [ 1; 2; 4 ]
+
 (* {2 Runner} *)
 
 let () =
@@ -255,6 +388,26 @@ let () =
               Printf.printf "  FAIL relaxation: %s\n%!" msg)
         [ ("single", relaxation_single); ("multi", relaxation_multi) ])
     relaxation_cases;
+  List.iter
+    (fun t ->
+      let name = match t with QCheck2.Test.Test cell -> QCheck2.Test.get_name cell in
+      try
+        QCheck.Test.check_exn ~rand t;
+        Printf.printf "  ok   %s\n%!" name
+      with e ->
+        incr failures;
+        Printf.printf "  FAIL %s\n%s\n%!" name (Printexc.to_string e))
+    sharded_identity_tests;
+  List.iter
+    (fun (shards, batch, buffer_len) ->
+      match relaxation_sharded ~shards ~batch ~buffer_len with
+      | Ok gap ->
+          Printf.printf "  ok   relaxation sharded shards=%d batch=%d buf=%d (max gap %d)\n%!"
+            shards batch buffer_len gap
+      | Error msg ->
+          incr failures;
+          Printf.printf "  FAIL relaxation: %s\n%!" msg)
+    sharded_relaxation_cases;
   if !failures > 0 then begin
     Printf.eprintf
       "%d property failure(s); replay with ZMSQ_PROP_SEED=%d ZMSQ_PROP_ITERS=%d\n%!"

@@ -1,4 +1,4 @@
-(* Smoke-scale soak: a fixed-seed ~2 s run of all five phases with every
+(* Smoke-scale soak: a fixed-seed ~2.4 s run of all six phases with every
    fault knob enabled (injected trylock failures, delayed-then-reposted
    wakes, spurious timeouts, FAA/exchange stalls, a frozen producer, a
    producer crash without unregister, and handle churn to slot
@@ -18,7 +18,7 @@ let test_soak_smoke () =
     {
       Soak.default_config with
       Soak.seed = 0x50AC;
-      secs = 2.0;
+      secs = 2.4;
       producers = 2;
       consumers = 2;
       buffer_len = 8;
@@ -27,7 +27,7 @@ let test_soak_smoke () =
   in
   let r = Soak.run cfg in
   check Alcotest.(list string) "no watchdog violations" [] r.Soak.violations;
-  check Alcotest.int "all five phases ran" 5 (List.length r.Soak.phases);
+  check Alcotest.int "all six phases ran" 6 (List.length r.Soak.phases);
   List.iter
     (fun p ->
       check Alcotest.bool
@@ -50,6 +50,8 @@ let test_soak_smoke () =
     (reclaimed_of Soak.Producer_dies >= 1);
   check Alcotest.bool "handle churn reclaimed orphans" true
     (reclaimed_of Soak.Handle_churn >= 1);
+  check Alcotest.bool "shard churn reclaimed orphaned sticky handles" true
+    (reclaimed_of Soak.Shard_churn >= 1);
   let sleeps = List.fold_left (fun a p -> a + p.Soak.ec_sleeps) 0 r.Soak.phases in
   check Alcotest.bool "eventcount sleeps exercised" true (sleeps > 0)
 

@@ -877,6 +877,202 @@ let test_extract_piggyback_reclaim () =
     (Elt.is_none (Q.extract consumer));
   Q.unregister consumer
 
+(* {2 Sharded lifecycle: close/drain fan-out, orphan reclamation}
+
+   The outer queue is [shards] independent lifecycle machines; these tests
+   pin the fan-out contract — a close poisons every shard, a drain
+   completes only when every shard is exactly empty, and the outer orphan
+   protocol scavenges staged backlogs across all shards. *)
+
+module SQ = Zmsq.Shard.Default
+
+let shard_params ?(shards = 4) ?(buffer_len = 0) () =
+  P.validate
+    {
+      P.default with
+      P.batch = 4;
+      target_len = 16;
+      buffer_len;
+      shards;
+      stickiness = 2;
+      seed = Some 7;
+    }
+
+let shard_lifecycle_check name want q =
+  let show = function
+    | Zmsq.Open -> "open"
+    | Zmsq.Draining -> "draining"
+    | Zmsq.Closed -> "closed"
+  in
+  check Alcotest.string name (show want) (show (SQ.lifecycle q))
+
+let shard_drain h =
+  let rec go acc =
+    let v = SQ.extract h in
+    if Elt.is_none v then acc else go (v :: acc)
+  in
+  go []
+
+(* [close] fans out: every shard rejects inserts, already-published
+   elements on every shard stay claimable, and the close is idempotent. *)
+let test_shard_close_rejects_insert () =
+  let q = SQ.create ~params:(shard_params ()) () in
+  let h = SQ.register q in
+  for k = 1 to 20 do
+    SQ.insert h (Elt.of_priority k)
+  done;
+  shard_lifecycle_check "open before close" Zmsq.Open q;
+  SQ.close q;
+  shard_lifecycle_check "closed after close" Zmsq.Closed q;
+  Alcotest.check_raises "insert rejected" Zmsq.Queue_closed (fun () ->
+      SQ.insert h (Elt.of_priority 1));
+  check Alcotest.int "rejected element not admitted" 20
+    (SQ.length q + SQ.Debug.buffered q);
+  let out = List.sort compare (List.map Elt.priority (shard_drain h)) in
+  check Alcotest.(list int) "published elements on every shard survive close"
+    (List.init 20 (fun i -> i + 1)) out;
+  SQ.close q (* idempotent *);
+  SQ.unregister h
+
+(* [close ~drain:true]: inserts are rejected immediately on every shard,
+   extraction stays live until the whole family is exactly empty — staged
+   buffers included — and the last shard's emptiness closes the queue. *)
+let test_shard_drain_exactness () =
+  let q = SQ.create ~params:(shard_params ~buffer_len:16 ()) () in
+  let h = SQ.register q in
+  SQ.insert h (Elt.of_priority 3);
+  SQ.insert h (Elt.of_priority 8);
+  SQ.insert h (Elt.of_priority 5);
+  (* all three sit under the fill threshold: the drain must cover staged *)
+  check Alcotest.bool "something staged" true (SQ.Debug.buffered q > 0);
+  SQ.close ~drain:true q;
+  shard_lifecycle_check "draining while nonempty" Zmsq.Draining q;
+  Alcotest.check_raises "insert rejected while draining" Zmsq.Queue_closed
+    (fun () -> SQ.insert h (Elt.of_priority 1));
+  let out = List.sort compare (List.map Elt.priority (shard_drain h)) in
+  check Alcotest.(list int) "drain exact across shards" [ 3; 5; 8 ] out;
+  shard_lifecycle_check "drain completion closed the queue" Zmsq.Closed q;
+  check Alcotest.int "nothing staged" 0 (SQ.Debug.buffered q);
+  Array.iteri
+    (fun i n -> if n <> 0 then Alcotest.failf "shard %d not drained: %d left" i n)
+    (SQ.shard_sizes q);
+  SQ.unregister h
+
+(* [close] unparks blocking extractors no matter which shard each one
+   chose to nap on: every waiter returns the closed-and-empty outcome
+   instead of sleeping past shutdown. *)
+let test_shard_close_wakes_blocking_extractors () =
+  let params =
+    P.validate { (shard_params ()) with P.blocking = true; lock_policy = P.Blocking }
+  in
+  let q = SQ.create ~params () in
+  let consumers =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            let h = SQ.register q in
+            let v = SQ.extract_blocking h in
+            SQ.unregister h;
+            Elt.is_none v))
+  in
+  (* Give the consumers a moment to reach their park slices, then close. *)
+  Unix.sleepf 0.05;
+  SQ.close q;
+  List.iter
+    (fun d -> check Alcotest.bool "woken with closed-and-empty" true (Domain.join d))
+    consumers;
+  shard_lifecycle_check "closed" Zmsq.Closed q
+
+(* The outer orphan protocol: a dead producer's staged backlog — spread
+   over several shards by sticky routing — is published by the scavenger,
+   and a consumer's extract piggybacks the reclaim rather than reporting
+   a spurious empty. *)
+let test_shard_orphan_reclaim () =
+  let q = SQ.create ~params:(shard_params ~buffer_len:16 ()) () in
+  let dead = SQ.register q in
+  let live = SQ.register q in
+  SQ.insert dead (Elt.of_priority 42);
+  SQ.insert dead (Elt.of_priority 17);
+  SQ.insert dead (Elt.of_priority 29);
+  check Alcotest.bool "backlog staged" true (SQ.Debug.buffered q > 0);
+  check Alcotest.int "two live handles" 2 (SQ.Debug.live_handles q);
+  SQ.orphan dead;
+  check Alcotest.bool "orphaned" true (SQ.handle_state dead = Zmsq.Orphaned);
+  (* no explicit reclaim_orphans: the consumer's extract must scavenge *)
+  let out = List.sort compare (List.map Elt.priority (shard_drain live)) in
+  check Alcotest.(list int) "extract scavenged the dead producer's backlog"
+    [ 17; 29; 42 ] out;
+  check Alcotest.bool "dead handle reclaimed" true
+    (SQ.handle_state dead = Zmsq.Reclaimed);
+  check Alcotest.int "registry slot released" 1 (SQ.Debug.live_handles q);
+  check Alcotest.int "idempotent scavenge" 0 (SQ.reclaim_orphans q);
+  Alcotest.check_raises "dead handle unusable"
+    (Invalid_argument "Zmsq_shard.insert: handle was orphaned and reclaimed")
+    (fun () -> SQ.insert dead (Elt.of_priority 1));
+  SQ.unregister live
+
+(* An outer owner wrongly presumed dead resurrects on its next operation;
+   the scavenger then finds nothing and the owner's elements are intact. *)
+let test_shard_orphan_resurrection () =
+  let q = SQ.create ~params:(shard_params ~buffer_len:16 ()) () in
+  let h = SQ.register q in
+  SQ.insert h (Elt.of_priority 6);
+  SQ.orphan h;
+  check Alcotest.bool "orphaned" true (SQ.handle_state h = Zmsq.Orphaned);
+  SQ.insert h (Elt.of_priority 2);
+  check Alcotest.bool "resurrected" true (SQ.handle_state h = Zmsq.Live);
+  check Alcotest.int "nothing for the scavenger" 0 (SQ.reclaim_orphans q);
+  let out = List.sort compare (List.map Elt.priority (shard_drain h)) in
+  check Alcotest.(list int) "owner's elements intact" [ 2; 6 ] out;
+  SQ.unregister h
+
+(* Randomized lifecycle: random shard counts, stickiness, buffering and
+   handle fates (orphaned / unregistered / draining owner), then a full
+   drain — conservation must hold, every shard must end exactly empty,
+   and the family must converge to [Closed]. *)
+let test_shard_lifecycle_randomized () =
+  let rng = Zmsq_util.Rng.create ~seed:0xD00D () in
+  for round = 1 to 6 do
+    let shards = 1 + Zmsq_util.Rng.int rng 4 in
+    let buffer_len = if Zmsq_util.Rng.int rng 2 = 0 then 0 else 8 in
+    let params =
+      P.validate
+        {
+          P.default with
+          P.batch = (if Zmsq_util.Rng.int rng 2 = 0 then 0 else 4);
+          target_len = 16;
+          buffer_len;
+          shards;
+          stickiness = 1 + Zmsq_util.Rng.int rng 4;
+          seed = Some (0xBEE + round);
+        }
+    in
+    let q = SQ.create ~params () in
+    let handles = Array.init 3 (fun _ -> SQ.register q) in
+    let inserted = ref 0 in
+    for _ = 1 to 200 do
+      let h = handles.(Zmsq_util.Rng.int rng 3) in
+      SQ.insert h (Elt.of_priority (1 + Zmsq_util.Rng.int rng 1000));
+      incr inserted
+    done;
+    (* one producer dies, one retires cleanly, one drains the queue *)
+    SQ.orphan handles.(0);
+    SQ.unregister handles.(1);
+    SQ.close ~drain:true q;
+    let extracted = List.length (shard_drain handles.(2)) in
+    if extracted <> !inserted then
+      Alcotest.failf "round %d: conservation broken: %d in, %d out" round !inserted
+        extracted;
+    shard_lifecycle_check "closed after drain" Zmsq.Closed q;
+    check Alcotest.bool "sharded invariant" true (SQ.Debug.check_invariant q);
+    Array.iteri
+      (fun i n ->
+        if n <> 0 then Alcotest.failf "round %d: shard %d not drained" round i)
+      (SQ.shard_sizes q);
+    check Alcotest.int "nothing staged" 0 (SQ.Debug.buffered q);
+    SQ.unregister handles.(2);
+    check Alcotest.int "no live handles" 0 (SQ.Debug.live_handles q)
+  done
+
 let mk name f = (name, `Quick, f)
 
 let suite =
@@ -939,5 +1135,12 @@ let suite =
     mk "orphan reclaim publishes backlog" test_orphan_reclaim_publishes;
     mk "orphan resurrection" test_orphan_resurrection;
     mk "extract piggybacks orphan reclaim" test_extract_piggyback_reclaim;
+    mk "shard close rejects insert" test_shard_close_rejects_insert;
+    mk "shard drain exactness" test_shard_drain_exactness;
+    ("shard close wakes blocking extractors", `Slow,
+      test_shard_close_wakes_blocking_extractors);
+    mk "shard orphan reclaim across shards" test_shard_orphan_reclaim;
+    mk "shard orphan resurrection" test_shard_orphan_resurrection;
+    ("shard lifecycle randomized", `Slow, test_shard_lifecycle_randomized);
   ]
   @ concurrent_matrix @ concurrent_buffered
