@@ -11,7 +11,7 @@ module Json = Zmsq_obs.Json
 
 let usage () =
   prerr_endline
-    "usage: zmsq_perfci [--out FILE] [--baseline FILE] [--scale F] [--only ID[,ID...]]\n\
+    "usage: zmsq_perfci [--out FILE] [--id ID] [--baseline FILE] [--scale F] [--only ID[,ID...]]\n\
     \                   [--bless] [--no-compare] [--list]\n\
      Fixed-shape perf runs gated against results/perf-baseline.json.\n\
      --scale multiplies op counts (default $ZMSQ_PERFCI_SCALE or 1.0);\n\
@@ -21,6 +21,7 @@ let usage () =
 
 let () =
   let out = ref "BENCH_pr6.json" in
+  let id = ref "pr6" in
   let baseline = ref "results/perf-baseline.json" in
   let scale =
     ref
@@ -35,6 +36,9 @@ let () =
     | [] -> ()
     | "--out" :: v :: rest ->
         out := v;
+        parse rest
+    | "--id" :: v :: rest ->
+        id := v;
         parse rest
     | "--baseline" :: v :: rest ->
         baseline := v;
@@ -98,7 +102,7 @@ let () =
     end
   in
   let report =
-    Perfci.report_json ~scale:!scale ~baseline_file:!baseline ~results ~comparisons
+    Perfci.report_json ~id:!id ~scale:!scale ~baseline_file:!baseline ~results ~comparisons ()
   in
   let path = Zmsq_obs.Export.write_file ~path:!out (Json.to_string report) in
   Printf.printf "zmsq_perfci: report -> %s\n%!" path;

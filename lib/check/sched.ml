@@ -215,8 +215,12 @@ let run ~max_steps ~make ~choose ~on_step =
               | None -> Exec_stopped
               | Some tid ->
                   let info = pending_info tid in
-                  execute tid;
+                  (* Record the step before running it: a violation raised
+                     inside the step's continuation must still appear in
+                     the trace, or the replay schedule derived from it
+                     would drop the decisive choice and diverge. *)
                   on_step ~tid ~info;
+                  execute tid;
                   loop ())
       in
       loop ()

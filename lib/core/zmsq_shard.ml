@@ -59,6 +59,7 @@ module Make_prim (P : Zmsq_prim.Intf.PRIM) (L : Zmsq_sync.Lock.S) (Set : Set_int
     c_two_choice : Metrics.counter;
     c_stale_max : Metrics.counter;
     c_sweeps : Metrics.counter;
+    c_empty_rechecks : Metrics.counter;
   }
 
   type t = {
@@ -81,7 +82,6 @@ module Make_prim (P : Zmsq_prim.Intf.PRIM) (L : Zmsq_sync.Lock.S) (Set : Set_int
     rng : Rng.t;
     cur : int Plain.t; (* sticky insert shard; handle-private *)
     left : int Plain.t; (* remaining sticky credit; handle-private *)
-    nap : int Plain.t; (* rotating park shard for blocking waits; handle-private *)
     owner : int Atomic.t; (* lint: unpadded outer ownership word; CAS only on reclaim paths *)
   }
 
@@ -89,7 +89,12 @@ module Make_prim (P : Zmsq_prim.Intf.PRIM) (L : Zmsq_sync.Lock.S) (Set : Set_int
 
   (* A sweep visits shards one at a time: another shard may momentarily be
      non-empty between visits, so a [none] result is not a linearizable
-     emptiness witness once [shards > 1]. *)
+     emptiness witness once [shards > 1]. The guarantee that *does* hold
+     (and that the drain path relies on): [extract] re-checks the per-shard
+     sizes before reporting empty, and each inner extract never returns
+     [none] while its own shard holds published, staged or ring-resident
+     elements — so a [none] means every shard was observed exactly empty at
+     some point during the call, merely not all at the same instant. *)
   let exact_emptiness = false
 
   let shard_seed = Atomic.make 0x51AD
@@ -133,7 +138,11 @@ module Make_prim (P : Zmsq_prim.Intf.PRIM) (L : Zmsq_sync.Lock.S) (Set : Set_int
       | None -> params
       | Some s -> { params with seed = Some (s + (i * 0x3C6EF372)) }
     in
-    let shards = Array.init n (fun i -> Q.create ~params:(inner_params i) ()) in
+    (* A *family*: the inner queues share one eventcount, so a blocking
+       consumer of the whole shard set can take a single combined wait
+       (see [extract_blocking] below) instead of parking on one shard at a
+       time. *)
+    let shards = Q.create_family ~params_of:inner_params n in
     let metrics = Metrics.create ~name () in
     let t =
       {
@@ -156,6 +165,7 @@ module Make_prim (P : Zmsq_prim.Intf.PRIM) (L : Zmsq_sync.Lock.S) (Set : Set_int
             c_two_choice = Metrics.counter metrics "shard_two_choice_total";
             c_stale_max = Metrics.counter metrics "shard_stale_max_total";
             c_sweeps = Metrics.counter metrics "shard_fallback_sweeps_total";
+            c_empty_rechecks = Metrics.counter metrics "shard_empty_rechecks_total";
           };
         tr = (if Obs_level.tracing params.obs then Some (Trace.create ()) else None);
       }
@@ -211,7 +221,6 @@ module Make_prim (P : Zmsq_prim.Intf.PRIM) (L : Zmsq_sync.Lock.S) (Set : Set_int
         cur = Plain.make ~name:"zmsq_shard.handle.cur" ~benign:"handle-private routing state" 0;
         left =
           Plain.make ~name:"zmsq_shard.handle.left" ~benign:"handle-private routing state" 0;
-        nap = Plain.make ~name:"zmsq_shard.handle.nap" ~benign:"handle-private routing state" 0;
         owner = Atomic.make own_live;
       }
     in
@@ -378,6 +387,11 @@ module Make_prim (P : Zmsq_prim.Intf.PRIM) (L : Zmsq_sync.Lock.S) (Set : Set_int
       if not (Elt.is_none v) then v else sweep h
     end
 
+  let cmax_refresh_all t =
+    for i = 0 to t.n - 1 do
+      cmax_refresh t i
+    done
+
   let rec extract_aux h ~retried =
     let t = h.s in
     let v = if t.n = 1 then Q.extract h.inner.(0) else extract_n h in
@@ -387,7 +401,20 @@ module Make_prim (P : Zmsq_prim.Intf.PRIM) (L : Zmsq_sync.Lock.S) (Set : Set_int
       (* Empty-looking sweep: scavenge outer-orphaned producers (their
          staged buffers are invisible to the inner piggyback until the
          outer claim runs) and retry once if anything was published. *)
-      if reclaim_orphans t > 0 then extract_aux h ~retried:true else Elt.none
+      if reclaim_orphans t > 0 then extract_aux h ~retried:true
+      else if t.n > 1 && Array.exists (fun q -> Q.length q > 0) t.shards then begin
+        (* The sweep raced concurrent movement: a shard reports a nonzero
+           size even though every visit came back empty (an element landed
+           on a shard after its turn). Each *inner* extract never returns
+           none while its own shard holds reachable elements, so the only
+           way to miss is across shards — refresh every cached maximum
+           from the live peeks and run one more full round rather than
+           report empty on a shard set that visibly holds elements. *)
+        tick t t.mc.c_empty_rechecks;
+        cmax_refresh_all t;
+        extract_aux h ~retried:true
+      end
+      else Elt.none
     end
     else Elt.none
 
@@ -395,13 +422,27 @@ module Make_prim (P : Zmsq_prim.Intf.PRIM) (L : Zmsq_sync.Lock.S) (Set : Set_int
     ensure_owner h "Zmsq_shard.extract";
     extract_aux h ~retried:false
 
-  (* {2 Blocking extraction: park on one shard at a time}
+  (* {2 Blocking extraction: one combined wait over the whole shard set}
 
-     The handle rotates its park shard between waits, and [close] fans out
-     to every inner queue — each shard's eventcount gets poisoned — so no
-     waiter can stay parked past shutdown no matter which shard it chose. *)
+     The inner queues are created as a *family* sharing one eventcount
+     ([Q.create_family]): every shard's insert, bulk flush, ring push and
+     close signals the same counter. A blocking extractor takes its ticket
+     against that counter — inside [family_wait], *after* the two-choice
+     sweep came back empty — so a publication into any shard between the
+     sweep and the sleep leaves the insert count above the ticket and the
+     wait returns immediately. This replaces the old rotating 200µs park
+     slices, which burned a timed syscall per shard per slice while idle
+     and could sleep through a whole slice on shard [i] while shard [j]
+     had just been signalled (the shard-wait DFS mini-pair in
+     lib/check/scenarios.ml replays exactly that lost-wake shape against
+     the rotation and shows the combined wait immune to it).
 
-  let slice_ns = 200_000
+     Shutdown: [close] fans out to every inner queue and each close (or
+     per-shard drain completion) poisons the shared eventcount, so no
+     waiter stays parked past the *first* shard's shutdown. During a
+     multi-shard drain the early poison degrades later waits to polling
+     sweeps until the remaining shards finish — bounded by the drain
+     itself, since draining shards are emptying and closing is terminal. *)
 
   let extract_timeout h ~timeout_ns =
     ensure_owner h "Zmsq_shard.extract_timeout";
@@ -420,11 +461,8 @@ module Make_prim (P : Zmsq_prim.Intf.PRIM) (L : Zmsq_sync.Lock.S) (Set : Set_int
                path): claim an element that arrived in the last window. *)
             extract_aux h ~retried:false
           else begin
-            let i = Plain.get h.nap in
-            Plain.set h.nap ((i + 1) mod t.n);
-            let v = Q.extract_timeout h.inner.(i) ~timeout_ns:(min remaining slice_ns) in
-            cmax_refresh t i;
-            if Elt.is_none v then loop () else v
+            ignore (Q.family_wait_for t.shards.(0) ~timeout_ns:remaining);
+            loop ()
           end
         end
       in
@@ -439,13 +477,15 @@ module Make_prim (P : Zmsq_prim.Intf.PRIM) (L : Zmsq_sync.Lock.S) (Set : Set_int
       let rec loop () =
         let v = extract_aux h ~retried:false in
         if not (Elt.is_none v) then v
-        else if lifecycle t = Zmsq_core.Closed then Elt.none
+        else if lifecycle t = Zmsq_core.Closed then
+          (* One final non-blocking attempt after observing Closed (the
+             single-queue contract): an element published between the
+             sweep above and the close is still claimable. [none] is the
+             closed-and-empty outcome. *)
+          extract_aux h ~retried:false
         else begin
-          let i = Plain.get h.nap in
-          Plain.set h.nap ((i + 1) mod t.n);
-          let v = Q.extract_timeout h.inner.(i) ~timeout_ns:slice_ns in
-          cmax_refresh t i;
-          if Elt.is_none v then loop () else v
+          Q.family_wait t.shards.(0);
+          loop ()
         end
       in
       loop ()
@@ -487,6 +527,9 @@ module Make_prim (P : Zmsq_prim.Intf.PRIM) (L : Zmsq_sync.Lock.S) (Set : Set_int
     let pool_level t = Array.fold_left (fun acc q -> acc + Q.Debug.pool_level q) 0 t.shards
     let buffered t = Array.fold_left (fun acc q -> acc + Q.Debug.buffered q) 0 t.shards
 
+    let ring_resident t =
+      Array.fold_left (fun acc q -> acc + Q.Debug.ring_resident q) 0 t.shards
+
     let live_handles t =
       with_handles_mu t (fun () ->
           List.length
@@ -513,6 +556,9 @@ module Make_prim (P : Zmsq_prim.Intf.PRIM) (L : Zmsq_sync.Lock.S) (Set : Set_int
             buf_flushes = acc.buf_flushes + c.Zmsq_core.buf_flushes;
             buf_claims = acc.buf_claims + c.Zmsq_core.buf_claims;
             orphan_reclaims = acc.orphan_reclaims + c.Zmsq_core.orphan_reclaims;
+            ring_pushes = acc.ring_pushes + c.Zmsq_core.ring_pushes;
+            ring_fallbacks = acc.ring_fallbacks + c.Zmsq_core.ring_fallbacks;
+            ring_drained = acc.ring_drained + c.Zmsq_core.ring_drained;
           })
         {
           Zmsq_core.refills = 0;
@@ -527,6 +573,9 @@ module Make_prim (P : Zmsq_prim.Intf.PRIM) (L : Zmsq_sync.Lock.S) (Set : Set_int
           buf_flushes = 0;
           buf_claims = 0;
           orphan_reclaims = 0;
+          ring_pushes = 0;
+          ring_fallbacks = 0;
+          ring_drained = 0;
         }
         t.shards
 

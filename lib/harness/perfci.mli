@@ -2,10 +2,13 @@
     regression CI (driven by [bin/zmsq_perfci]).
 
     The suite runs a pinned subset of the registry's shapes — fig5a
-    throughput, the fig4 blocking handoff, the insert-buffer experiment —
-    plus a single-thread roofline (ZMSQ vs {!Zmsq_pq.Binary_heap} pair
-    latency, gated as a machine-independent ratio) and the
-    full-observability overhead measurement. Results are compared against
+    throughput, the fig4 blocking handoff, the insert-buffer experiment,
+    the sharded insert-heavy gate and the FAA ingress-ring insert gate
+    (floor-limited, so rerouting inserts off the lock-free path fails
+    even against a fresh baseline) — plus a single-thread roofline (ZMSQ
+    vs {!Zmsq_pq.Binary_heap} pair latency, gated as a
+    machine-independent ratio) and the full-observability overhead
+    measurement. Results are compared against
     a committed baseline ([results/perf-baseline.json]) with generous
     per-experiment thresholds sized for shared-runner noise; the baseline
     may override any threshold. See OBSERVABILITY.md for the re-blessing
@@ -52,12 +55,16 @@ val compare_all : (string * float * float option) list -> result list -> compari
     gate only via [limit]). *)
 
 val report_json :
+  ?id:string ->
   scale:float ->
   baseline_file:string ->
   results:result list ->
   comparisons:comparison list option ->
+  unit ->
   Zmsq_obs.Json.t
-(** The schema-versioned BENCH_pr6.json document. *)
+(** The schema-versioned BENCH_pr6.json document. [id] (default
+    ["pr6"], the CI gate's identity) names trajectory snapshots like
+    BENCH_pr9.json. *)
 
 val baseline_json : result list -> Zmsq_obs.Json.t
 (** A fresh baseline blessing the given results. *)

@@ -1,12 +1,25 @@
 module Barrier = Zmsq_sync.Barrier
 module Timing = Zmsq_util.Timing
 
+(* Per-worker minor-heap size, in words ([0] leaves the runtime default).
+   Multi-domain measurements are otherwise dominated by stop-the-world
+   minor-collection rendezvous — on a shared or single-core CI runner each
+   collection must wait for every domain to get scheduled, which swamps the
+   queue work being measured and tracks the runner's scheduler, not the
+   code under test. Pinning the size (like the pinned seeds and shapes)
+   keeps the suite comparable across runners and OCaml defaults; the
+   parent's heap is left alone, and [Gc.set] inside the domain body scopes
+   the override to the worker's lifetime. *)
+let minor_words () = Zmsq_util.Env.int "ZMSQ_BENCH_MINOR_WORDS" ~default:(4 * 1024 * 1024)
+
 let timed_parallel_pre ~threads ~setup ~run =
   if threads < 1 then invalid_arg "Runner: threads must be >= 1";
+  let minor = minor_words () in
   let barrier = Barrier.create (threads + 1) in
   let domains =
     Array.init threads (fun tid ->
         Domain.spawn (fun () ->
+            if minor > 0 then Gc.set { (Gc.get ()) with Gc.minor_heap_size = minor };
             let st = setup tid in
             Barrier.wait barrier;
             run tid st))

@@ -1,4 +1,10 @@
-(** Domain fan-out with aligned measurement windows. *)
+(** Domain fan-out with aligned measurement windows.
+
+    Worker domains run with a pinned minor-heap size
+    ([ZMSQ_BENCH_MINOR_WORDS] overrides; [0] disables): multi-domain
+    measurements on small runners are otherwise dominated by
+    stop-the-world minor-collection rendezvous, which tracks the
+    machine's scheduler rather than the code under test. *)
 
 val timed_parallel : threads:int -> (int -> 'a) -> 'a array * float
 (** [timed_parallel ~threads f] spawns [threads] domains running [f tid].

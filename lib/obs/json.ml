@@ -65,10 +65,15 @@ let to_string j =
 (* {2 Parsing}
 
    Recursive-descent over the full JSON grammar. Numbers with a '.', 'e'
-   or 'E' become [Float]; every other numeric literal becomes [Int]
-   (falling back to [Float] on 63-bit overflow). [\uXXXX] escapes outside
-   ASCII are transcribed as UTF-8. Used by the perf-CI baseline loader and
-   the JSONL well-formedness tests — small inputs, so clarity over speed. *)
+   or 'E' become [Float]; every other numeric literal becomes [Int].
+   An integer literal that does not fit OCaml's 63-bit [int] is a loud
+   [Error], not a silent [Float]: every integer this library emits fits
+   (Int is an [int]), so an overflowing literal in a baseline file means
+   the file was produced by something else or corrupted, and rounding it
+   through a float would silently perturb perf-CI comparisons by up to
+   512 units near [max_int]. [\uXXXX] escapes outside ASCII are
+   transcribed as UTF-8. Used by the perf-CI baseline loader and the
+   JSONL well-formedness tests — small inputs, so clarity over speed. *)
 
 exception Parse_error of string
 
@@ -173,8 +178,26 @@ let of_string s =
     else begin
       match int_of_string_opt body with
       | Some i -> Int i
-      | None -> (
-          match float_of_string_opt body with Some f -> Float f | None -> fail "bad number")
+      | None ->
+          (* A well-formed digit string that [int_of_string] rejects can
+             only be a 63-bit overflow; refuse it loudly rather than
+             rounding through a float (see the module comment). Anything
+             else ("-", "1+2", ...) is plain malformed. *)
+          let well_formed =
+            let len = String.length body in
+            let digits_from i =
+              i < len
+              &&
+              let ok = ref true in
+              for j = i to len - 1 do
+                match body.[j] with '0' .. '9' -> () | _ -> ok := false
+              done;
+              !ok
+            in
+            digits_from (if len > 0 && body.[0] = '-' then 1 else 0)
+          in
+          if well_formed then fail "integer literal overflows 63-bit int"
+          else fail "bad number"
     end
   in
   let rec parse_value () =

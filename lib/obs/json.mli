@@ -21,7 +21,10 @@ exception Parse_error of string
 val of_string : string -> (t, string) result
 (** Parse one complete JSON document (trailing whitespace allowed,
     trailing garbage is an error). Integer literals become [Int] unless
-    they carry a fraction/exponent or overflow, in which case [Float]. *)
+    they carry a fraction/exponent, in which case [Float]. An integer
+    literal that overflows the 63-bit [int] range is an [Error] — not a
+    silent [Float] — so the perf-CI baseline loader cannot lose
+    precision on large counter values without anyone noticing. *)
 
 val of_string_exn : string -> t
 (** @raise Parse_error on malformed input. *)

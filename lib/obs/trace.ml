@@ -14,6 +14,7 @@ type kind =
   | Reclaim
   | Drain
   | Shard_select
+  | Ring_flush
 
 let kind_name = function
   | Insert -> "insert"
@@ -31,6 +32,7 @@ let kind_name = function
   | Reclaim -> "reclaim"
   | Drain -> "drain"
   | Shard_select -> "shard_select"
+  | Ring_flush -> "ring_flush"
 
 let kind_code = function
   | Insert -> 0
@@ -48,6 +50,7 @@ let kind_code = function
   | Reclaim -> 12
   | Drain -> 13
   | Shard_select -> 14
+  | Ring_flush -> 15
 
 let kind_of_code = function
   | 0 -> Insert
@@ -64,7 +67,8 @@ let kind_of_code = function
   | 11 -> Close
   | 12 -> Reclaim
   | 13 -> Drain
-  | _ -> Shard_select
+  | 14 -> Shard_select
+  | _ -> Ring_flush
 
 (* One ring per domain slot. A span is recorded on [span_end] as a
    complete event (begin timestamp + duration), which keeps the dump

@@ -33,6 +33,9 @@ type kind =
   | Shard_select
       (** a sharded queue's routing decision ([arg] = the chosen shard):
           a sticky-insert re-roll or a two-choice extraction pick *)
+  | Ring_flush
+      (** an ingress-ring drain published into the tree ([arg] = elements
+          drained across all staging nodes in the pass) *)
 
 val kind_name : kind -> string
 

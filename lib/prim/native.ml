@@ -74,4 +74,9 @@ module Futex = struct
 end
 
 let cpu_relax = Domain.cpu_relax
+
+(* Long enough that the kernel actually reschedules; short enough that a
+   producer parked for a full timeslice wakes us with little added lag. *)
+let stall_backoff () = Unix.sleepf 50e-6
+
 let name = "native"

@@ -305,6 +305,36 @@ let test_json_parser () =
   check Alcotest.bool "list member" true
     (Option.bind (Json.member "l" doc) Json.to_list_opt <> None)
 
+let test_json_int_boundaries () =
+  (* The perf-CI baseline loader reads counters through [to_int_opt]; a
+     63-bit boundary integer must survive a to_string/of_string round
+     trip exactly, and a literal one past the boundary must be a loud
+     parse error — never silently rounded through float. *)
+  let roundtrip n =
+    match Json.of_string (Json.to_string (Json.Int n)) with
+    | Ok (Json.Int m) when m = n -> ()
+    | Ok j -> Alcotest.fail (Printf.sprintf "%d re-parsed as %s" n (Json.to_string j))
+    | Error msg -> Alcotest.fail (Printf.sprintf "%d failed to parse: %s" n msg)
+  in
+  roundtrip max_int;
+  roundtrip min_int;
+  roundtrip 0;
+  (* max_int + 1 = 4611686018427387904 on 64-bit OCaml *)
+  (match Json.of_string "4611686018427387904" with
+  | Error msg ->
+      check Alcotest.bool "overflow error mentions the cause" true
+        (Astring.String.is_infix ~affix:"overflow" msg)
+  | Ok j ->
+      Alcotest.fail ("overflowing literal accepted as " ^ Json.to_string j));
+  (match Json.of_string "-4611686018427387905" with
+  | Error _ -> ()
+  | Ok j ->
+      Alcotest.fail ("underflowing literal accepted as " ^ Json.to_string j));
+  (* A fractional literal at the same magnitude is still a float. *)
+  match Json.of_string "4611686018427387904.0" with
+  | Ok (Json.Float _) -> ()
+  | _ -> Alcotest.fail "fractional literal must still parse as a float"
+
 let test_prometheus_help_sanitize () =
   let m = Metrics.create ~name:"ph" () in
   Metrics.add (Metrics.counter m "qos_samples_total") 3;
@@ -401,6 +431,7 @@ let suite =
     ("global snapshot monotone", `Quick, test_global_snapshot_monotone);
     ("jsonl lines well-formed", `Quick, test_jsonl_wellformed);
     ("json parser", `Quick, test_json_parser);
+    ("json 63-bit int boundaries", `Quick, test_json_int_boundaries);
     ("prometheus HELP/TYPE + sanitize", `Quick, test_prometheus_help_sanitize);
     ("trace complete + dropped", `Quick, test_trace_complete_and_dropped);
     ("qos sampling single thread", `Quick, test_qos_sampling_single_thread);
