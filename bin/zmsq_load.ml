@@ -1,0 +1,116 @@
+(* Closed-loop load generator for zmsq_server (lib/net/loadgen.mli).
+   Optional client-side wire faults exercise the retry/backoff path:
+   --fault-short/stall/drop/torn N arm a 1-in-N injector per fault. *)
+
+module Loadgen = Zmsq_net.Loadgen
+module Faulty = Zmsq_prim.Faulty
+
+let usage () =
+  prerr_endline
+    "usage: zmsq_load [--port P] [--host H] [--producers N] [--consumers N]\n\
+    \                 [--secs S] [--batch N] [--extract-n N]\n\
+    \                 [--budget-ms F] [--seed N]\n\
+    \                 [--fault-short N] [--fault-stall N] [--fault-drop N]\n\
+    \                 [--fault-torn N] [--json]\n\
+     Drives a running zmsq_server with insert/extract RPC load and\n\
+     prints a throughput/latency report. --fault-* arm 1-in-N\n\
+     client-side wire faults (0 = off).";
+  exit 2
+
+let () =
+  let port = ref 7171 in
+  let host = ref "127.0.0.1" in
+  let cfg = ref Loadgen.default_config in
+  let f_short = ref 0 and f_stall = ref 0 and f_drop = ref 0 and f_torn = ref 0 in
+  let json = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--port" :: v :: rest ->
+        port := int_of_string v;
+        parse rest
+    | "--host" :: v :: rest ->
+        host := v;
+        parse rest
+    | "--producers" :: v :: rest ->
+        cfg := { !cfg with Loadgen.producers = int_of_string v };
+        parse rest
+    | "--consumers" :: v :: rest ->
+        cfg := { !cfg with Loadgen.consumers = int_of_string v };
+        parse rest
+    | "--secs" :: v :: rest ->
+        cfg := { !cfg with Loadgen.duration_s = float_of_string v };
+        parse rest
+    | "--batch" :: v :: rest ->
+        cfg := { !cfg with Loadgen.batch = int_of_string v };
+        parse rest
+    | "--extract-n" :: v :: rest ->
+        cfg := { !cfg with Loadgen.extract_n = int_of_string v };
+        parse rest
+    | "--budget-ms" :: v :: rest ->
+        let ns = int_of_float (float_of_string v *. 1e6) in
+        cfg := { !cfg with Loadgen.insert_budget_ns = ns; extract_budget_ns = ns };
+        parse rest
+    | "--seed" :: v :: rest ->
+        cfg := { !cfg with Loadgen.seed = int_of_string v };
+        parse rest
+    | "--fault-short" :: v :: rest ->
+        f_short := int_of_string v;
+        parse rest
+    | "--fault-stall" :: v :: rest ->
+        f_stall := int_of_string v;
+        parse rest
+    | "--fault-drop" :: v :: rest ->
+        f_drop := int_of_string v;
+        parse rest
+    | "--fault-torn" :: v :: rest ->
+        f_torn := int_of_string v;
+        parse rest
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (if !f_short > 0 || !f_stall > 0 || !f_drop > 0 || !f_torn > 0 then
+     let module FP = Faulty.Make (Zmsq_prim.Native) () in
+     FP.Ctl.install
+       {
+         Faulty.off with
+         io_short_1in = !f_short;
+         io_stall_1in = !f_stall;
+         io_drop_1in = !f_drop;
+         io_torn_1in = !f_torn;
+         seed = !cfg.Loadgen.seed;
+       };
+     cfg := { !cfg with Loadgen.fault = Some FP.Ctl.inject_io });
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string !host, !port) in
+  let r = Loadgen.run !cfg addr in
+  let module H = Zmsq_util.Stats.Histogram in
+  if !json then
+    print_endline
+      (Zmsq_obs.Json.to_string
+         (Zmsq_obs.Json.Obj
+            [
+              ("rpcs_ok", Zmsq_obs.Json.Int r.Loadgen.rpcs_ok);
+              ("rpcs_refused", Zmsq_obs.Json.Int r.Loadgen.rpcs_refused);
+              ("rpcs_failed", Zmsq_obs.Json.Int r.Loadgen.rpcs_failed);
+              ("elts_inserted", Zmsq_obs.Json.Int r.Loadgen.elts_inserted);
+              ("elts_extracted", Zmsq_obs.Json.Int r.Loadgen.elts_extracted);
+              ("deadline_expired", Zmsq_obs.Json.Int r.Loadgen.deadline_expired);
+              ("gave_up", Zmsq_obs.Json.Int r.Loadgen.gave_up);
+              ("rpc_p99_ns", Zmsq_obs.Json.Float (H.percentile r.Loadgen.rpc_ns 99.0));
+              ("rpc_p999_ns", Zmsq_obs.Json.Float (H.p999 r.Loadgen.rpc_ns));
+            ]))
+  else begin
+    Printf.printf "rpcs ok=%d refused=%d failed=%d gave_up=%d deadline_expired=%d\n"
+      r.Loadgen.rpcs_ok r.Loadgen.rpcs_refused r.Loadgen.rpcs_failed r.Loadgen.gave_up
+      r.Loadgen.deadline_expired;
+    Printf.printf "elts inserted=%d extracted=%d\n" r.Loadgen.elts_inserted
+      r.Loadgen.elts_extracted;
+    if H.count r.Loadgen.rpc_ns > 0 then
+      Printf.printf "rpc latency mean=%.0fns p99=%.0fns p999=%.0fns max=%.0fns\n"
+        (H.mean r.Loadgen.rpc_ns)
+        (H.percentile r.Loadgen.rpc_ns 99.0)
+        (H.p999 r.Loadgen.rpc_ns) (H.max_value r.Loadgen.rpc_ns)
+  end

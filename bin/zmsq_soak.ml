@@ -13,8 +13,9 @@ let usage () =
      Fault-injected soak of the blocking/buffering queue; ZMSQ_SOAK_SECS\n\
      overrides the default duration. --phases takes a comma-separated\n\
      subset of: mixed,burst,producer-dies,consumer-starves,handle-churn,\n\
-     shard-churn,ring-ingress. --shards sets the shard count of the\n\
-     shard-churn phase; --ring the slot count of the ring-ingress phase.";
+     shard-churn,ring-ingress,server-overload. --shards sets the shard\n\
+     count of the shard-churn phase; --ring the slot count of the\n\
+     ring-ingress phase.";
   exit 2
 
 let () =

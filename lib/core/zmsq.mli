@@ -126,7 +126,10 @@ module type S = sig
       timeout. The deadline path always makes one final non-blocking
       [extract] attempt before reporting empty, so an element that arrived
       in the last wait window is claimed rather than missed, and a
-      zero/negative budget behaves as a plain try-pop. A closed-and-empty
+      zero/negative budget behaves as a plain try-pop. Budgets are
+      clamped at this boundary: [now + timeout_ns] saturates at
+      [max_int] rather than wrapping, so [~timeout_ns:max_int] means
+      "wait indefinitely", never an accidental poll. A closed-and-empty
       queue returns [none] immediately instead of burning the deadline
       (disambiguate from a timeout with {!lifecycle}). Same
       [params.blocking] requirement. Mirrors the timed pops production

@@ -1605,7 +1605,19 @@ module Make_prim (P : Zmsq_prim.Intf.PRIM) (L : Zmsq_sync.Lock.S) (Set : Set_int
     match h.q.ec with
     | None -> invalid_arg "Zmsq.extract_timeout: queue created without blocking"
     | Some ec ->
-        let deadline = Zmsq_util.Timing.now_ns () + timeout_ns in
+        (* Clamp once at the API boundary: a negative budget degrades to a
+           try-pop, and [now + timeout_ns] saturates at [max_int] instead
+           of wrapping negative — a caller mapping an RPC deadline of
+           [max_int] (= "no deadline") must get a long wait, not an
+           accidental non-blocking poll. Individual wait slices are capped
+           so the remaining budget never overflows the primitive layer's
+           own [now + timeout] arithmetic. *)
+        let timeout_ns = if timeout_ns < 0 then 0 else timeout_ns in
+        let now0 = Zmsq_util.Timing.now_ns () in
+        let deadline =
+          if timeout_ns > max_int - now0 then max_int else now0 + timeout_ns
+        in
+        let max_slice_ns = 3_600_000_000_000 (* 1h *) in
         (* Both deadline exits make one final non-blocking attempt rather
            than returning [none] outright: an element that arrived in the
            last wait window is still claimable — the timed-out waiter's
@@ -1622,13 +1634,15 @@ module Make_prim (P : Zmsq_prim.Intf.PRIM) (L : Zmsq_sync.Lock.S) (Set : Set_int
           if remaining <= 0 then extract h
           else if extraction_closed h.q then extract h
           else begin
+            let slice = if remaining > max_slice_ns then max_slice_ns else remaining in
             note h.q Trace.Sleep;
-            let woke = Eventcount.wait_before_extract_for ec ~timeout_ns:remaining in
+            let woke = Eventcount.wait_before_extract_for ec ~timeout_ns:slice in
             note h.q Trace.Wake;
             if woke then begin
               let v = extract h in
               if Elt.is_none v then loop () else v
             end
+            else if slice < remaining then loop ()
             else extract h
           end
         in

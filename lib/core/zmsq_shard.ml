@@ -449,7 +449,16 @@ module Make_prim (P : Zmsq_prim.Intf.PRIM) (L : Zmsq_sync.Lock.S) (Set : Set_int
     let t = h.s in
     if t.n = 1 then Q.extract_timeout h.inner.(0) ~timeout_ns
     else begin
-      let deadline = Zmsq_util.Timing.now_ns () + timeout_ns in
+      (* Same boundary clamp as the single-queue path: negative budgets
+         degrade to a try-pop, [now + timeout_ns] saturates instead of
+         wrapping negative, and wait slices are capped so the remaining
+         budget never overflows downstream deadline arithmetic. *)
+      let timeout_ns = if timeout_ns < 0 then 0 else timeout_ns in
+      let now0 = Zmsq_util.Timing.now_ns () in
+      let deadline =
+        if timeout_ns > max_int - now0 then max_int else now0 + timeout_ns
+      in
+      let max_slice_ns = 3_600_000_000_000 (* 1h *) in
       let rec loop () =
         let v = extract_aux h ~retried:false in
         if not (Elt.is_none v) then v
@@ -461,7 +470,8 @@ module Make_prim (P : Zmsq_prim.Intf.PRIM) (L : Zmsq_sync.Lock.S) (Set : Set_int
                path): claim an element that arrived in the last window. *)
             extract_aux h ~retried:false
           else begin
-            ignore (Q.family_wait_for t.shards.(0) ~timeout_ns:remaining);
+            let slice = if remaining > max_slice_ns then max_slice_ns else remaining in
+            ignore (Q.family_wait_for t.shards.(0) ~timeout_ns:slice);
             loop ()
           end
         end

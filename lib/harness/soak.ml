@@ -31,6 +31,10 @@ type faults = {
   stall_exchange_1in : int;
   stall_relax : int;
   freeze_ms : float;
+  io_short_1in : int;
+  io_stall_1in : int;
+  io_drop_1in : int;
+  io_torn_1in : int;
 }
 
 let no_faults =
@@ -43,6 +47,10 @@ let no_faults =
     stall_exchange_1in = 0;
     stall_relax = 0;
     freeze_ms = 0.;
+    io_short_1in = 0;
+    io_stall_1in = 0;
+    io_drop_1in = 0;
+    io_torn_1in = 0;
   }
 
 let default_faults =
@@ -55,6 +63,12 @@ let default_faults =
     stall_exchange_1in = 64;
     stall_relax = 200;
     freeze_ms = 40.;
+    (* Wire faults only bite in the server-overload phase (the only one
+       with sockets); harmless elsewhere. *)
+    io_short_1in = 6;
+    io_stall_1in = 16;
+    io_drop_1in = 400;
+    io_torn_1in = 500;
   }
 
 type phase =
@@ -65,6 +79,7 @@ type phase =
   | Handle_churn
   | Shard_churn
   | Ring_ingress
+  | Server_overload
 
 let phase_name = function
   | Mixed -> "mixed"
@@ -74,6 +89,7 @@ let phase_name = function
   | Handle_churn -> "handle-churn"
   | Shard_churn -> "shard-churn"
   | Ring_ingress -> "ring-ingress"
+  | Server_overload -> "server-overload"
 
 let phase_of_name = function
   | "mixed" -> Some Mixed
@@ -83,10 +99,20 @@ let phase_of_name = function
   | "handle-churn" -> Some Handle_churn
   | "shard-churn" -> Some Shard_churn
   | "ring-ingress" -> Some Ring_ingress
+  | "server-overload" -> Some Server_overload
   | _ -> None
 
 let all_phases =
-  [ Mixed; Burst; Producer_dies; Consumer_starves; Handle_churn; Shard_churn; Ring_ingress ]
+  [
+    Mixed;
+    Burst;
+    Producer_dies;
+    Consumer_starves;
+    Handle_churn;
+    Shard_churn;
+    Ring_ingress;
+    Server_overload;
+  ]
 
 type phase_report = {
   phase : phase;
@@ -193,6 +219,10 @@ let run_phase cfg ~index ~phase ~dur =
       stall_faa_1in = f.stall_faa_1in;
       stall_exchange_1in = f.stall_exchange_1in;
       stall_relax = f.stall_relax;
+      io_short_1in = f.io_short_1in;
+      io_stall_1in = f.io_stall_1in;
+      io_drop_1in = f.io_drop_1in;
+      io_torn_1in = f.io_torn_1in;
     };
   let params =
     Zmsq.Params.validate
@@ -336,8 +366,8 @@ let run_phase cfg ~index ~phase ~dur =
           if Rng.int rng 8 = 0 then Q.flush h;
           if Rng.int rng 64 = 0 then Unix.sleepf 0.0002
         done
-    | Shard_churn ->
-        (* Dispatched to [run_shard_phase] by [run]; never reaches here. *)
+    | Shard_churn | Server_overload ->
+        (* Dispatched to dedicated runners by [run]; never reaches here. *)
         assert false);
     (* The crashed victim never unregisters — that is the point. *)
     if not (phase = Producer_dies && idx = 0) then Q.unregister h
@@ -614,6 +644,10 @@ let run_shard_phase cfg ~index ~phase ~dur =
       stall_faa_1in = f.stall_faa_1in;
       stall_exchange_1in = f.stall_exchange_1in;
       stall_relax = f.stall_relax;
+      io_short_1in = f.io_short_1in;
+      io_stall_1in = f.io_stall_1in;
+      io_drop_1in = f.io_drop_1in;
+      io_torn_1in = f.io_torn_1in;
     };
   let params =
     Zmsq.Params.validate
@@ -892,6 +926,312 @@ let run_shard_phase cfg ~index ~phase ~dur =
     },
     !artifacts )
 
+
+(* Server-overload: the whole network stack — lib/net's socket front-end
+   over the sharded FP-faulted build — pushed past its admission ladder.
+   Producer batches (128/RPC) outweigh consumer extracts (16/RPC), so
+   backlog climbs through Throttle/Shed into Reject and the clients ride
+   retry/backoff. The phase runs two halves over one server: a clean
+   half (prim faults only) and a wire-faulted half (short reads, stalls,
+   severed connections, torn frames on both sides of every socket), then
+   a SIGTERM-style graceful drain. The fault-exempt monitor asserts
+   element conservation and shed accounting from the server's own
+   counters while the overload runs; teardown asserts the exact
+   identities, drain-to-emptiness, zero leaked handles, that the ladder
+   actually engaged, that wire faults actually fired, and that the
+   faulted half's RPC p99 stayed within 2x of the clean half's (no
+   retry storm). *)
+module NetSrv = Zmsq_net.Server.Make (SQ)
+
+let run_server_phase cfg ~index ~phase ~dur =
+  let log s =
+    match cfg.log with
+    | Some f -> f (Printf.sprintf "[soak %-16s] %s" (phase_name phase) s)
+    | None -> ()
+  in
+  let f = cfg.faults in
+  let install ~io =
+    FP.Ctl.install
+      {
+        Faulty.seed = cfg.seed lxor ((index + 1) * 0xC2B2);
+        trylock_fail_1in = f.trylock_fail_1in;
+        wake_delay_1in = f.wake_delay_1in;
+        wake_delay_ops = f.wake_delay_ops;
+        spurious_timeout_1in = f.spurious_timeout_1in;
+        stall_faa_1in = f.stall_faa_1in;
+        stall_exchange_1in = f.stall_exchange_1in;
+        stall_relax = f.stall_relax;
+        io_short_1in = (if io then f.io_short_1in else 0);
+        io_stall_1in = (if io then f.io_stall_1in else 0);
+        io_drop_1in = (if io then f.io_drop_1in else 0);
+        io_torn_1in = (if io then f.io_torn_1in else 0);
+      }
+  in
+  FP.Ctl.reset ();
+  install ~io:false;
+  let params =
+    Zmsq.Params.validate
+      {
+        Zmsq.Params.default with
+        batch = cfg.batch;
+        buffer_len = cfg.buffer_len;
+        blocking = true;
+        shards = cfg.shards;
+        stickiness = 8;
+        seed = Some cfg.seed;
+        obs = Zmsq_obs.Level.Full;
+        obs_sample_shift = 4;
+      }
+  in
+  let q = SQ.create ~params () in
+  let scfg =
+    {
+      NetSrv.default_config with
+      NetSrv.workers = 2;
+      max_conns = 32;
+      inflight_window = 8;
+      (* A low high-water mark so the flood provably climbs the whole
+         ladder within the phase budget. *)
+      max_elts_inflight = 512;
+      tick_ms = 1.0;
+      idle_slice_ns = 500_000;
+      fault = Some FP.Ctl.inject_io;
+    }
+  in
+  let srv =
+    NetSrv.create ~config:scfg ~q
+      ~addr:(Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+      ()
+  in
+  let vio_mu = Stdlib.Mutex.create () in
+  let vios = ref [] in
+  let artifacts = ref [] in
+  let dumped = ref false in
+  let violation msg =
+    Stdlib.Mutex.lock vio_mu;
+    Fun.protect
+      ~finally:(fun () -> Stdlib.Mutex.unlock vio_mu)
+      (fun () ->
+        vios := msg :: !vios;
+        log ("VIOLATION: " ^ msg);
+        match cfg.artifacts_dir with
+        | Some dir when not !dumped ->
+            dumped := true;
+            mkdir_p dir;
+            let dump name m =
+              Zmsq_obs.Export.write_file
+                ~path:(Filename.concat dir name)
+                (Zmsq_obs.Json.to_string
+                   (Zmsq_obs.Export.json_of_snapshot (Zmsq_obs.Metrics.snapshot m)))
+            in
+            artifacts :=
+              [
+                dump "soak-server-overload-queue-metrics.json" (SQ.metrics q);
+                dump "soak-server-overload-server-metrics.json" (NetSrv.metrics srv);
+              ]
+        | _ -> ())
+  in
+  let counters () =
+    let snap = Zmsq_obs.Metrics.snapshot (NetSrv.metrics srv) in
+    fun name ->
+      match List.assoc_opt name snap.Zmsq_obs.Metrics.counters with
+      | Some n -> n
+      | None -> 0
+  in
+  let refused_of c =
+    c "rpc_throttled_total" + c "rpc_shed_total" + c "rpc_rejected_total"
+    + c "rpc_deadline_expired_total" + c "rpc_closed_total" + c "rpc_bad_request_total"
+  in
+  let stop_mon = Stdlib.Atomic.make false in
+  let monitor () =
+    FP.Ctl.exempt_self ();
+    let stale_ns = int_of_float (cfg.stale_ms *. 1e6) in
+    let anchor = ref (now_ns ()) in
+    let last_progress = ref 0 in
+    let next_beat = ref (now_ns () + 500_000_000) in
+    while not (Stdlib.Atomic.get stop_mon) do
+      Unix.sleepf 0.002;
+      FP.Ctl.quiesce ();
+      let now = now_ns () in
+      let c = counters () in
+      let applied = c "elts_applied_total" in
+      let extracted = c "elts_extracted_total" + c "elts_drained_shutdown_total" in
+      (* Conservation, mid-flight: the server can never have handed out
+         more elements than admission applied. ([applied] is bumped
+         before the insert publishes, so this direction is exact.) *)
+      if extracted > applied then
+        violation
+          (Printf.sprintf "conservation: extracted+drained %d > applied %d" extracted
+             applied);
+      (* Shed accounting, mid-flight (the loose direction; the exact
+         identity is asserted at quiescence): terminal outcomes can
+         never exceed admissions. *)
+      let outcomes = c "rpc_completed_total" + refused_of c + c "rpc_dropped_total" in
+      if outcomes > c "rpc_accepted_total" then
+        violation
+          (Printf.sprintf "shed accounting: %d outcomes > %d accepted" outcomes
+             (c "rpc_accepted_total"));
+      if extracted <> !last_progress then begin
+        last_progress := extracted;
+        anchor := now
+      end;
+      if SQ.length q = 0 then anchor := now;
+      if now - !anchor > stale_ns then begin
+        violation
+          (Printf.sprintf
+             "stale element: %d queued elements but no extraction progress in %.0f ms"
+             (SQ.length q) cfg.stale_ms);
+        anchor := now
+      end;
+      if now >= !next_beat then begin
+        next_beat := now + 500_000_000;
+        log
+          (Printf.sprintf "heartbeat: level=%s accepted=%d completed=%d refused=%d qlen=%d"
+             (NetSrv.level_name (NetSrv.level srv))
+             (c "rpc_accepted_total") (c "rpc_completed_total") (refused_of c)
+             (SQ.length q))
+      end
+    done;
+    FP.Ctl.quiesce ()
+  in
+  let t0 = now_ns () in
+  let mon = Domain.spawn monitor in
+  let lg_base =
+    {
+      Zmsq_net.Loadgen.default_config with
+      Zmsq_net.Loadgen.producers = cfg.producers;
+      consumers = cfg.consumers;
+      duration_s = dur *. 0.45;
+      batch = 128;
+      extract_n = 16;
+      insert_budget_ns = 50_000_000;
+      extract_budget_ns = 20_000_000;
+      retry =
+        {
+          Zmsq_net.Retry.base_ns = 500_000;
+          cap_ns = 20_000_000;
+          max_attempts = 6;
+          budget_ns = 150_000_000;
+        };
+      seed = cfg.seed + (index * 131);
+    }
+  in
+  let addr = NetSrv.sockaddr srv in
+  let clean = Zmsq_net.Loadgen.run { lg_base with Zmsq_net.Loadgen.fault = None } addr in
+  let io_stats0 = FP.Ctl.stats () in
+  install ~io:true;
+  let faulted =
+    Zmsq_net.Loadgen.run
+      {
+        lg_base with
+        Zmsq_net.Loadgen.seed = lg_base.Zmsq_net.Loadgen.seed + 77;
+        fault = Some FP.Ctl.inject_io;
+      }
+      addr
+  in
+  let io_fired = diff_stats io_stats0 (FP.Ctl.stats ()) in
+  Stdlib.Atomic.set stop_mon true;
+  Domain.join mon;
+  (* SIGTERM path: drain to exact emptiness end-to-end. *)
+  NetSrv.shutdown srv;
+  FP.Ctl.quiesce ();
+  let seconds = float_of_int (now_ns () - t0) /. 1e9 in
+  let c = counters () in
+  let applied = c "elts_applied_total" in
+  let extracted = c "elts_extracted_total" in
+  let drained = c "elts_drained_shutdown_total" in
+  if applied <> extracted + drained then
+    violation
+      (Printf.sprintf "conservation: applied %d <> extracted %d + drained %d" applied
+         extracted drained);
+  let outcomes = c "rpc_completed_total" + refused_of c + c "rpc_dropped_total" in
+  if c "rpc_accepted_total" <> outcomes then
+    violation
+      (Printf.sprintf "shed accounting at quiescence: accepted %d <> outcomes %d"
+         (c "rpc_accepted_total") outcomes);
+  if SQ.lifecycle q <> Zmsq.Closed then violation "drain did not close the queue";
+  Array.iteri
+    (fun i sz ->
+      if sz <> 0 then
+        violation (Printf.sprintf "drain exactness: shard %d still holds %d elements" i sz))
+    (SQ.shard_sizes q);
+  if SQ.Debug.buffered q <> 0 then
+    violation
+      (Printf.sprintf "staged residue after drain: %d" (SQ.Debug.buffered q));
+  if SQ.Debug.live_handles q <> 0 then
+    violation
+      (Printf.sprintf "handle registry leak: %d handles survive shutdown"
+         (SQ.Debug.live_handles q));
+  if refused_of c - c "rpc_deadline_expired_total" - c "rpc_closed_total"
+     - c "rpc_bad_request_total" = 0
+  then violation "overload never engaged the ladder (no throttle/shed/reject)";
+  (let fired k = try List.assoc k io_fired with Not_found -> 0 in
+   if
+     f.io_short_1in > 0
+     && fired "io_shorts" + fired "io_stalls" + fired "io_drops" + fired "io_torn" = 0
+   then violation "wire faults armed but never fired");
+  (* Retry-storm guard: backoff must absorb the wire faults. The floor
+     soaks up sub-RPC-granularity scheduler noise; above it, a faulted
+     p99 more than one power-of-two bucket over clean means clients are
+     hammering instead of backing off. *)
+  let module Hist = Zmsq_util.Stats.Histogram in
+  let clean_p99 = Hist.percentile clean.Zmsq_net.Loadgen.rpc_ns 99.0 in
+  let faulted_p99 = Hist.percentile faulted.Zmsq_net.Loadgen.rpc_ns 99.0 in
+  if
+    Hist.count clean.Zmsq_net.Loadgen.rpc_ns > 50
+    && Hist.count faulted.Zmsq_net.Loadgen.rpc_ns > 50
+    && faulted_p99 > 2.0 *. Float.max clean_p99 5e6
+  then
+    violation
+      (Printf.sprintf "retry storm: faulted p99 %.0f ns > 2x clean p99 %.0f ns"
+         faulted_p99 clean_p99);
+  let reclaimed = (SQ.Debug.counters q).Zmsq.orphan_reclaims in
+  let ec_sleeps, ec_wakes =
+    match SQ.Debug.eventcount_stats q with Some (s, w) -> (s, w) | None -> (0, 0)
+  in
+  let snaps =
+    Array.to_list (Array.map Zmsq_obs.Metrics.snapshot (SQ.shard_metrics q))
+  in
+  let sum_counter name =
+    List.fold_left
+      (fun acc s ->
+        acc + (try List.assoc name s.Zmsq_obs.Metrics.counters with Not_found -> 0))
+      0 snaps
+  in
+  let merge_hist name fn =
+    List.fold_left
+      (fun acc s ->
+        match List.assoc_opt name s.Zmsq_obs.Metrics.hists with
+        | Some h -> Float.max acc (fn h)
+        | None -> acc)
+      0.0 snaps
+  in
+  log
+    (Printf.sprintf
+       "done in %.2fs: applied=%d extracted=%d drained=%d accepted=%d refused=%d \
+        orphaned_conns=%d clean_p99=%.0fns faulted_p99=%.0fns gave_up=%d+%d \
+        violations=%d"
+       seconds applied extracted drained (c "rpc_accepted_total") (refused_of c)
+       (c "conn_orphaned_total") clean_p99 faulted_p99
+       clean.Zmsq_net.Loadgen.gave_up faulted.Zmsq_net.Loadgen.gave_up
+       (List.length !vios));
+  ( {
+      phase;
+      seconds;
+      inserted = applied;
+      extracted;
+      drained;
+      reclaimed;
+      ec_sleeps;
+      ec_wakes;
+      qos_samples = sum_counter "qos_samples_total";
+      rank_err_max = merge_hist "rank_error_sampled" Hist.max_value;
+      rank_gap_p99 = merge_hist "rank_gap_keys" (fun h -> Hist.percentile h 99.0);
+      sojourn_p99_ns = merge_hist "sojourn_ns" (fun h -> Hist.percentile h 99.0);
+      violations = List.rev !vios;
+    },
+    !artifacts )
+
 let run cfg =
   if cfg.producers < 1 || cfg.consumers < 1 then invalid_arg "Soak.run: need workers";
   if cfg.secs <= 0. then invalid_arg "Soak.run: secs must be positive";
@@ -905,6 +1245,7 @@ let run cfg =
          (fun index phase ->
            match phase with
            | Shard_churn -> run_shard_phase cfg ~index ~phase ~dur
+           | Server_overload -> run_server_phase cfg ~index ~phase ~dur
            | _ -> run_phase cfg ~index ~phase ~dur)
          cfg.phases)
   in

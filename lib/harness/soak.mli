@@ -47,6 +47,10 @@ type faults = {
   stall_exchange_1in : int;
   stall_relax : int;
   freeze_ms : float;  (** monitor freezes one producer once per phase *)
+  io_short_1in : int;  (** wire: truncate a socket read/write to one byte *)
+  io_stall_1in : int;  (** wire: stall before a socket op (slow peer) *)
+  io_drop_1in : int;  (** wire: sever a connection mid-operation *)
+  io_torn_1in : int;  (** wire: corrupt a frame's length prefix *)
 }
 
 val no_faults : faults
@@ -64,6 +68,13 @@ type phase =
           producers seal generations themselves while injected FAA stalls
           park claimants inside the claim/publish window; checks that the
           ring was actually exercised and that drains strand nothing *)
+  | Server_overload
+      (** the lib/net socket front-end over the sharded queue, flooded
+          past its admission ladder with wire faults on both sides of
+          every connection: clients ride retry/backoff while a
+          fault-exempt monitor asserts element conservation and shed
+          accounting; a graceful drain then proves exact emptiness, and
+          a retry-storm guard bounds the faulted p99 at 2x clean *)
 
 val phase_name : phase -> string
 

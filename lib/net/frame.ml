@@ -1,0 +1,93 @@
+type error = Oversized of int | Empty_frame
+
+let error_to_string = function
+  | Oversized n -> Printf.sprintf "frame length %d exceeds limit" n
+  | Empty_frame -> "zero-length frame"
+
+let max_frame_default = 1 lsl 20
+
+let encode payload =
+  let n = String.length payload in
+  if n = 0 then invalid_arg "Frame.encode: empty payload";
+  if n > 0xFFFF_FFFF then invalid_arg "Frame.encode: payload exceeds u32 prefix";
+  let out = Bytes.create (4 + n) in
+  Bytes.set_int32_be out 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 out 4 n;
+  Bytes.unsafe_to_string out
+
+(* The accumulation buffer compacts lazily: [off] advances past consumed
+   bytes and the live region slides to the front only once the dead
+   prefix dominates, so a firehose of small frames does not quadratically
+   re-blit. *)
+type decoder = {
+  max_frame : int;
+  mutable buf : Bytes.t;
+  mutable off : int;  (** start of unconsumed data *)
+  mutable len : int;  (** end of valid data *)
+  mutable poison : error option;
+}
+
+let decoder ?(max_frame = max_frame_default) () =
+  { max_frame; buf = Bytes.create 256; off = 0; len = 0; poison = None }
+
+let compact d =
+  if d.off > 0 then begin
+    let live = d.len - d.off in
+    Bytes.blit d.buf d.off d.buf 0 live;
+    d.off <- 0;
+    d.len <- live
+  end
+
+let feed d src off len =
+  if len < 0 || off < 0 || off + len > Bytes.length src then
+    invalid_arg "Frame.feed: bad slice";
+  if d.poison = None then begin
+    if d.len + len > Bytes.length d.buf then begin
+      compact d;
+      if d.len + len > Bytes.length d.buf then begin
+        let cap = ref (Bytes.length d.buf * 2) in
+        while d.len + len > !cap do
+          cap := !cap * 2
+        done;
+        let nb = Bytes.create !cap in
+        Bytes.blit d.buf 0 nb 0 d.len;
+        d.buf <- nb
+      end
+    end;
+    Bytes.blit src off d.buf d.len len;
+    d.len <- d.len + len
+  end
+
+let feed_string d s = feed d (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let next d =
+  match d.poison with
+  | Some e -> Error e
+  | None ->
+      let avail = d.len - d.off in
+      if avail < 4 then Ok None
+      else begin
+        let declared = Int32.to_int (Bytes.get_int32_be d.buf d.off) land 0xFFFF_FFFF in
+        if declared = 0 then begin
+          d.poison <- Some Empty_frame;
+          Error Empty_frame
+        end
+        else if declared > d.max_frame then begin
+          d.poison <- Some (Oversized declared);
+          Error (Oversized declared)
+        end
+        else if avail < 4 + declared then Ok None
+        else begin
+          let payload = Bytes.sub_string d.buf (d.off + 4) declared in
+          d.off <- d.off + 4 + declared;
+          if d.off = d.len then begin
+            d.off <- 0;
+            d.len <- 0
+          end
+          else if d.off > Bytes.length d.buf / 2 then compact d;
+          Ok (Some payload)
+        end
+      end
+
+let pending d = d.len - d.off
+let poisoned d = d.poison

@@ -1,0 +1,44 @@
+(** Length-prefixed binary framing for the ZMSQ wire protocol.
+
+    A frame is a 4-byte big-endian payload length followed by the payload
+    bytes. The decoder is incremental: feed it whatever the socket
+    delivered — one byte at a time, half a length prefix, three frames at
+    once — and pop complete payloads as they materialize. Malformed input
+    (an empty or oversized length prefix, the torn-frame shapes the fault
+    injector produces) is a loud, sticky error: once poisoned, a decoder
+    never yields another frame, because after a framing error the byte
+    stream has no trustworthy resynchronization point. *)
+
+type error =
+  | Oversized of int  (** declared payload length exceeds [max_frame] *)
+  | Empty_frame  (** declared length 0 — no RPC encodes to zero bytes *)
+
+val error_to_string : error -> string
+
+val max_frame_default : int
+(** 1 MiB — comfortably above the largest legal RPC
+    ([Protocol.max_batch] elements at 8 bytes each). *)
+
+val encode : string -> string
+(** [encode payload] is the 4-byte big-endian length followed by
+    [payload]. Raises [Invalid_argument] on payloads above 2^32-1 bytes
+    (the prefix could not represent them). *)
+
+type decoder
+
+val decoder : ?max_frame:int -> unit -> decoder
+
+val feed : decoder -> bytes -> int -> int -> unit
+(** [feed d buf off len] appends [len] bytes of received data. *)
+
+val feed_string : decoder -> string -> unit
+
+val next : decoder -> (string option, error) result
+(** Pop the next complete payload: [Ok None] means more bytes are
+    needed. An [Error] is sticky — the connection must be torn down. *)
+
+val pending : decoder -> int
+(** Bytes buffered but not yet returned — nonzero at EOF means the peer
+    died mid-frame (a torn frame). *)
+
+val poisoned : decoder -> error option

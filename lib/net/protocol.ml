@@ -1,0 +1,197 @@
+module Elt = Zmsq_pq.Elt
+
+type req =
+  | Ping
+  | Insert of { budget_ns : int; elts : Elt.t array }
+  | Extract of { budget_ns : int; max_n : int }
+  | Stats
+
+type err_code =
+  | Throttled
+  | Shed
+  | Rejected
+  | Deadline_expired
+  | Closed
+  | Bad_request
+  | Too_large
+
+type resp =
+  | Pong
+  | Inserted of int
+  | Elements of Elt.t array
+  | Stats_json of string
+  | Error of err_code * string
+
+let max_batch = 4096
+
+let err_code_name = function
+  | Throttled -> "throttled"
+  | Shed -> "shed"
+  | Rejected -> "rejected"
+  | Deadline_expired -> "deadline_expired"
+  | Closed -> "closed"
+  | Bad_request -> "bad_request"
+  | Too_large -> "too_large"
+
+let resp_name = function
+  | Pong -> "Pong"
+  | Inserted _ -> "Inserted"
+  | Elements _ -> "Elements"
+  | Stats_json _ -> "Stats_json"
+  | Error (c, _) -> "Error " ^ err_code_name c
+
+let retryable = function
+  | Throttled | Shed | Rejected -> true
+  | Deadline_expired | Closed | Bad_request | Too_large -> false
+
+(* Opcodes: requests in 0x01-0x7F, responses in 0x80-0xFF so a stream
+   desync (response parsed as request or vice versa) fails loudly. *)
+let op_ping = '\x01'
+let op_insert = '\x02'
+let op_extract = '\x03'
+let op_stats = '\x04'
+let op_pong = '\x81'
+let op_inserted = '\x82'
+let op_elements = '\x83'
+let op_stats_json = '\x84'
+let op_error = '\xFF'
+
+let err_to_byte = function
+  | Throttled -> '\x01'
+  | Shed -> '\x02'
+  | Rejected -> '\x03'
+  | Deadline_expired -> '\x04'
+  | Closed -> '\x05'
+  | Bad_request -> '\x06'
+  | Too_large -> '\x07'
+
+let err_of_byte = function
+  | '\x01' -> Some Throttled
+  | '\x02' -> Some Shed
+  | '\x03' -> Some Rejected
+  | '\x04' -> Some Deadline_expired
+  | '\x05' -> Some Closed
+  | '\x06' -> Some Bad_request
+  | '\x07' -> Some Too_large
+  | _ -> None
+
+let put_i64 b off v = Bytes.set_int64_be b off (Int64.of_int v)
+let get_i64 s off = Int64.to_int (String.get_int64_be s off)
+
+let encode_req = function
+  | Ping -> String.make 1 op_ping
+  | Insert { budget_ns; elts } ->
+      let n = Array.length elts in
+      let b = Bytes.create (1 + 8 + 8 + (8 * n)) in
+      Bytes.set b 0 op_insert;
+      put_i64 b 1 budget_ns;
+      put_i64 b 9 n;
+      Array.iteri (fun i e -> put_i64 b (17 + (8 * i)) e) elts;
+      Bytes.unsafe_to_string b
+  | Extract { budget_ns; max_n } ->
+      let b = Bytes.create 17 in
+      Bytes.set b 0 op_extract;
+      put_i64 b 1 budget_ns;
+      put_i64 b 9 max_n;
+      Bytes.unsafe_to_string b
+  | Stats -> String.make 1 op_stats
+
+let encode_resp = function
+  | Pong -> String.make 1 op_pong
+  | Inserted n ->
+      let b = Bytes.create 9 in
+      Bytes.set b 0 op_inserted;
+      put_i64 b 1 n;
+      Bytes.unsafe_to_string b
+  | Elements elts ->
+      let n = Array.length elts in
+      let b = Bytes.create (1 + 8 + (8 * n)) in
+      Bytes.set b 0 op_elements;
+      put_i64 b 1 n;
+      Array.iteri (fun i e -> put_i64 b (9 + (8 * i)) e) elts;
+      Bytes.unsafe_to_string b
+  | Stats_json s ->
+      let b = Bytes.create (1 + String.length s) in
+      Bytes.set b 0 op_stats_json;
+      Bytes.blit_string s 0 b 1 (String.length s);
+      Bytes.unsafe_to_string b
+  | Error (code, msg) ->
+      let b = Bytes.create (2 + String.length msg) in
+      Bytes.set b 0 op_error;
+      Bytes.set b 1 (err_to_byte code);
+      Bytes.blit_string msg 0 b 2 (String.length msg);
+      Bytes.unsafe_to_string b
+
+let decode_req s : (req, err_code * string) result =
+  let len = String.length s in
+  if len = 0 then Error (Bad_request, "empty request")
+  else
+    match s.[0] with
+    | c when c = op_ping ->
+        if len = 1 then Ok Ping else Error (Bad_request, "ping carries payload")
+    | c when c = op_insert ->
+        if len < 17 then Error (Bad_request, "truncated insert header")
+        else begin
+          let budget_ns = get_i64 s 1 in
+          let n = get_i64 s 9 in
+          if budget_ns < 0 then Error (Bad_request, "negative budget")
+          else if n <= 0 then Error (Bad_request, "empty insert batch")
+          else if n > max_batch then
+            Error (Too_large, Printf.sprintf "batch %d > max %d" n max_batch)
+          else if len <> 17 + (8 * n) then Error (Bad_request, "insert length mismatch")
+          else begin
+            let elts = Array.make n Elt.none in
+            let bad = ref false in
+            for i = 0 to n - 1 do
+              let v = get_i64 s (17 + (8 * i)) in
+              if v < 0 then bad := true else elts.(i) <- v
+            done;
+            if !bad then Error (Bad_request, "negative (sentinel) element")
+            else Ok (Insert { budget_ns; elts })
+          end
+        end
+    | c when c = op_extract ->
+        if len <> 17 then Error (Bad_request, "extract length mismatch")
+        else begin
+          let budget_ns = get_i64 s 1 in
+          let max_n = get_i64 s 9 in
+          if budget_ns < 0 then Error (Bad_request, "negative budget")
+          else if max_n <= 0 then Error (Bad_request, "non-positive max_n")
+          else if max_n > max_batch then
+            Error (Too_large, Printf.sprintf "max_n %d > max %d" max_n max_batch)
+          else Ok (Extract { budget_ns; max_n })
+        end
+    | c when c = op_stats ->
+        if len = 1 then Ok Stats else Error (Bad_request, "stats carries payload")
+    | c -> Error (Bad_request, Printf.sprintf "unknown request opcode 0x%02x" (Char.code c))
+
+let decode_resp s : (resp, string) result =
+  let len = String.length s in
+  if len = 0 then Error "empty response"
+  else
+    match s.[0] with
+    | c when c = op_pong -> if len = 1 then Ok Pong else Error "pong carries payload"
+    | c when c = op_inserted ->
+        if len <> 9 then Error "inserted length mismatch" else Ok (Inserted (get_i64 s 1))
+    | c when c = op_elements ->
+        if len < 9 then Error "truncated elements header"
+        else begin
+          let n = get_i64 s 1 in
+          if n < 0 || n > max_batch then Error "bad element count"
+          else if len <> 9 + (8 * n) then Error "elements length mismatch"
+          else begin
+            let elts = Array.init n (fun i -> get_i64 s (9 + (8 * i))) in
+            if Array.exists (fun e -> e < 0) elts then
+              Error "negative element in response"
+            else Ok (Elements elts)
+          end
+        end
+    | c when c = op_stats_json -> Ok (Stats_json (String.sub s 1 (len - 1)))
+    | c when c = op_error ->
+        if len < 2 then Error "truncated error"
+        else begin
+          match err_of_byte s.[1] with
+          | Some code -> Ok (Error (code, String.sub s 2 (len - 2)))
+          | None -> Error "unknown error code"
+        end
+    | c -> Error (Printf.sprintf "unknown response opcode 0x%02x" (Char.code c))

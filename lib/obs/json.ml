@@ -7,19 +7,75 @@ type t =
   | Arr of t list
   | Obj of (string * t) list
 
+(* Escaped output is pure ASCII: every non-ASCII scalar is emitted as
+   [\uXXXX] (a surrogate pair above the BMP), so the bytes survive any
+   transport that is not 8-bit clean — the wire protocol's error payloads
+   and the server's JSON stats endpoint both ship strings through here.
+   Input is decoded as UTF-8; malformed sequences (truncated, overlong,
+   surrogate code points, > U+10FFFF) become U+FFFD rather than leaking
+   raw bytes into the output. *)
 let escape s =
   let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
+  let add_u code = Buffer.add_string buf (Printf.sprintf "\\u%04x" code) in
+  let add_scalar u =
+    if u < 0x10000 then add_u u
+    else begin
+      let u' = u - 0x10000 in
+      add_u (0xD800 lor (u' lsr 10));
+      add_u (0xDC00 lor (u' land 0x3FF))
+    end
+  in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    (match c with
+    | '"' ->
+        Buffer.add_string buf "\\\"";
+        incr i
+    | '\\' ->
+        Buffer.add_string buf "\\\\";
+        incr i
+    | '\n' ->
+        Buffer.add_string buf "\\n";
+        incr i
+    | '\r' ->
+        Buffer.add_string buf "\\r";
+        incr i
+    | '\t' ->
+        Buffer.add_string buf "\\t";
+        incr i
+    | c when Char.code c < 0x20 ->
+        add_u (Char.code c);
+        incr i
+    | c when Char.code c < 0x80 ->
+        Buffer.add_char buf c;
+        incr i
+    | _ ->
+        let b0 = Char.code c in
+        let cont k = !i + k < n && Char.code s.[!i + k] land 0xC0 = 0x80 in
+        let byte k = Char.code s.[!i + k] land 0x3F in
+        if b0 land 0xE0 = 0xC0 && cont 1 then begin
+          let u = ((b0 land 0x1F) lsl 6) lor byte 1 in
+          add_scalar (if u < 0x80 then 0xFFFD else u);
+          i := !i + 2
+        end
+        else if b0 land 0xF0 = 0xE0 && cont 1 && cont 2 then begin
+          let u = ((b0 land 0x0F) lsl 12) lor (byte 1 lsl 6) lor byte 2 in
+          let valid = u >= 0x800 && not (u >= 0xD800 && u <= 0xDFFF) in
+          add_scalar (if valid then u else 0xFFFD);
+          i := !i + 3
+        end
+        else if b0 land 0xF8 = 0xF0 && cont 1 && cont 2 && cont 3 then begin
+          let u = ((b0 land 0x07) lsl 18) lor (byte 1 lsl 12) lor (byte 2 lsl 6) lor byte 3 in
+          add_scalar (if u >= 0x10000 && u <= 0x10FFFF then u else 0xFFFD);
+          i := !i + 4
+        end
+        else begin
+          add_u 0xFFFD;
+          incr i
+        end);
+  done;
   Buffer.contents buf
 
 let float_repr v =
@@ -103,14 +159,19 @@ let of_string s =
     else fail ("expected " ^ word)
   in
   let utf8_of_code buf c =
-    (* Surrogates and astral planes are out of scope for metric names. *)
     if c < 0x80 then Buffer.add_char buf (Char.chr c)
     else if c < 0x800 then begin
       Buffer.add_char buf (Char.chr (0xC0 lor (c lsr 6)));
       Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
     end
-    else begin
+    else if c < 0x10000 then begin
       Buffer.add_char buf (Char.chr (0xE0 lor (c lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (c lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 12) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
     end
@@ -137,15 +198,37 @@ let of_string s =
          | 'r' -> Buffer.add_char buf '\r'
          | 't' -> Buffer.add_char buf '\t'
          | 'u' ->
-             if !pos + 4 > n then fail "truncated \\u escape";
-             let hex = String.sub s !pos 4 in
-             pos := !pos + 4;
-             let code =
-               match int_of_string_opt ("0x" ^ hex) with
-               | Some c -> c
-               | None -> fail "bad \\u escape"
+             (* [int_of_string "0x.."] would accept underscores and
+                signs; require exactly four hex digits. *)
+             let hex4 () =
+               if !pos + 4 > n then fail "truncated \\u escape";
+               let v = ref 0 in
+               for k = !pos to !pos + 3 do
+                 let d =
+                   match s.[k] with
+                   | '0' .. '9' as c -> Char.code c - Char.code '0'
+                   | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+                   | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+                   | _ -> fail "bad \\u escape"
+                 in
+                 v := (!v lsl 4) lor d
+               done;
+               pos := !pos + 4;
+               !v
              in
-             utf8_of_code buf code
+             let code = hex4 () in
+             if code >= 0xD800 && code <= 0xDBFF then begin
+               (* High surrogate: must be followed by \uDC00-\uDFFF; the
+                  pair encodes one astral-plane scalar. *)
+               if not (!pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u') then
+                 fail "unpaired high surrogate";
+               pos := !pos + 2;
+               let low = hex4 () in
+               if not (low >= 0xDC00 && low <= 0xDFFF) then fail "unpaired high surrogate";
+               utf8_of_code buf (0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00))
+             end
+             else if code >= 0xDC00 && code <= 0xDFFF then fail "unpaired low surrogate"
+             else utf8_of_code buf code
          | _ -> fail "bad escape");
         go ()
       end

@@ -14,7 +14,11 @@ val to_string : t -> string
 (** Compact (single-line) serialization. *)
 
 val escape : string -> string
-(** JSON string-body escaping (no surrounding quotes). *)
+(** JSON string-body escaping (no surrounding quotes). Output is pure
+    ASCII: the input is decoded as UTF-8 and every non-ASCII scalar is
+    emitted as [\uXXXX] — a surrogate pair above the BMP — while
+    malformed byte sequences become U+FFFD instead of leaking raw bytes.
+    [of_string] round-trips the result. *)
 
 exception Parse_error of string
 

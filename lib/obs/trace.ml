@@ -15,6 +15,8 @@ type kind =
   | Drain
   | Shard_select
   | Ring_flush
+  | Accept
+  | Rpc
 
 let kind_name = function
   | Insert -> "insert"
@@ -33,6 +35,8 @@ let kind_name = function
   | Drain -> "drain"
   | Shard_select -> "shard_select"
   | Ring_flush -> "ring_flush"
+  | Accept -> "accept"
+  | Rpc -> "rpc"
 
 let kind_code = function
   | Insert -> 0
@@ -51,6 +55,8 @@ let kind_code = function
   | Drain -> 13
   | Shard_select -> 14
   | Ring_flush -> 15
+  | Accept -> 16
+  | Rpc -> 17
 
 let kind_of_code = function
   | 0 -> Insert
@@ -68,7 +74,9 @@ let kind_of_code = function
   | 12 -> Reclaim
   | 13 -> Drain
   | 14 -> Shard_select
-  | _ -> Ring_flush
+  | 15 -> Ring_flush
+  | 16 -> Accept
+  | _ -> Rpc
 
 (* One ring per domain slot. A span is recorded on [span_end] as a
    complete event (begin timestamp + duration), which keeps the dump

@@ -36,6 +36,12 @@ type kind =
   | Ring_flush
       (** an ingress-ring drain published into the tree ([arg] = elements
           drained across all staging nodes in the pass) *)
+  | Accept
+      (** the server front-end accepted a connection ([arg] = live
+          connection count after the accept) *)
+  | Rpc
+      (** one server RPC from dequeue-off-the-socket to response flushed
+          ([arg] = the request opcode) *)
 
 val kind_name : kind -> string
 

@@ -45,6 +45,10 @@ type config = {
   stall_faa_1in : int;
   stall_exchange_1in : int;
   stall_relax : int;  (** [cpu_relax] iterations per injected stall *)
+  io_short_1in : int;  (** truncate a socket read/write to one byte *)
+  io_stall_1in : int;  (** stall before a socket op (slow peer) *)
+  io_drop_1in : int;  (** sever the connection mid-operation *)
+  io_torn_1in : int;  (** corrupt the frame boundary (torn length prefix) *)
 }
 
 let off =
@@ -57,7 +61,24 @@ let off =
     stall_faa_1in = 0;
     stall_exchange_1in = 0;
     stall_relax = 0;
+    io_short_1in = 0;
+    io_stall_1in = 0;
+    io_drop_1in = 0;
+    io_torn_1in = 0;
   }
+
+(* Wire-level faults are consulted by the socket layer ({!Zmsq_net}), not
+   injected by the PRIM wrappers themselves: sockets are not primitive
+   operations, but the same seeded per-domain policy machinery (rates,
+   exemption, determinism) applies, so the soak's fault-exempt monitor
+   stays exempt from wire chaos too. Ordered by destructiveness — a
+   single consult returns at most one fault. *)
+type io_fault =
+  | Io_none
+  | Io_drop  (** close the peer socket mid-operation *)
+  | Io_torn  (** flip/truncate bytes of the length prefix *)
+  | Io_short  (** deliver/accept only one byte this call *)
+  | Io_stall  (** delay the operation (slow client / full buffer) *)
 
 module type CTL = sig
   val install : config -> unit
@@ -102,9 +123,16 @@ module type CTL = sig
   (** Policy consult for {!Zmsq_sync.Lock.Faulty} wrappers: true when this
       attempt must be failed (counted like a [try_lock] injection). *)
 
+  val inject_io : unit -> io_fault
+  (** Policy consult for the socket layer: which wire fault (if any) this
+      I/O operation must suffer. At most one fault per consult, most
+      destructive first (drop > torn > short > stall); exempt domains
+      always get [Io_none]. Counted in {!stats}. *)
+
   val stats : unit -> (string * int) list
   (** Injection counters: trylock_failures, wakes_delayed, wakes_reposted,
-      spurious_timeouts, stalls, freeze_waits. *)
+      spurious_timeouts, stalls, freeze_waits, io_shorts, io_stalls,
+      io_drops, io_torn. *)
 end
 
 module Make (P : Intf.PRIM) () : sig
@@ -142,6 +170,10 @@ end = struct
   let c_stalls = Stdlib.Atomic.make 0
   let c_freeze_waits = Stdlib.Atomic.make 0
   let c_crashes = Stdlib.Atomic.make 0
+  let c_io_short = Stdlib.Atomic.make 0
+  let c_io_stall = Stdlib.Atomic.make 0
+  let c_io_drop = Stdlib.Atomic.make 0
+  let c_io_torn = Stdlib.Atomic.make 0
 
   let fire rate =
     rate > 0
@@ -249,6 +281,26 @@ end = struct
       if hit then Stdlib.Atomic.incr c_trylock;
       hit
 
+    let inject_io () =
+      let c = Stdlib.Atomic.get cfg in
+      if fire c.io_drop_1in then begin
+        Stdlib.Atomic.incr c_io_drop;
+        Io_drop
+      end
+      else if fire c.io_torn_1in then begin
+        Stdlib.Atomic.incr c_io_torn;
+        Io_torn
+      end
+      else if fire c.io_short_1in then begin
+        Stdlib.Atomic.incr c_io_short;
+        Io_short
+      end
+      else if fire c.io_stall_1in then begin
+        Stdlib.Atomic.incr c_io_stall;
+        Io_stall
+      end
+      else Io_none
+
     let stats () =
       [
         ("trylock_failures", Stdlib.Atomic.get c_trylock);
@@ -258,6 +310,10 @@ end = struct
         ("stalls", Stdlib.Atomic.get c_stalls);
         ("freeze_waits", Stdlib.Atomic.get c_freeze_waits);
         ("crashes", Stdlib.Atomic.get c_crashes);
+        ("io_shorts", Stdlib.Atomic.get c_io_short);
+        ("io_stalls", Stdlib.Atomic.get c_io_stall);
+        ("io_drops", Stdlib.Atomic.get c_io_drop);
+        ("io_torn", Stdlib.Atomic.get c_io_torn);
       ]
   end
 

@@ -21,5 +21,6 @@ let () =
       ("linearize", Test_linearize.suite);
       ("apps", Test_apps.suite);
       ("check", Test_check.suite);
+      ("net", Test_net.suite);
       ("analysis", Test_analysis.suite);
     ]

@@ -335,6 +335,50 @@ let test_json_int_boundaries () =
   | Ok (Json.Float _) -> ()
   | _ -> Alcotest.fail "fractional literal must still parse as a float"
 
+let test_json_unicode_roundtrip () =
+  (* The wire protocol's error payloads and the server's JSON stats
+     endpoint ship arbitrary strings; escaping must emit pure-ASCII
+     \uXXXX (surrogate pairs above the BMP) and round-trip through the
+     parser byte-for-byte. *)
+  let is_ascii s = String.for_all (fun c -> Char.code c < 0x80) s in
+  let roundtrip label s =
+    let doc = Json.to_string (Json.Str s) in
+    check Alcotest.bool (label ^ " escaped output is ASCII") true (is_ascii doc);
+    match Json.of_string doc with
+    | Ok (Json.Str s') -> check Alcotest.string (label ^ " round-trips") s s'
+    | Ok j -> Alcotest.fail (label ^ " re-parsed as " ^ Json.to_string j)
+    | Error msg -> Alcotest.fail (label ^ " failed to parse: " ^ msg)
+  in
+  roundtrip "2-byte (é)" "caf\xc3\xa9";
+  roundtrip "3-byte (€)" "price \xe2\x82\xac 5";
+  roundtrip "4-byte astral (😀)" "emoji \xf0\x9f\x98\x80!";
+  roundtrip "mixed" "a\xc3\xa9\xe2\x82\xac\xf0\x9f\x98\x80z\n\t\"";
+  check Alcotest.string "surrogate pair form" "\\ud83d\\ude00"
+    (Json.escape "\xf0\x9f\x98\x80");
+  check Alcotest.string "BMP form" "\\u20ac" (Json.escape "\xe2\x82\xac");
+  (* Malformed UTF-8 must not leak raw bytes: each bad byte becomes
+     U+FFFD, and the result still parses. *)
+  let bad = Json.to_string (Json.Str "a\xc3b\xff") in
+  check Alcotest.bool "malformed input escapes to ASCII" true (is_ascii bad);
+  (match Json.of_string bad with
+  | Ok (Json.Str s) ->
+      check Alcotest.bool "replacement chars present" true
+        (Astring.String.is_infix ~affix:"\xef\xbf\xbd" s)
+  | _ -> Alcotest.fail "escaped malformed input must re-parse");
+  (* Parser strictness: surrogate halves must pair up; stray halves and
+     non-hex (incl. underscores, which int_of_string would take) are
+     loud errors. *)
+  (match Json.of_string "\"\\ud83d\\ude00\"" with
+  | Ok (Json.Str "\xf0\x9f\x98\x80") -> ()
+  | Ok j -> Alcotest.fail ("surrogate pair decoded as " ^ Json.to_string j)
+  | Error msg -> Alcotest.fail ("surrogate pair rejected: " ^ msg));
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Error _ -> ()
+      | Ok j -> Alcotest.fail (s ^ " accepted as " ^ Json.to_string j))
+    [ "\"\\ud83d\""; "\"\\ud83dx\""; "\"\\ude00\""; "\"\\ud83d\\u0041\""; "\"\\u1_2a\"" ]
+
 let test_prometheus_help_sanitize () =
   let m = Metrics.create ~name:"ph" () in
   Metrics.add (Metrics.counter m "qos_samples_total") 3;
@@ -432,6 +476,7 @@ let suite =
     ("jsonl lines well-formed", `Quick, test_jsonl_wellformed);
     ("json parser", `Quick, test_json_parser);
     ("json 63-bit int boundaries", `Quick, test_json_int_boundaries);
+    ("json unicode round-trip", `Quick, test_json_unicode_roundtrip);
     ("prometheus HELP/TYPE + sanitize", `Quick, test_prometheus_help_sanitize);
     ("trace complete + dropped", `Quick, test_trace_complete_and_dropped);
     ("qos sampling single thread", `Quick, test_qos_sampling_single_thread);

@@ -262,6 +262,76 @@ let test_extract_timeout_zero_budget () =
     (Elt.priority (Q.extract_timeout h ~timeout_ns:(-5)));
   Q.unregister h
 
+(* Deadline-arithmetic hardening: [now + max_int] used to wrap negative,
+   silently degrading an "effectively infinite" budget into a try-pop.
+   The clamp must saturate the deadline so a max_int budget waits for an
+   element arriving tens of milliseconds later, and tiny sub-microsecond
+   budgets must stay well-behaved (final-poll contract, no spin). *)
+let test_extract_timeout_overflow_budgets () =
+  let module Q = Zmsq.Default in
+  let params = { (P.static 8) with P.blocking = true } in
+  let q = Q.create ~params () in
+  let h = Q.register q in
+  (* max_int budget on an empty queue must actually wait: an element
+     inserted ~50ms later is received, not missed by an overflow-induced
+     immediate poll. *)
+  let d =
+    Domain.spawn (fun () ->
+        let hp = Q.register q in
+        Unix.sleepf 0.05;
+        Q.insert hp (Elt.of_priority 123);
+        Q.unregister hp)
+  in
+  let t0 = Zmsq_util.Timing.now_ns () in
+  let e = Q.extract_timeout h ~timeout_ns:max_int in
+  let dt = Zmsq_util.Timing.now_ns () - t0 in
+  Domain.join d;
+  check Alcotest.int "max_int budget waits for arrival" 123 (Elt.priority e);
+  check Alcotest.bool "actually blocked (>=10ms)" true (dt >= 10_000_000);
+  (* min_int budget clamps to 0: plain try-pop semantics. *)
+  Q.insert h (Elt.of_priority 7);
+  check Alcotest.int "min_int budget is a try-pop" 7
+    (Elt.priority (Q.extract_timeout h ~timeout_ns:min_int));
+  check Alcotest.bool "min_int budget on empty: immediate none" true
+    (Elt.is_none (Q.extract_timeout h ~timeout_ns:min_int));
+  (* Sub-microsecond budgets terminate promptly and honor the final poll. *)
+  let t0 = Zmsq_util.Timing.now_ns () in
+  check Alcotest.bool "1ns budget on empty: none" true
+    (Elt.is_none (Q.extract_timeout h ~timeout_ns:1));
+  check Alcotest.bool "1ns budget bounded" true
+    (Zmsq_util.Timing.now_ns () - t0 < 1_000_000_000);
+  Q.insert h (Elt.of_priority 11);
+  check Alcotest.int "1ns budget claims a present element" 11
+    (Elt.priority (Q.extract_timeout h ~timeout_ns:1));
+  Q.unregister h
+
+(* The sharded deadline path shares the clamp (shards>1 exercises the
+   combined family wait, not the single-queue delegation). *)
+let test_shard_extract_timeout_overflow_budgets () =
+  let module S = Zmsq.Shard.Default in
+  let params = { (P.static 8) with P.blocking = true; P.shards = 4 } in
+  let q = S.create ~params () in
+  let h = S.register q in
+  let d =
+    Domain.spawn (fun () ->
+        let hp = S.register q in
+        Unix.sleepf 0.05;
+        S.insert hp (Elt.of_priority 321);
+        S.flush hp;
+        S.unregister hp)
+  in
+  let e = S.extract_timeout h ~timeout_ns:max_int in
+  Domain.join d;
+  check Alcotest.int "sharded max_int budget waits for arrival" 321 (Elt.priority e);
+  S.insert h (Elt.of_priority 5);
+  S.flush h;
+  check Alcotest.int "sharded min_int budget is a try-pop" 5
+    (Elt.priority (S.extract_timeout h ~timeout_ns:min_int));
+  check Alcotest.bool "sharded 1ns budget on empty: none" true
+    (Elt.is_none (S.extract_timeout h ~timeout_ns:1));
+  S.unregister h;
+  S.close q
+
 let test_blocking_requires_flag () =
   let q = Zmsq.Default.create () in
   let h = Zmsq.Default.register q in
@@ -1286,6 +1356,9 @@ let suite =
     ("blocking handoff", `Slow, blocking_handoff (module Zmsq.Default));
     mk "extract_timeout" test_extract_timeout;
     mk "extract_timeout zero budget" test_extract_timeout_zero_budget;
+    ("extract_timeout overflow budgets", `Slow, test_extract_timeout_overflow_budgets);
+    ("shard extract_timeout overflow budgets", `Slow,
+     test_shard_extract_timeout_overflow_budgets);
     mk "blocking requires flag" test_blocking_requires_flag;
     mk "ablation no-forced" (ablation_correct "no-forced" (fun p -> { p with P.forced_insert = false }));
     mk "ablation no-minswap" (ablation_correct "no-minswap" (fun p -> { p with P.min_swap = false }));
